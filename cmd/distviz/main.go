@@ -1,0 +1,148 @@
+// Command distviz renders a deformed surface-code patch as ASCII art:
+// data qubits, syndrome qubits, removed sites, super-stabilizer regions and
+// the logical operator paths. It is the debugging lens used while
+// developing deformation strategies.
+//
+// Usage:
+//
+//	distviz -d 9 -defects "5,5;4,6;1,9" [-policy surf|asc|none] [-enlarge 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"surfdeformer/internal/code"
+	"surfdeformer/internal/deform"
+	"surfdeformer/internal/lattice"
+)
+
+func main() {
+	d := flag.Int("d", 7, "code distance")
+	defectsArg := flag.String("defects", "", "semicolon-separated row,col defect sites")
+	policyArg := flag.String("policy", "surf", "mitigation policy: surf, asc, none")
+	enlarge := flag.Int("enlarge", 0, "growth budget (layers per side) to restore distance")
+	flag.Parse()
+
+	var policy deform.Policy
+	switch *policyArg {
+	case "surf":
+		policy = deform.PolicySurfDeformer
+	case "asc":
+		policy = deform.PolicyASC
+	case "none":
+		policy = deform.PolicyNoBalance
+	default:
+		fmt.Fprintf(os.Stderr, "distviz: unknown policy %q\n", *policyArg)
+		os.Exit(2)
+	}
+
+	defects, err := parseCoords(*defectsArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distviz: %v\n", err)
+		os.Exit(2)
+	}
+
+	spec := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, *d)
+	if err := deform.ApplyDefects(spec, defects, policy); err != nil {
+		fmt.Fprintf(os.Stderr, "distviz: %v\n", err)
+		os.Exit(1)
+	}
+	var c *code.Code
+	if *enlarge > 0 {
+		res, err := deform.Enlarge(spec, *d, *d, nil, policy, deform.UniformBudget(*enlarge))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distviz: enlargement: %v\n", err)
+			os.Exit(1)
+		}
+		c = res.Code
+	} else {
+		c, err = spec.Build()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distviz: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	render(os.Stdout, spec, c, defects)
+}
+
+func parseCoords(s string) ([]lattice.Coord, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []lattice.Coord
+	for _, part := range strings.Split(s, ";") {
+		fields := strings.Split(strings.TrimSpace(part), ",")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bad coordinate %q (want row,col)", part)
+		}
+		r, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, err
+		}
+		c, err := strconv.Atoi(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lattice.Coord{Row: r, Col: c})
+	}
+	return out, nil
+}
+
+func render(w *os.File, spec *deform.Spec, c *code.Code, defects []lattice.Coord) {
+	min, max := spec.Bounds()
+	isDefect := map[lattice.Coord]bool{}
+	for _, q := range defects {
+		isDefect[q] = true
+	}
+	inLX := map[lattice.Coord]bool{}
+	for _, q := range c.LogicalX().Support() {
+		inLX[q] = true
+	}
+	inLZ := map[lattice.Coord]bool{}
+	for _, q := range c.LogicalZ().Support() {
+		inLZ[q] = true
+	}
+	gaugeAncilla := map[lattice.Coord]bool{}
+	for _, g := range c.Gauges() {
+		gaugeAncilla[g.Ancilla] = true
+	}
+
+	fmt.Fprintf(w, "patch %dx%d  removed=%d  stabs=%d gauges=%d\n",
+		spec.DX, spec.DZ, spec.NumRemoved(), len(c.Stabs()), len(c.Gauges()))
+	fmt.Fprintf(w, "distances: X=%d Z=%d\n", c.DistanceX(), c.DistanceZ())
+	fmt.Fprintln(w, "legend: o data, . syndrome, X removed, * defect site, x/z logical path, g gauge ancilla")
+	for r := min.Row; r <= max.Row; r++ {
+		var sb strings.Builder
+		for col := min.Col; col <= max.Col; col++ {
+			q := lattice.Coord{Row: r, Col: col}
+			ch := ' '
+			switch {
+			case isDefect[q] && !c.HasData(q) && !c.HasSyndrome(q):
+				ch = 'X'
+			case isDefect[q]:
+				ch = '*'
+			case inLX[q] && inLZ[q]:
+				ch = '+'
+			case inLX[q]:
+				ch = 'x'
+			case inLZ[q]:
+				ch = 'z'
+			case c.HasData(q):
+				ch = 'o'
+			case gaugeAncilla[q]:
+				ch = 'g'
+			case c.HasSyndrome(q):
+				ch = '.'
+			case q.IsData() || q.IsCheck():
+				ch = '×' // site exists on the lattice but is out of the code
+			}
+			sb.WriteRune(ch)
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+}

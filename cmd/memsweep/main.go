@@ -1,0 +1,94 @@
+// Command memsweep sweeps memory-experiment logical error rates over code
+// distance and physical error rate — the raw data behind threshold plots
+// and the Λ-model calibration.
+//
+// Usage:
+//
+//	memsweep -d 3,5,7 -p 2e-3,4e-3,6e-3 -rounds 6 -shots 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"surfdeformer/internal/code"
+	"surfdeformer/internal/decoder"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/noise"
+	"surfdeformer/internal/sim"
+)
+
+func main() {
+	dArg := flag.String("d", "3,5,7", "comma-separated code distances")
+	pArg := flag.String("p", "2e-3,4e-3,6e-3", "comma-separated physical error rates")
+	rounds := flag.Int("rounds", 6, "QEC rounds")
+	shots := flag.Int("shots", 20000, "shots per point")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	dec := flag.String("decoder", "uf", "decoder: uf, greedy, exact")
+	flag.Parse()
+
+	ds, err := parseInts(*dArg)
+	if err != nil {
+		fatal(err)
+	}
+	ps, err := parseFloats(*pArg)
+	if err != nil {
+		fatal(err)
+	}
+	var factory sim.DecoderFactory
+	switch *dec {
+	case "uf":
+		factory = decoder.UnionFindFactory()
+	case "greedy":
+		factory = decoder.GreedyFactory()
+	case "exact":
+		factory = decoder.ExactFactory(14)
+	default:
+		fatal(fmt.Errorf("unknown decoder %q", *dec))
+	}
+
+	fmt.Printf("%-8s %-10s %-14s %-14s %-14s %-10s\n", "d", "p", "λZ/cycle", "λX/cycle", "λ/cycle", "failures")
+	for _, d := range ds {
+		for _, p := range ps {
+			c := code.FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, d))
+			z, x, combined, err := sim.RunMemoryBoth(c, noise.Uniform(p), *rounds, *shots, factory, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-8d %-10.1e %-14.3e %-14.3e %-14.3e %d+%d/%d\n",
+				d, p, z.PerRound, x.PerRound, combined, z.Failures, x.Failures, *shots)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "memsweep: %v\n", err)
+	os.Exit(1)
+}

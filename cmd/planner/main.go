@@ -1,0 +1,73 @@
+// Command planner runs the compile-time layout generator (paper §VI) for a
+// benchmark program: it reports the code distance d meeting the retry-risk
+// target, the extra inter-space Δd from the defect model (Eq. 1), and the
+// physical-qubit bill for every layout scheme.
+//
+// Usage:
+//
+//	planner -program qft -n 100 -reps 20 -target 0.001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"surfdeformer/internal/defect"
+	"surfdeformer/internal/estimator"
+	"surfdeformer/internal/layout"
+	"surfdeformer/internal/program"
+)
+
+func main() {
+	progName := flag.String("program", "qft", "benchmark: simon, rca, qft, grover")
+	n := flag.Int("n", 100, "algorithmic qubit count")
+	reps := flag.Int("reps", 20, "repetitions")
+	target := flag.Float64("target", 0.001, "retry-risk target")
+	trials := flag.Int("trials", 60, "Monte-Carlo trials per distance")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	var prog *program.Program
+	switch *progName {
+	case "simon":
+		prog = program.Simon(*n, *reps)
+	case "rca":
+		prog = program.RCA(*n, *reps)
+	case "qft":
+		prog = program.QFT(*n, *reps)
+	case "grover":
+		prog = program.Grover(*n, *reps)
+	default:
+		fmt.Fprintf(os.Stderr, "planner: unknown program %q\n", *progName)
+		os.Exit(2)
+	}
+
+	dm := defect.Paper()
+	lm := estimator.DefaultLambda()
+	fws := estimator.DefaultFrameworks()
+	rng := rand.New(rand.NewSource(*seed))
+	deltaDFor := func(d int) int { return layout.ChooseDeltaD(dm, d, layout.DefaultAlphaBlock) }
+
+	fmt.Printf("program %s: %d logical qubits (+%d factory), %d CX, %d T, ~%d schedule steps\n",
+		prog.Name, prog.Qubits, prog.TFactoryQubits(), prog.CX, prog.T, prog.ScheduleSteps())
+	fmt.Printf("defect model: rate %.3g /qubit/s, duration %d cycles, region radius %d\n\n",
+		dm.RatePerQubit, dm.DurationCycles, dm.Radius)
+	fmt.Printf("%-16s %-5s %-5s %-14s %-12s %s\n", "scheme", "d", "Δd", "#qubits", "retry risk", "note")
+
+	for _, scheme := range []layout.Scheme{layout.SurfDeformer, layout.ASCS, layout.Q3DEStar, layout.LatticeSurgery} {
+		est, ok := estimator.MinimalDistance(prog, fws[scheme], *target, deltaDFor, dm, lm, *trials, 61, rng)
+		note := ""
+		if !ok {
+			note = "target unreachable by d=61"
+		}
+		fmt.Printf("%-16s %-5d %-5d %-14.3e %-12.5f %s\n",
+			scheme, est.D, est.DeltaD, float64(est.PhysicalQubits), est.RetryRisk, note)
+	}
+	// Q3DE on the fixed layout stalls rather than failing by logical error.
+	q3de := estimator.EstimateProgram(prog, fws[layout.Q3DE], 21, deltaDFor(21), dm, lm, *trials, rng)
+	if q3de.OverRuntime {
+		fmt.Printf("%-16s %-5s %-5s %-14s %-12s %s\n", layout.Q3DE, "-", "-", "-", "-", "OverRuntime (blocked channels)")
+	}
+}

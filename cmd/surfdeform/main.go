@@ -1,0 +1,214 @@
+// Command surfdeform regenerates the tables and figures of the Surf-Deformer
+// paper's evaluation (§VII).
+//
+// Usage:
+//
+//	surfdeform [flags] <experiment>
+//
+// Experiments: table1, table2, fig11a, fig11b, fig11c, fig12, fig13a,
+// fig13b, fig14a, fig14b, calibrate, all.
+//
+// Flags tune the Monte-Carlo budget; -quick shrinks every sweep to smoke-
+// test scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"surfdeformer/internal/decoder"
+	"surfdeformer/internal/estimator"
+	"surfdeformer/internal/experiments"
+	"surfdeformer/internal/report"
+)
+
+func main() {
+	opt := experiments.Defaults()
+	flag.IntVar(&opt.Shots, "shots", opt.Shots, "Monte-Carlo shots per memory experiment")
+	flag.IntVar(&opt.Trials, "trials", opt.Trials, "defect-timeline trials")
+	flag.IntVar(&opt.Rounds, "rounds", opt.Rounds, "QEC rounds per memory experiment")
+	flag.Int64Var(&opt.Seed, "seed", opt.Seed, "RNG seed")
+	flag.BoolVar(&opt.Quick, "quick", false, "shrink sweeps to smoke-test scale")
+	formatArg := flag.String("format", "text", "output format: text, csv, json")
+	flag.BoolVar(&opt.FitLosses, "fitlosses", false, "fit per-event distance losses from the deformation engine instead of defaults")
+	flag.Parse()
+	format, err := report.ParseFormat(*formatArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "surfdeform: %v\n", err)
+		os.Exit(2)
+	}
+	if opt.Quick {
+		q := experiments.QuickOptions()
+		q.Seed = opt.Seed
+		q.FitLosses = opt.FitLosses
+		opt = q
+	}
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	start := time.Now()
+	if err := run(name, opt, format); err != nil {
+		fmt.Fprintf(os.Stderr, "surfdeform: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func run(name string, opt experiments.Options, format report.Format) error {
+	w := os.Stdout
+	structured := func(t *report.Table) error { return t.Write(w, format) }
+	textOnly := format == report.Text
+	switch name {
+	case "table1":
+		experiments.Table1(w)
+	case "table2":
+		rows, err := experiments.Table2(opt)
+		if err != nil {
+			return err
+		}
+		if textOnly {
+			experiments.RenderTable2(w, rows)
+		} else if err := structured(experiments.Table2Table(rows)); err != nil {
+			return err
+		}
+	case "fig11a":
+		rows, err := experiments.Fig11a(opt)
+		if err != nil {
+			return err
+		}
+		if textOnly {
+			experiments.RenderFig11a(w, rows)
+		} else if err := structured(experiments.Fig11aTable(rows)); err != nil {
+			return err
+		}
+	case "fig11b":
+		rows, err := experiments.Fig11b(opt)
+		if err != nil {
+			return err
+		}
+		if textOnly {
+			experiments.RenderFig11b(w, rows)
+		} else if err := structured(experiments.Fig11bTable(rows)); err != nil {
+			return err
+		}
+	case "fig11c":
+		rows, err := experiments.Fig11c(opt)
+		if err != nil {
+			return err
+		}
+		if textOnly {
+			experiments.RenderFig11c(w, rows)
+		} else if err := structured(experiments.Fig11cTable(rows)); err != nil {
+			return err
+		}
+	case "fig12":
+		rows, err := experiments.Fig12(opt)
+		if err != nil {
+			return err
+		}
+		if textOnly {
+			experiments.RenderFig12(w, rows)
+		} else if err := structured(experiments.Fig12Table(rows)); err != nil {
+			return err
+		}
+	case "fig13a":
+		rows, err := experiments.Fig13a(opt)
+		if err != nil {
+			return err
+		}
+		if textOnly {
+			experiments.RenderFig13a(w, rows)
+		} else if err := structured(experiments.Fig13aTable(rows)); err != nil {
+			return err
+		}
+	case "fig13b":
+		rows, err := experiments.Fig13b(opt)
+		if err != nil {
+			return err
+		}
+		if textOnly {
+			experiments.RenderFig13b(w, rows)
+		} else if err := structured(experiments.Fig13bTable(rows)); err != nil {
+			return err
+		}
+	case "fig14a":
+		rows, err := experiments.Fig14a(opt)
+		if err != nil {
+			return err
+		}
+		if textOnly {
+			experiments.RenderFig14a(w, rows)
+		} else if err := structured(experiments.Fig14aTable(rows)); err != nil {
+			return err
+		}
+	case "fig14b":
+		rows, err := experiments.Fig14b(opt)
+		if err != nil {
+			return err
+		}
+		if textOnly {
+			experiments.RenderFig14b(w, rows)
+		} else if err := structured(experiments.Fig14bTable(rows)); err != nil {
+			return err
+		}
+	case "pipeline":
+		res, err := experiments.DetectionPipeline(opt)
+		if err != nil {
+			return err
+		}
+		if textOnly {
+			experiments.RenderPipeline(w, res)
+		} else if err := structured(experiments.PipelineTable(res)); err != nil {
+			return err
+		}
+	case "calibrate":
+		model, pts, err := estimator.Calibrate(
+			[]float64{3e-3, 4e-3, 6e-3}, []int{3, 5, 7},
+			opt.Rounds, opt.Shots, decoder.UnionFindFactory(), opt.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "fitted Λ-model: A = %.4g, p_th = %.4g (from %d points)\n",
+			model.A, model.PThreshold, len(pts))
+		for _, pt := range pts {
+			fmt.Fprintf(w, "  p=%.0e d=%d: measured λ=%.3e, fit λ=%.3e\n",
+				pt.P, pt.D, pt.Lambda, model.RateAt(pt.P, pt.D))
+		}
+	case "all":
+		for _, n := range []string{"table1", "table2", "fig11a", "fig11b", "fig11c",
+			"fig12", "fig13a", "fig13b", "fig14a", "fig14b"} {
+			fmt.Fprintf(w, "\n=== %s ===\n", n)
+			if err := run(n, opt, format); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+	default:
+		usage()
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: surfdeform [flags] <experiment>
+
+experiments:
+  table1    instruction sets of LS / Q3DE / ASC-S / Surf-Deformer
+  table2    end-to-end retry risk and qubit counts over 8 benchmarks
+  fig11a    logical error rate vs #defects: untreated vs removed
+  fig11b    remaining code distance: ASC-S vs Surf-Deformer
+  fig11c    communication throughput vs defect rate
+  fig12     physical qubits to reach 1% retry risk
+  fig13a    retry-risk vs qubit-count trade-off curves
+  fig13b    chiplet yield under static faults
+  fig14a    robustness to correlated two-qubit errors
+  fig14b    robustness to imprecise defect detection
+  pipeline  integrated detection→deformation loop (extension study)
+  calibrate refit the Λ extrapolation model from simulations
+  all       everything above`)
+	flag.PrintDefaults()
+}

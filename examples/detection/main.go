@@ -1,0 +1,37 @@
+// Detection demonstrates the full runtime loop of the paper's fig. 5 with a
+// real statistical defect detector instead of an oracle: a cosmic-ray
+// strike lands mid-run, the sliding-window detector localizes it from the
+// syndrome stream alone, and the code deformation unit mitigates the
+// detected region.
+//
+//	go run ./examples/detection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"surfdeformer/internal/experiments"
+)
+
+func main() {
+	opt := experiments.Defaults()
+	opt.Trials = 30
+	fmt.Println("integrated detection → deformation loop (d=9, strike at round 6):")
+	fmt.Println()
+	res, err := experiments.DetectionPipeline(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  trials:                 %d\n", res.Trials)
+	fmt.Printf("  strikes detected:       %d (%.0f%%)\n", res.Detected,
+		100*float64(res.Detected)/float64(res.Trials))
+	fmt.Printf("  detection latency:      %.1f rounds after onset\n", res.DetectionLatency)
+	fmt.Printf("  region recall:          %.2f\n", res.Recall)
+	fmt.Printf("  region precision:       %.2f\n", res.Precision)
+	fmt.Printf("  distance after repair:  %.2f (target 9)\n", res.DistanceAfter)
+	fmt.Println()
+	fmt.Println("the window detector needs no hardware support: a region erroring at 50%")
+	fmt.Println("fires its checks nearly every round, so a rate threshold over a sliding")
+	fmt.Println("window of syndrome history localizes it within roughly one window length.")
+}

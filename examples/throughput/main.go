@@ -1,0 +1,74 @@
+// Throughput demonstrates the layout study of fig. 11c: long-range logical
+// CNOTs routed through the ancilla channels of a 100-qubit layout, with
+// defect strikes enlarging patches. Q3DE's fixed layout lets enlargements
+// swallow the channels; Surf-Deformer's d+Δd spacing keeps them open.
+//
+// This example drives the internal layout/routing engine directly (it lives
+// in the same module), showing the machinery beneath the public API.
+//
+//	go run ./examples/throughput
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"surfdeformer/internal/defect"
+	"surfdeformer/internal/layout"
+	"surfdeformer/internal/route"
+)
+
+func main() {
+	const gridSide = 10 // 100 logical qubits
+	const d = 21
+	dm := defect.Paper()
+	deltaD := layout.ChooseDeltaD(dm, d, layout.DefaultAlphaBlock)
+	fmt.Printf("layout: %dx%d logical qubits, d=%d, Δd=%d (Eq. 1)\n\n", gridSide, gridSide, d, deltaD)
+
+	rng := rand.New(rand.NewSource(7))
+	// A workload of 60 long-range CNOTs across the grid.
+	var ops []route.CNOT
+	for i := 0; i < 60; i++ {
+		a := rng.Intn(gridSide * gridSide)
+		b := (a + 13 + 7*i) % (gridSide * gridSide)
+		if a == b {
+			b = (b + 1) % (gridSide * gridSide)
+		}
+		ops = append(ops, route.CNOT{Control: a, Target: b})
+	}
+
+	fmt.Printf("%-14s %-22s %-12s %-10s\n", "defect rate", "scheme", "throughput", "stalled")
+	for _, rate := range []float64{0, 1e-4, 2e-4} {
+		for _, scheme := range []layout.Scheme{layout.SurfDeformer, layout.Q3DE} {
+			grid := route.NewGrid(gridSide, gridSide)
+			lambda := rate * float64(2*d*d) * 2.0 // 2 s task-set exposure
+			for cell := 0; cell < gridSide*gridSide; cell++ {
+				strikes := 0
+				// Poisson by inversion.
+				l, p := math.Exp(-lambda), 1.0
+				for {
+					p *= rng.Float64()
+					if p <= l {
+						break
+					}
+					strikes++
+				}
+				switch scheme {
+				case layout.Q3DE:
+					if strikes > 0 {
+						grid.SetBlocked(cell, true) // doubling blocks channels
+					}
+				case layout.SurfDeformer:
+					if strikes > deltaD/(2*dm.Radius) {
+						grid.SetBlocked(cell, true) // growth exceeded the reserve
+					}
+				}
+			}
+			res := grid.RunTasks(ops, 600, rand.New(rand.NewSource(3)))
+			fmt.Printf("%-14.1e %-22s %-12.3f %-10v\n", rate, scheme, res.Throughput, res.Stalled)
+		}
+	}
+	fmt.Println("\nQ3DE loses throughput as soon as enlargements appear; the Δd reserve keeps")
+	fmt.Println("Surf-Deformer's channels open at the same defect rates (fig. 11c / fig. 10).")
+}

@@ -1,0 +1,165 @@
+package circuit
+
+import (
+	"testing"
+
+	"surfdeformer/internal/code"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/pauli"
+)
+
+func freshSchedule(t *testing.T, d int) (*code.Code, *Schedule) {
+	t.Helper()
+	c := code.FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, d))
+	s, err := NewSchedule(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+func TestFreshScheduleShape(t *testing.T) {
+	c, s := freshSchedule(t, 3)
+	if len(s.Ops) != len(c.Stabs()) {
+		t.Errorf("%d measured ops, want one per stabilizer (%d)", len(s.Ops), len(c.Stabs()))
+	}
+	if len(s.Observables) != len(c.Stabs()) {
+		t.Errorf("%d observables, want %d", len(s.Observables), len(c.Stabs()))
+	}
+	for _, op := range s.Ops {
+		if op.Parity != EveryRound {
+			t.Error("fresh code ops must be measured every round")
+		}
+		if op.Direct {
+			t.Error("fresh code has no direct measurements")
+		}
+		if len(op.Data) < 2 || len(op.Data) > 4 {
+			t.Errorf("op at %v has %d CNOTs", op.Ancilla, len(op.Data))
+		}
+	}
+}
+
+func TestCNOTDanceOrders(t *testing.T) {
+	_, s := freshSchedule(t, 5)
+	// Weight-4 checks must follow the fixed dance; verify the first target
+	// is the NW neighbour for both types.
+	for _, op := range s.Ops {
+		if len(op.Data) != 4 {
+			continue
+		}
+		nw := op.Ancilla.Add(lattice.Coord{Row: -1, Col: -1})
+		if op.Data[0] != nw {
+			t.Errorf("op at %v starts dance at %v, want NW %v", op.Ancilla, op.Data[0], nw)
+		}
+		// X and Z dances must differ in the middle steps to stay
+		// conflict-free.
+		if op.Basis == lattice.XCheck {
+			if op.Data[1] != op.Ancilla.Add(lattice.Coord{Row: -1, Col: 1}) {
+				t.Errorf("X dance step 2 wrong at %v", op.Ancilla)
+			}
+		} else {
+			if op.Data[1] != op.Ancilla.Add(lattice.Coord{Row: 1, Col: -1}) {
+				t.Errorf("Z dance step 2 wrong at %v", op.Ancilla)
+			}
+		}
+	}
+}
+
+func TestScheduleForDeformedCode(t *testing.T) {
+	// Build a DataQRM-deformed code by hand and verify alternating gauge
+	// parities and super-stabilizer observables.
+	c := code.FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, 3))
+	q0 := lattice.Coord{Row: 3, Col: 3}
+	notQ0 := func(q lattice.Coord) bool { return q != q0 }
+	for _, typ := range []lattice.CheckType{lattice.XCheck, lattice.ZCheck} {
+		var ids []int
+		var prod pauli.Op
+		for _, st := range c.StabsOn(q0, typ) {
+			prod = pauli.Mul(prod, st.Op)
+			c.RemoveStab(st.ID)
+			ids = append(ids, c.AddGauge(st.Op.RestrictedTo(notQ0), st.Ancilla, false))
+		}
+		c.AddSuperStab(prod.RestrictedTo(notQ0), ids)
+	}
+	if err := c.RemoveDataQubit(q0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RefreshLogicals(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSchedule(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xGauge, zGauge, superObs int
+	for _, op := range s.Ops {
+		switch op.Parity {
+		case 0:
+			if op.Basis != lattice.XCheck {
+				t.Error("even-round slots must be X gauges")
+			}
+			xGauge++
+		case 1:
+			if op.Basis != lattice.ZCheck {
+				t.Error("odd-round slots must be Z gauges")
+			}
+			zGauge++
+		}
+	}
+	if xGauge != 2 || zGauge != 2 {
+		t.Errorf("gauge slots X=%d Z=%d, want 2/2", xGauge, zGauge)
+	}
+	for _, obs := range s.Observables {
+		if len(obs.Slots) == 2 {
+			superObs++
+			if obs.Parity == EveryRound {
+				t.Error("super-stabilizer observable must be parity-restricted")
+			}
+		}
+	}
+	if superObs != 2 {
+		t.Errorf("%d super observables, want 2", superObs)
+	}
+}
+
+func TestDirectGaugeSchedule(t *testing.T) {
+	c := code.FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, 3))
+	q := c.DataQubits()[0]
+	c.AddGauge(pauli.X(q), q, true)
+	s, err := NewSchedule(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, op := range s.Ops {
+		if op.Direct {
+			found = true
+			if op.Ancilla != q || len(op.Data) != 1 {
+				t.Error("direct op must target the data qubit itself")
+			}
+			if op.Parity != 0 {
+				t.Error("X-type direct gauge measures on even rounds")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("direct gauge produced no measurement slot")
+	}
+}
+
+func TestMeasuredThisRound(t *testing.T) {
+	every := MeasuredOp{Parity: EveryRound}
+	even := MeasuredOp{Parity: 0}
+	odd := MeasuredOp{Parity: 1}
+	for r := 0; r < 4; r++ {
+		if !every.MeasuredThisRound(r) {
+			t.Error("EveryRound must fire every round")
+		}
+		if even.MeasuredThisRound(r) != (r%2 == 0) {
+			t.Errorf("even-parity op wrong at round %d", r)
+		}
+		if odd.MeasuredThisRound(r) != (r%2 == 1) {
+			t.Errorf("odd-parity op wrong at round %d", r)
+		}
+	}
+}

@@ -1,0 +1,456 @@
+// Package code represents CSS subsystem stabilizer codes under deformation.
+//
+// A Code tracks the live configuration of one logical qubit patch: the data
+// qubits currently in the code, the syndrome (ancilla) qubits in service,
+// the measured stabilizer generators, the measured gauge operators, and
+// representative logical operators. The paper's generator representation
+// (Appendix A) maps onto this as
+//
+//	s_1..s_{n-k-l}  -> Stabs   (each measurable directly or via gauge products)
+//	gauge pairs     -> Gauges  (the measured members; pairs are implicit)
+//	X̄_L, Z̄_L        -> LogicalX, LogicalZ
+//
+// All mutation goes through the exported mutators so that the gauge layer
+// (package gauge) and the instruction layer (package deform) can maintain
+// the invariants checked by Validate.
+package code
+
+import (
+	"fmt"
+	"sort"
+
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/pauli"
+)
+
+// Stab is one measured stabilizer generator.
+//
+// A plain stabilizer is measured every cycle through the syndrome qubit at
+// Ancilla. A super-stabilizer (born from defect removal) has no ancilla of
+// its own: its value is the product of the gauge operators listed in
+// MemberIDs, which are measured on alternating cycles.
+type Stab struct {
+	ID        int
+	Op        pauli.Op
+	Ancilla   lattice.Coord // meaningful iff len(MemberIDs) == 0
+	MemberIDs []int         // gauge IDs whose product equals Op
+	Direct    bool          // weight-1 operator fixed by direct data measurement
+}
+
+// IsSuper reports whether the stabilizer is inferred from gauge products.
+func (s Stab) IsSuper() bool { return len(s.MemberIDs) > 0 }
+
+// Gauge is one measured gauge operator.
+type Gauge struct {
+	ID      int
+	Op      pauli.Op
+	Ancilla lattice.Coord // syndrome qubit used, or the data qubit itself when Direct
+	Direct  bool          // weight-1 direct data-qubit measurement (no ancilla)
+}
+
+// Code is a live CSS subsystem code encoding one logical qubit.
+type Code struct {
+	data      map[lattice.Coord]bool
+	syndromes map[lattice.Coord]bool
+
+	stabs  []Stab
+	gauges []Gauge
+	nextID int
+
+	logicalX pauli.Op
+	logicalZ pauli.Op
+}
+
+// New returns an empty code over the given data and syndrome qubits, with
+// no stabilizers, gauges or logicals installed. It is the entry point for
+// builders that assemble deformed codes from scratch.
+func New(data, syndromes []lattice.Coord) *Code {
+	c := &Code{
+		data:      make(map[lattice.Coord]bool, len(data)),
+		syndromes: make(map[lattice.Coord]bool, len(syndromes)),
+	}
+	for _, q := range data {
+		c.data[q] = true
+	}
+	for _, q := range syndromes {
+		c.syndromes[q] = true
+	}
+	return c
+}
+
+// FromPatch builds the code of a fresh (undeformed) rotated surface code
+// patch: every check is a plain stabilizer, there are no gauge operators.
+func FromPatch(p *lattice.Patch) *Code {
+	c := &Code{
+		data:      make(map[lattice.Coord]bool, len(p.Data)),
+		syndromes: make(map[lattice.Coord]bool, len(p.Checks)),
+	}
+	for _, q := range p.Data {
+		c.data[q] = true
+	}
+	for _, ch := range p.Checks {
+		c.syndromes[ch.Center] = true
+		var op pauli.Op
+		if ch.Type == lattice.XCheck {
+			op = pauli.X(ch.Support...)
+		} else {
+			op = pauli.Z(ch.Support...)
+		}
+		c.stabs = append(c.stabs, Stab{ID: c.nextID, Op: op, Ancilla: ch.Center})
+		c.nextID++
+	}
+	c.logicalX = pauli.X(p.LogicalX...)
+	c.logicalZ = pauli.Z(p.LogicalZ...)
+	return c
+}
+
+// Clone returns a deep copy of the code.
+func (c *Code) Clone() *Code {
+	n := &Code{
+		data:      make(map[lattice.Coord]bool, len(c.data)),
+		syndromes: make(map[lattice.Coord]bool, len(c.syndromes)),
+		stabs:     append([]Stab(nil), c.stabs...),
+		gauges:    append([]Gauge(nil), c.gauges...),
+		nextID:    c.nextID,
+		logicalX:  c.logicalX,
+		logicalZ:  c.logicalZ,
+	}
+	for q := range c.data {
+		n.data[q] = true
+	}
+	for q := range c.syndromes {
+		n.syndromes[q] = true
+	}
+	for i := range n.stabs {
+		n.stabs[i].MemberIDs = append([]int(nil), c.stabs[i].MemberIDs...)
+	}
+	return n
+}
+
+// NumData returns the number of data qubits currently in the code.
+func (c *Code) NumData() int { return len(c.data) }
+
+// NumSyndrome returns the number of syndrome qubits in service.
+func (c *Code) NumSyndrome() int { return len(c.syndromes) }
+
+// NumQubits returns the total physical qubits the code occupies.
+func (c *Code) NumQubits() int { return len(c.data) + len(c.syndromes) }
+
+// HasData reports whether q is an active data qubit.
+func (c *Code) HasData(q lattice.Coord) bool { return c.data[q] }
+
+// HasSyndrome reports whether q is an active syndrome qubit.
+func (c *Code) HasSyndrome(q lattice.Coord) bool { return c.syndromes[q] }
+
+// DataQubits returns the sorted list of active data qubits.
+func (c *Code) DataQubits() []lattice.Coord {
+	out := make([]lattice.Coord, 0, len(c.data))
+	for q := range c.data {
+		out = append(out, q)
+	}
+	lattice.SortCoords(out)
+	return out
+}
+
+// SyndromeQubits returns the sorted list of active syndrome qubits.
+func (c *Code) SyndromeQubits() []lattice.Coord {
+	out := make([]lattice.Coord, 0, len(c.syndromes))
+	for q := range c.syndromes {
+		out = append(out, q)
+	}
+	lattice.SortCoords(out)
+	return out
+}
+
+// Stabs returns the stabilizer generator list. Callers must not mutate it.
+func (c *Code) Stabs() []Stab { return c.stabs }
+
+// Gauges returns the measured gauge operator list. Callers must not mutate it.
+func (c *Code) Gauges() []Gauge { return c.gauges }
+
+// LogicalX returns the representative logical X operator.
+func (c *Code) LogicalX() pauli.Op { return c.logicalX }
+
+// LogicalZ returns the representative logical Z operator.
+func (c *Code) LogicalZ() pauli.Op { return c.logicalZ }
+
+// SetLogicalX replaces the representative logical X operator.
+func (c *Code) SetLogicalX(op pauli.Op) { c.logicalX = op }
+
+// SetLogicalZ replaces the representative logical Z operator.
+func (c *Code) SetLogicalZ(op pauli.Op) { c.logicalZ = op }
+
+// StabByID returns the stabilizer with the given ID.
+func (c *Code) StabByID(id int) (Stab, bool) {
+	for _, s := range c.stabs {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Stab{}, false
+}
+
+// GaugeByID returns the gauge operator with the given ID.
+func (c *Code) GaugeByID(id int) (Gauge, bool) {
+	for _, g := range c.gauges {
+		if g.ID == id {
+			return g, true
+		}
+	}
+	return Gauge{}, false
+}
+
+// StabsOn returns the stabilizer generators acting on qubit q, optionally
+// filtered by CSS type.
+func (c *Code) StabsOn(q lattice.Coord, typ lattice.CheckType) []Stab {
+	var out []Stab
+	for _, s := range c.stabs {
+		t, ok := s.Op.CSSType()
+		if ok && t == typ && s.Op.ActsOn(q) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// GaugesOn returns the gauge operators acting on qubit q, optionally
+// filtered by CSS type.
+func (c *Code) GaugesOn(q lattice.Coord, typ lattice.CheckType) []Gauge {
+	var out []Gauge
+	for _, g := range c.gauges {
+		t, ok := g.Op.CSSType()
+		if ok && t == typ && g.Op.ActsOn(q) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// StabAtAncilla returns the plain stabilizer measured by the syndrome qubit
+// at coordinate a, if any.
+func (c *Code) StabAtAncilla(a lattice.Coord) (Stab, bool) {
+	for _, s := range c.stabs {
+		if !s.IsSuper() && s.Ancilla == a {
+			return s, true
+		}
+	}
+	return Stab{}, false
+}
+
+// GaugeAtAncilla returns the gauge operator measured by the syndrome qubit
+// at coordinate a, if any.
+func (c *Code) GaugeAtAncilla(a lattice.Coord) (Gauge, bool) {
+	for _, g := range c.gauges {
+		if !g.Direct && g.Ancilla == a {
+			return g, true
+		}
+	}
+	return Gauge{}, false
+}
+
+// AddStab appends a plain stabilizer measured at the given ancilla and
+// returns its ID.
+func (c *Code) AddStab(op pauli.Op, ancilla lattice.Coord) int {
+	id := c.nextID
+	c.nextID++
+	c.stabs = append(c.stabs, Stab{ID: id, Op: op, Ancilla: ancilla})
+	return id
+}
+
+// AddDirectStab appends a weight-1 stabilizer fixed by direct data-qubit
+// measurement (gauge fixing of a single-qubit operator) and returns its ID.
+func (c *Code) AddDirectStab(op pauli.Op) int {
+	id := c.nextID
+	c.nextID++
+	anc := lattice.Coord{}
+	if supp := op.Support(); len(supp) == 1 {
+		anc = supp[0]
+	}
+	c.stabs = append(c.stabs, Stab{ID: id, Op: op, Ancilla: anc, Direct: true})
+	return id
+}
+
+// AddSuperStab appends a super-stabilizer inferred from the given gauge
+// members and returns its ID.
+func (c *Code) AddSuperStab(op pauli.Op, memberIDs []int) int {
+	id := c.nextID
+	c.nextID++
+	c.stabs = append(c.stabs, Stab{ID: id, Op: op, MemberIDs: append([]int(nil), memberIDs...)})
+	return id
+}
+
+// AddGauge appends a measured gauge operator and returns its ID.
+func (c *Code) AddGauge(op pauli.Op, ancilla lattice.Coord, direct bool) int {
+	id := c.nextID
+	c.nextID++
+	c.gauges = append(c.gauges, Gauge{ID: id, Op: op, Ancilla: ancilla, Direct: direct})
+	return id
+}
+
+// RemoveStab deletes the stabilizer with the given ID.
+func (c *Code) RemoveStab(id int) bool {
+	for i, s := range c.stabs {
+		if s.ID == id {
+			c.stabs = append(c.stabs[:i], c.stabs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveGauge deletes the gauge operator with the given ID. It also removes
+// the ID from any super-stabilizer member list; a super-stabilizer losing a
+// member this way becomes unmeasurable and is deleted too (callers are
+// expected to have rebuilt the affected stabilizers first).
+func (c *Code) RemoveGauge(id int) bool {
+	found := false
+	for i, g := range c.gauges {
+		if g.ID == id {
+			c.gauges = append(c.gauges[:i], c.gauges[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	var keep []Stab
+	for _, s := range c.stabs {
+		drop := false
+		for _, m := range s.MemberIDs {
+			if m == id {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			keep = append(keep, s)
+		}
+	}
+	c.stabs = keep
+	return true
+}
+
+// ReplaceStabOp swaps the operator of stabilizer id (used by S2S rewrites).
+func (c *Code) ReplaceStabOp(id int, op pauli.Op) bool {
+	for i := range c.stabs {
+		if c.stabs[i].ID == id {
+			c.stabs[i].Op = op
+			return true
+		}
+	}
+	return false
+}
+
+// ReplaceGaugeOp swaps the operator of gauge id (used by G2G rewrites).
+func (c *Code) ReplaceGaugeOp(id int, op pauli.Op) bool {
+	for i := range c.gauges {
+		if c.gauges[i].ID == id {
+			c.gauges[i].Op = op
+			return true
+		}
+	}
+	return false
+}
+
+// AddDataQubit brings a new data qubit into the code.
+func (c *Code) AddDataQubit(q lattice.Coord) error {
+	if c.data[q] {
+		return fmt.Errorf("code: data qubit %v already present", q)
+	}
+	c.data[q] = true
+	return nil
+}
+
+// RemoveDataQubit takes a data qubit out of the code. Every measured
+// operator must already have been rewritten to avoid it.
+func (c *Code) RemoveDataQubit(q lattice.Coord) error {
+	if !c.data[q] {
+		return fmt.Errorf("code: data qubit %v not present", q)
+	}
+	for _, s := range c.stabs {
+		if s.Op.ActsOn(q) {
+			return fmt.Errorf("code: stabilizer %d still acts on %v", s.ID, q)
+		}
+	}
+	for _, g := range c.gauges {
+		if g.Op.ActsOn(q) {
+			return fmt.Errorf("code: gauge %d still acts on %v", g.ID, q)
+		}
+	}
+	if c.logicalX.ActsOn(q) || c.logicalZ.ActsOn(q) {
+		return fmt.Errorf("code: a logical operator still acts on %v", q)
+	}
+	delete(c.data, q)
+	return nil
+}
+
+// AddSyndromeQubit brings a syndrome qubit into service.
+func (c *Code) AddSyndromeQubit(q lattice.Coord) error {
+	if c.syndromes[q] {
+		return fmt.Errorf("code: syndrome qubit %v already present", q)
+	}
+	c.syndromes[q] = true
+	return nil
+}
+
+// RemoveSyndromeQubit takes a syndrome qubit out of service. No plain
+// stabilizer or ancilla-based gauge may still be using it.
+func (c *Code) RemoveSyndromeQubit(q lattice.Coord) error {
+	if !c.syndromes[q] {
+		return fmt.Errorf("code: syndrome qubit %v not present", q)
+	}
+	for _, s := range c.stabs {
+		if !s.IsSuper() && s.Ancilla == q {
+			return fmt.Errorf("code: stabilizer %d still measured at %v", s.ID, q)
+		}
+	}
+	for _, g := range c.gauges {
+		if !g.Direct && g.Ancilla == q {
+			return fmt.Errorf("code: gauge %d still measured at %v", g.ID, q)
+		}
+	}
+	delete(c.syndromes, q)
+	return nil
+}
+
+// Bounds returns the inclusive bounding box of the active data qubits.
+func (c *Code) Bounds() (min, max lattice.Coord) {
+	first := true
+	for q := range c.data {
+		if first {
+			min, max = q, q
+			first = false
+			continue
+		}
+		if q.Row < min.Row {
+			min.Row = q.Row
+		}
+		if q.Col < min.Col {
+			min.Col = q.Col
+		}
+		if q.Row > max.Row {
+			max.Row = q.Row
+		}
+		if q.Col > max.Col {
+			max.Col = q.Col
+		}
+	}
+	return min, max
+}
+
+// String summarizes the code.
+func (c *Code) String() string {
+	return fmt.Sprintf("code{data:%d syn:%d stabs:%d gauges:%d dX:%d dZ:%d}",
+		len(c.data), len(c.syndromes), len(c.stabs), len(c.gauges), c.DistanceX(), c.DistanceZ())
+}
+
+// sortedStabIDs returns stabilizer IDs ascending (test helper determinism).
+func (c *Code) sortedStabIDs() []int {
+	ids := make([]int, len(c.stabs))
+	for i, s := range c.stabs {
+		ids[i] = s.ID
+	}
+	sort.Ints(ids)
+	return ids
+}

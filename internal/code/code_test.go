@@ -1,0 +1,300 @@
+package code
+
+import (
+	"testing"
+
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/pauli"
+)
+
+func mustPatchCode(t *testing.T, d int) *Code {
+	t.Helper()
+	c := FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, d))
+	if err := c.Validate(); err != nil {
+		t.Fatalf("fresh d=%d code invalid: %v", d, err)
+	}
+	return c
+}
+
+func TestFromPatchParams(t *testing.T) {
+	for _, d := range []int{2, 3, 5, 7} {
+		c := mustPatchCode(t, d)
+		n, k, l, err := c.Params()
+		if err != nil {
+			t.Fatalf("d=%d Params: %v", d, err)
+		}
+		if n != d*d || k != 1 || l != 0 {
+			t.Errorf("d=%d: [[n=%d,k=%d,l=%d]], want [[%d,1,0]]", d, n, k, l, d*d)
+		}
+	}
+}
+
+func TestFreshCodeDistances(t *testing.T) {
+	for _, d := range []int{2, 3, 5, 7, 9} {
+		c := mustPatchCode(t, d)
+		if got := c.DistanceX(); got != d {
+			t.Errorf("d=%d: DistanceX = %d", d, got)
+		}
+		if got := c.DistanceZ(); got != d {
+			t.Errorf("d=%d: DistanceZ = %d", d, got)
+		}
+		if got := c.Distance(); got != d {
+			t.Errorf("d=%d: Distance = %d", d, got)
+		}
+	}
+}
+
+func TestRectCodeDistances(t *testing.T) {
+	// dx wide, dz tall: Z distance is dx (horizontal), X distance dz.
+	p := lattice.NewRectPatch(lattice.Coord{Row: 0, Col: 0}, 3, 5)
+	c := FromPatch(p)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("rect code invalid: %v", err)
+	}
+	if got := c.DistanceZ(); got != 3 {
+		t.Errorf("DistanceZ = %d, want 3", got)
+	}
+	if got := c.DistanceX(); got != 5 {
+		t.Errorf("DistanceX = %d, want 5", got)
+	}
+}
+
+func TestGraphDistanceMatchesExact(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		c := mustPatchCode(t, d)
+		for _, typ := range []lattice.CheckType{lattice.XCheck, lattice.ZCheck} {
+			exact, err := c.ExactDistance(typ)
+			if err != nil {
+				t.Fatalf("d=%d exact %v: %v", d, typ, err)
+			}
+			var graph int
+			if typ == lattice.XCheck {
+				graph = c.DistanceX()
+			} else {
+				graph = c.DistanceZ()
+			}
+			if graph != exact {
+				t.Errorf("d=%d type %v: graph %d vs exact %d", d, typ, graph, exact)
+			}
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := mustPatchCode(t, 3)
+	cl := c.Clone()
+	// Mutate the clone heavily and ensure the original is untouched.
+	origStabs := len(c.Stabs())
+	cl.RemoveStab(cl.Stabs()[0].ID)
+	q := lattice.Coord{Row: 101, Col: 101}
+	if err := cl.AddDataQubit(q); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Stabs()) != origStabs {
+		t.Error("clone stab removal leaked into original")
+	}
+	if c.HasData(q) {
+		t.Error("clone data addition leaked into original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("original invalidated by clone mutation: %v", err)
+	}
+}
+
+func TestMutatorsRejectInvalid(t *testing.T) {
+	c := mustPatchCode(t, 3)
+	q := c.DataQubits()[0]
+	if err := c.RemoveDataQubit(q); err == nil {
+		t.Error("RemoveDataQubit must fail while stabilizers act on the qubit")
+	}
+	if err := c.AddDataQubit(q); err == nil {
+		t.Error("AddDataQubit must fail for present qubit")
+	}
+	syn := c.SyndromeQubits()[0]
+	if err := c.RemoveSyndromeQubit(syn); err == nil {
+		t.Error("RemoveSyndromeQubit must fail while a stabilizer is measured there")
+	}
+	if err := c.RemoveDataQubit(lattice.Coord{Row: 99, Col: 99}); err == nil {
+		t.Error("RemoveDataQubit must fail for absent qubit")
+	}
+}
+
+func TestValidateCatchesAnticommutingStab(t *testing.T) {
+	c := mustPatchCode(t, 3)
+	// Add a single-qubit X stabilizer that anti-commutes with Z checks.
+	q := c.DataQubits()[4] // central qubit, covered by Z checks
+	c.AddStab(pauli.X(q), c.SyndromeQubits()[0])
+	if err := c.Validate(); err == nil {
+		t.Error("Validate must reject anti-commuting stabilizer set")
+	}
+}
+
+func TestValidateCatchesDependentStabs(t *testing.T) {
+	c := mustPatchCode(t, 3)
+	s := c.Stabs()[0]
+	// Duplicate an existing stabilizer measured at a fake new ancilla.
+	a := lattice.Coord{Row: -2, Col: 0}
+	if err := c.AddSyndromeQubit(a); err != nil {
+		t.Fatal(err)
+	}
+	c.AddStab(s.Op, a)
+	if err := c.Validate(); err == nil {
+		t.Error("Validate must reject dependent stabilizer generators")
+	}
+}
+
+func TestValidateCatchesBadSuperStab(t *testing.T) {
+	c := mustPatchCode(t, 3)
+	// Super-stabilizer that does not match its member product.
+	g1 := c.AddGauge(pauli.Z(c.DataQubits()[0]), lattice.Coord{}, true)
+	c.AddSuperStab(pauli.Z(c.DataQubits()[1]), []int{g1})
+	if err := c.Validate(); err == nil {
+		t.Error("Validate must reject super-stabilizer != member product")
+	}
+}
+
+func TestValidateCatchesLogicalAnticommute(t *testing.T) {
+	c := mustPatchCode(t, 3)
+	// Break logical Z so that it anti-commutes with an X check.
+	c.SetLogicalZ(pauli.Z(c.DataQubits()[0]))
+	if err := c.Validate(); err == nil {
+		t.Error("Validate must reject logical violating commutation")
+	}
+}
+
+func TestStabGaugeLookups(t *testing.T) {
+	c := mustPatchCode(t, 3)
+	q := c.DataQubits()[0] // corner data qubit (1,1)
+	xs := c.StabsOn(q, lattice.XCheck)
+	zs := c.StabsOn(q, lattice.ZCheck)
+	if len(xs)+len(zs) == 0 {
+		t.Fatal("corner qubit must be covered by at least one check")
+	}
+	for _, s := range xs {
+		if typ, _ := s.Op.CSSType(); typ != lattice.XCheck {
+			t.Error("StabsOn(X) returned non-X stabilizer")
+		}
+	}
+	syn := c.Stabs()[0].Ancilla
+	if _, ok := c.StabAtAncilla(syn); !ok {
+		t.Error("StabAtAncilla failed for existing ancilla")
+	}
+	if _, ok := c.StabAtAncilla(lattice.Coord{Row: -88, Col: -88}); ok {
+		t.Error("StabAtAncilla found phantom stabilizer")
+	}
+}
+
+func TestRemoveGaugeDropsDependentSuperStab(t *testing.T) {
+	c := mustPatchCode(t, 3)
+	q0, q1 := c.DataQubits()[0], c.DataQubits()[1]
+	g1 := c.AddGauge(pauli.Z(q0), lattice.Coord{}, true)
+	g2 := c.AddGauge(pauli.Z(q1), lattice.Coord{}, true)
+	sid := c.AddSuperStab(pauli.Z(q0, q1), []int{g1, g2})
+	if _, ok := c.StabByID(sid); !ok {
+		t.Fatal("super-stabilizer not found after insertion")
+	}
+	c.RemoveGauge(g1)
+	if _, ok := c.StabByID(sid); ok {
+		t.Error("super-stabilizer should be dropped with its member")
+	}
+	if _, ok := c.GaugeByID(g2); !ok {
+		t.Error("unrelated gauge must survive")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	c := mustPatchCode(t, 3)
+	min, max := c.Bounds()
+	if min != (lattice.Coord{Row: 1, Col: 1}) || max != (lattice.Coord{Row: 5, Col: 5}) {
+		t.Errorf("bounds %v-%v, want (1,1)-(5,5)", min, max)
+	}
+}
+
+func TestDefectiveCodeDistanceDrop(t *testing.T) {
+	// Emulate fig. 2(b): disabling stabilizers (without proper removal)
+	// shortens the logical operator. Build a d=5 code and delete two
+	// adjacent interior X stabilizers; the Z distance must drop.
+	c := mustPatchCode(t, 5)
+	var removed int
+	for _, s := range c.Stabs() {
+		typ, _ := s.Op.CSSType()
+		if typ == lattice.XCheck && s.Op.Weight() == 4 {
+			c.RemoveStab(s.ID)
+			removed++
+			if removed == 2 {
+				break
+			}
+		}
+	}
+	if got := c.DistanceZ(); got >= 5 {
+		t.Errorf("DistanceZ = %d after disabling X checks, want < 5", got)
+	}
+}
+
+func TestParamsCountsGaugeQubits(t *testing.T) {
+	// Hand-execute the paper's DataQ_RM on the central qubit of a d=3 code
+	// (fig. 6a): the four touching checks become gauge operators measured at
+	// their original ancillas, and the two merged super-stabilizers are
+	// inferred from the gauge products. This yields a genuine [[8,1,1]]
+	// subsystem code.
+	c := mustPatchCode(t, 3)
+	q0 := lattice.Coord{Row: 3, Col: 3} // centre of the d=3 patch
+	var xStabs, zStabs []Stab
+	for _, s := range c.StabsOn(q0, lattice.XCheck) {
+		xStabs = append(xStabs, s)
+	}
+	for _, s := range c.StabsOn(q0, lattice.ZCheck) {
+		zStabs = append(zStabs, s)
+	}
+	if len(xStabs) != 2 || len(zStabs) != 2 {
+		t.Fatalf("central qubit coverage %dX/%dZ, want 2/2", len(xStabs), len(zStabs))
+	}
+	notQ0 := func(q lattice.Coord) bool { return q != q0 }
+	var xIDs, zIDs []int
+	for _, s := range xStabs {
+		c.RemoveStab(s.ID)
+		xIDs = append(xIDs, c.AddGauge(s.Op.RestrictedTo(notQ0), s.Ancilla, false))
+	}
+	for _, s := range zStabs {
+		c.RemoveStab(s.ID)
+		zIDs = append(zIDs, c.AddGauge(s.Op.RestrictedTo(notQ0), s.Ancilla, false))
+	}
+	xProd := pauli.Mul(xStabs[0].Op, xStabs[1].Op)
+	zProd := pauli.Mul(zStabs[0].Op, zStabs[1].Op)
+	c.AddSuperStab(xProd, xIDs)
+	c.AddSuperStab(zProd, zIDs)
+	if err := c.RemoveDataQubit(q0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("deformed code invalid: %v", err)
+	}
+	n, k, l, err := c.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 || k != 1 || l != 1 {
+		t.Errorf("[[n=%d,k=%d,l=%d]], want [[8,1,1]]", n, k, l)
+	}
+	// Removing the centre merges checks: the distance must drop to 2 in at
+	// least one basis (the paper's fig. 2(b) effect) and the graph distance
+	// must agree with the exact search.
+	for _, typ := range []lattice.CheckType{lattice.XCheck, lattice.ZCheck} {
+		exact, err := c.ExactDistance(typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var graph int
+		if typ == lattice.XCheck {
+			graph = c.DistanceX()
+		} else {
+			graph = c.DistanceZ()
+		}
+		if graph != exact {
+			t.Errorf("type %v: graph %d vs exact %d", typ, graph, exact)
+		}
+	}
+	if d := c.Distance(); d != 2 {
+		t.Errorf("deformed distance = %d, want 2", d)
+	}
+}

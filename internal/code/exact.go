@@ -1,0 +1,82 @@
+package code
+
+import (
+	"fmt"
+
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/pauli"
+)
+
+// ExactDistance computes the dressed distance of the given logical type by
+// breadth-first search over the syndrome-state space: states are (parity
+// pattern over opposite-type stabilizer generators, crossing parity with the
+// opposite logical), moves apply a single-qubit Pauli of the logical type.
+// The complexity is O(2^g · n) for g constraint generators, so it is only
+// suitable for small codes; it exists to cross-validate the graph-based
+// Distance{X,Z} in tests.
+func (c *Code) ExactDistance(logicalType lattice.CheckType) (int, error) {
+	consType := logicalType.Opposite()
+	var gens []pauli.Op
+	for _, s := range c.stabs {
+		t, ok := s.Op.CSSType()
+		if ok && t == consType && !s.Op.IsIdentity() {
+			gens = append(gens, s.Op)
+		}
+	}
+	if len(gens) > 22 {
+		return 0, fmt.Errorf("code: %d constraint generators exceed exact-search limit", len(gens))
+	}
+	crossing := c.logicalX
+	if logicalType == lattice.XCheck {
+		crossing = c.logicalZ
+	}
+
+	qubits := c.DataQubits()
+	// Precompute per-qubit transition masks. Bit i of the mask corresponds
+	// to constraint generator i; the top bit is the crossing parity.
+	crossBit := uint32(1) << uint(len(gens))
+	masks := make([]uint32, len(qubits))
+	for qi, q := range qubits {
+		var op pauli.Op
+		if logicalType == lattice.ZCheck {
+			op = pauli.Z(q)
+		} else {
+			op = pauli.X(q)
+		}
+		var m uint32
+		for gi, g := range gens {
+			if !op.Commutes(g) {
+				m |= 1 << uint(gi)
+			}
+		}
+		if !op.Commutes(crossing) {
+			m |= crossBit
+		}
+		masks[qi] = m
+	}
+
+	target := crossBit
+	size := crossBit << 1
+	dist := make([]int32, size)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	queue := make([]uint32, 0, 1024)
+	queue = append(queue, 0)
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if s == target {
+			return int(dist[s]), nil
+		}
+		for _, m := range masks {
+			ns := s ^ m
+			if dist[ns] < 0 {
+				dist[ns] = dist[s] + 1
+				queue = append(queue, ns)
+			}
+		}
+	}
+	return 0, fmt.Errorf("code: no logical operator of type %v exists", logicalType)
+}

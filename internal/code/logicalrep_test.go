@@ -1,0 +1,149 @@
+package code
+
+import (
+	"testing"
+
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/pauli"
+)
+
+func TestAlgebraicLogicalFreshCode(t *testing.T) {
+	c := mustPatchCode(t, 5)
+	for _, typ := range []lattice.CheckType{lattice.ZCheck, lattice.XCheck} {
+		rep, err := c.AlgebraicLogical(typ)
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		// Must commute with every stabilizer.
+		for _, s := range c.Stabs() {
+			if !rep.Commutes(s.Op) {
+				t.Errorf("%v algebraic logical anti-commutes with stabilizer %d", typ, s.ID)
+			}
+		}
+		// Must anti-commute with the stored opposite representative.
+		opp := c.LogicalX()
+		if typ == lattice.XCheck {
+			opp = c.LogicalZ()
+		}
+		if rep.Commutes(opp) {
+			t.Errorf("%v algebraic logical commutes with the opposite logical", typ)
+		}
+	}
+}
+
+func TestRepairLogicalNoGauges(t *testing.T) {
+	c := mustPatchCode(t, 3)
+	op := c.LogicalZ()
+	repaired, err := c.RepairLogical(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repaired.Equal(op) {
+		t.Error("repair must be the identity when no gauges exist")
+	}
+}
+
+func TestRepairLogicalWithGaugePair(t *testing.T) {
+	// Create a gauge pair, then repair a dressed logical that anti-commutes
+	// with one member.
+	c := mustPatchCode(t, 5)
+	q0 := lattice.Coord{Row: 5, Col: 5}
+	notQ0 := func(q lattice.Coord) bool { return q != q0 }
+	for _, typ := range []lattice.CheckType{lattice.XCheck, lattice.ZCheck} {
+		var ids []int
+		var prod pauli.Op
+		for _, s := range c.StabsOn(q0, typ) {
+			prod = pauli.Mul(prod, s.Op)
+			c.RemoveStab(s.ID)
+			ids = append(ids, c.AddGauge(s.Op.RestrictedTo(notQ0), s.Ancilla, false))
+		}
+		c.AddSuperStab(prod.RestrictedTo(notQ0), ids)
+	}
+	if err := c.RemoveDataQubit(q0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RefreshLogicals(); err != nil {
+		t.Fatal(err)
+	}
+	// Dress the logical Z with a Z-type gauge element: the product is a
+	// dressed logical (anti-commutes with the X gauges) that repair must
+	// lift back to a bare one.
+	var zg Gauge
+	for _, g := range c.Gauges() {
+		if typ, _ := g.Op.CSSType(); typ == lattice.ZCheck {
+			zg = g
+			break
+		}
+	}
+	dressed := pauli.Mul(c.LogicalZ(), zg.Op)
+	anyAnti := false
+	for _, g := range c.Gauges() {
+		if !dressed.Commutes(g.Op) {
+			anyAnti = true
+		}
+	}
+	if !anyAnti {
+		t.Fatal("dressing with a gauge member should break some commutation")
+	}
+	repaired, err := c.RepairLogical(dressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range c.Gauges() {
+		if !repaired.Commutes(g.Op) {
+			t.Errorf("repaired logical still anti-commutes with gauge %d", g.ID)
+		}
+	}
+	// The repaired operator must stay in the logical-Z class: it still
+	// anti-commutes with logical X.
+	if repaired.Commutes(c.LogicalX()) {
+		t.Error("repair changed the logical class")
+	}
+	// A non-gauge dressing (a stray single-qubit error) is correctly
+	// rejected: it is not a logical of any class.
+	var xg Gauge
+	for _, g := range c.Gauges() {
+		if typ, _ := g.Op.CSSType(); typ == lattice.XCheck {
+			xg = g
+			break
+		}
+	}
+	stray := pauli.Mul(c.LogicalZ(), pauli.Z(xg.Op.Support()[0]))
+	if !stray.Commutes(xg.Op) {
+		if _, err := c.RepairLogical(stray); err == nil {
+			t.Error("a stray-error dressing must be unrepairable")
+		}
+	}
+}
+
+func TestRefreshLogicalsMinimality(t *testing.T) {
+	c := mustPatchCode(t, 5)
+	if err := c.RefreshLogicals(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LogicalZ().Weight(); got != 5 {
+		t.Errorf("refreshed logical Z weight %d, want distance 5", got)
+	}
+	if got := c.LogicalX().Weight(); got != 5 {
+		t.Errorf("refreshed logical X weight %d, want distance 5", got)
+	}
+}
+
+func TestLogicalRepMatchesDistance(t *testing.T) {
+	c := mustPatchCode(t, 5)
+	for _, typ := range []lattice.CheckType{lattice.ZCheck, lattice.XCheck} {
+		rep, err := c.LogicalRep(typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dist int
+		if typ == lattice.ZCheck {
+			dist = c.DistanceZ()
+		} else {
+			dist = c.DistanceX()
+		}
+		if rep.Weight() != dist {
+			t.Errorf("%v rep weight %d != distance %d", typ, rep.Weight(), dist)
+		}
+	}
+}

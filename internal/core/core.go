@@ -1,0 +1,86 @@
+// Package core wires the Surf-Deformer framework of the paper's fig. 5:
+// the compile-time qubit layout generator and the runtime code deformation
+// unit, integrated with the surrounding surface-code components (program
+// compiler, defect detector, execution estimator).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"surfdeformer/internal/defect"
+	"surfdeformer/internal/deform"
+	"surfdeformer/internal/estimator"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/layout"
+	"surfdeformer/internal/program"
+)
+
+// Framework bundles the models the compile-time planner consumes: the
+// dynamic defect error model, the logical-error extrapolation model, and
+// the target failure thresholds.
+type Framework struct {
+	Defects     *defect.Model
+	Lambda      *estimator.LambdaModel
+	TargetRetry float64 // e.g. 0.01 for a 1% retry risk
+	AlphaBlock  float64 // Eq. 1 channel-blocking threshold
+	Trials      int     // Monte-Carlo trials for retry estimation
+	MaxDistance int
+	Seed        int64
+}
+
+// NewFramework returns a framework with the paper's defaults: the cosmic-
+// ray defect model, the calibrated Λ model, a 0.1% retry target and a 1%
+// blocking threshold.
+func NewFramework() *Framework {
+	return &Framework{
+		Defects:     defect.Paper(),
+		Lambda:      estimator.DefaultLambda(),
+		TargetRetry: 0.001,
+		AlphaBlock:  layout.DefaultAlphaBlock,
+		Trials:      50,
+		MaxDistance: 61,
+		Seed:        1,
+	}
+}
+
+// Plan is the compile-time output (fig. 5's "Output: code distance, extra
+// interspace, optimized qubit layout").
+type Plan struct {
+	Program  *program.Program
+	D        int
+	DeltaD   int
+	Layout   *layout.Layout
+	Estimate *estimator.Estimate
+}
+
+// Compile runs the layout generator: it chooses the code distance d meeting
+// the retry target under the defect model, computes the extra inter-space
+// Δd per Eq. 1, and emits the placement.
+func (f *Framework) Compile(prog *program.Program) (*Plan, error) {
+	rng := rand.New(rand.NewSource(f.Seed))
+	fw := estimator.DefaultFrameworks()[layout.SurfDeformer]
+	deltaDFor := func(d int) int { return layout.ChooseDeltaD(f.Defects, d, f.AlphaBlock) }
+	est, ok := estimator.MinimalDistance(prog, fw, f.TargetRetry, deltaDFor,
+		f.Defects, f.Lambda, f.Trials, f.MaxDistance, rng)
+	if !ok {
+		return nil, fmt.Errorf("core: no distance ≤ %d meets retry target %v (best %.4f at d=%d)",
+			f.MaxDistance, f.TargetRetry, est.RetryRisk, est.D)
+	}
+	lay := layout.New(layout.SurfDeformer, prog.LogicalQubits(), est.D, est.DeltaD)
+	return &Plan{Program: prog, D: est.D, DeltaD: est.DeltaD, Layout: lay, Estimate: est}, nil
+}
+
+// NewUnit instantiates the runtime code deformation unit for patch i of the
+// plan's layout, budgeted with the plan's Δd growth reserve.
+func (p *Plan) NewUnit(i int) *deform.Unit {
+	origin := p.Layout.PatchOrigin(i)
+	return deform.NewUnit(origin, p.D, p.D, deform.PolicySurfDeformer,
+		deform.UniformBudget(p.DeltaD))
+}
+
+// UnitAt builds a standalone deformation unit for a d×d patch at origin —
+// the runtime component usable without a full program plan.
+func UnitAt(origin lattice.Coord, d, deltaD int) *deform.Unit {
+	return deform.NewUnit(origin, d, d, deform.PolicySurfDeformer, deform.UniformBudget(deltaD))
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/program"
+)
+
+func TestCompilePlan(t *testing.T) {
+	fw := NewFramework()
+	fw.TargetRetry = 0.01
+	fw.Trials = 20
+	plan, err := fw.Compile(program.Grover(9, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.D < 3 {
+		t.Errorf("planned d = %d", plan.D)
+	}
+	if plan.DeltaD < 1 {
+		t.Errorf("planned Δd = %d", plan.DeltaD)
+	}
+	if plan.Estimate.RetryRisk > fw.TargetRetry {
+		t.Errorf("plan risk %.4f exceeds target", plan.Estimate.RetryRisk)
+	}
+	if plan.Layout.PhysicalQubits() <= 0 {
+		t.Error("layout must count qubits")
+	}
+	// Stricter targets demand at least as much distance.
+	fw2 := NewFramework()
+	fw2.TargetRetry = 0.0001
+	fw2.Trials = 20
+	plan2, err := fw2.Compile(program.Grover(9, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.D < plan.D {
+		t.Errorf("stricter target planned smaller d: %d < %d", plan2.D, plan.D)
+	}
+}
+
+func TestPlanUnits(t *testing.T) {
+	fw := NewFramework()
+	fw.TargetRetry = 0.01
+	fw.Trials = 15
+	plan, err := fw.Compile(program.Simon(16, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := plan.NewUnit(0)
+	if u == nil {
+		t.Fatal("nil unit")
+	}
+	min, _ := u.Spec().Bounds()
+	if min != plan.Layout.PatchOrigin(0) {
+		t.Error("unit not anchored at its patch origin")
+	}
+	// Units for distinct patches must not overlap.
+	u1 := plan.NewUnit(1)
+	min1, _ := u1.Spec().Bounds()
+	if min1 == min {
+		t.Error("distinct patches share an origin")
+	}
+}
+
+func TestUnitAt(t *testing.T) {
+	u := UnitAt(lattice.Coord{Row: 0, Col: 0}, 5, 2)
+	res, err := u.Step([]lattice.Coord{{Row: 3, Col: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistanceX < 5 || res.DistanceZ < 5 {
+		t.Errorf("distances %d/%d after step, want restored", res.DistanceX, res.DistanceZ)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"surfdeformer/internal/deform"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/route"
+)
+
+// System is the runtime manager of every logical patch in a plan: it owns
+// one deformation unit per patch, tracks which patches have grown beyond
+// their Δd reserve (blocking the surrounding communication channels,
+// fig. 10), and exposes the current channel state to the router.
+type System struct {
+	plan    *Plan
+	units   []*deform.Unit
+	blocked []bool
+}
+
+// NewSystem instantiates the runtime for all patches of the plan.
+func (p *Plan) NewSystem() *System {
+	s := &System{plan: p}
+	n := p.Layout.N
+	s.units = make([]*deform.Unit, n)
+	s.blocked = make([]bool, n)
+	for i := 0; i < n; i++ {
+		s.units[i] = p.NewUnit(i)
+	}
+	return s
+}
+
+// NumPatches returns the number of managed logical patches.
+func (s *System) NumPatches() int { return len(s.units) }
+
+// Unit exposes the deformation unit of patch i.
+func (s *System) Unit(i int) *deform.Unit { return s.units[i] }
+
+// Step forwards a defect report to patch i's unit and updates the channel
+// bookkeeping: a patch whose accumulated growth exceeds the layout's Δd
+// reserve spills into its channels and blocks them until it shrinks back.
+func (s *System) Step(i int, defects []lattice.Coord) (*deform.StepResult, error) {
+	if i < 0 || i >= len(s.units) {
+		return nil, fmt.Errorf("core: patch index %d out of range", i)
+	}
+	res, err := s.units[i].Step(defects)
+	if err != nil {
+		return nil, err
+	}
+	s.updateBlocked(i)
+	return res, nil
+}
+
+// Recover forwards a recovery report to patch i's unit; shrinking may
+// unblock its channels.
+func (s *System) Recover(i int, sites []lattice.Coord) (*deform.StepResult, error) {
+	if i < 0 || i >= len(s.units) {
+		return nil, fmt.Errorf("core: patch index %d out of range", i)
+	}
+	res, err := s.units[i].Recover(sites)
+	if err != nil {
+		return nil, err
+	}
+	s.updateBlocked(i)
+	return res, nil
+}
+
+// updateBlocked recomputes patch i's channel blockage from its current
+// footprint versus the layout reserve.
+func (s *System) updateBlocked(i int) {
+	spec := s.units[i].Spec()
+	// Growth beyond Δd layers on any side spills into the channel.
+	over := false
+	d := s.plan.D
+	reserve := s.plan.DeltaD
+	origin := s.plan.Layout.PatchOrigin(i)
+	min, max := spec.Bounds()
+	if origin.Col-min.Col > 2*reserve || max.Col-(origin.Col+2*d) > 2*reserve {
+		over = true
+	}
+	if origin.Row-min.Row > 2*reserve || max.Row-(origin.Row+2*d) > 2*reserve {
+		over = true
+	}
+	s.blocked[i] = over
+}
+
+// Blocked reports whether patch i currently blocks its channels.
+func (s *System) Blocked(i int) bool { return s.blocked[i] }
+
+// Grid materializes the current channel state for the router.
+func (s *System) Grid() *route.Grid {
+	g := route.NewGrid(s.plan.Layout.Rows, s.plan.Layout.Cols)
+	for i, b := range s.blocked {
+		if b {
+			r, c := s.plan.Layout.PatchCell(i)
+			g.SetBlocked(g.Cell(r, c), true)
+		}
+	}
+	return g
+}

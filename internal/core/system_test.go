@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/program"
+	"surfdeformer/internal/route"
+)
+
+func testPlan(t *testing.T) *Plan {
+	t.Helper()
+	fw := NewFramework()
+	fw.TargetRetry = 0.05
+	fw.Trials = 10
+	plan, err := fw.Compile(program.Simon(9, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestSystemLifecycle(t *testing.T) {
+	plan := testPlan(t)
+	sys := plan.NewSystem()
+	if sys.NumPatches() != plan.Layout.N {
+		t.Fatalf("system manages %d patches, want %d", sys.NumPatches(), plan.Layout.N)
+	}
+	// Strike patch 0 with an interior defect relative to its origin.
+	origin := plan.Layout.PatchOrigin(0)
+	strike := []lattice.Coord{{Row: origin.Row + 3, Col: origin.Col + 3}}
+	res, err := sys.Step(0, strike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistanceX < plan.D || res.DistanceZ < plan.D {
+		t.Errorf("patch 0 distances %d/%d below plan d=%d", res.DistanceX, res.DistanceZ, plan.D)
+	}
+	// Growth within the Δd reserve must not block channels.
+	if sys.Blocked(0) {
+		t.Error("in-reserve growth should not block channels")
+	}
+	// Recovery restores the pristine footprint.
+	if _, err := sys.Recover(0, strike); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Blocked(0) {
+		t.Error("recovered patch must not block")
+	}
+}
+
+func TestSystemGridReflectsBlockage(t *testing.T) {
+	plan := testPlan(t)
+	sys := plan.NewSystem()
+	// Force a blockage by marking it directly (growth beyond reserve is
+	// prevented by the budget, so emulate an over-grown patch).
+	sys.blocked[1] = true
+	g := sys.Grid()
+	r, c := plan.Layout.PatchCell(1)
+	if !g.Blocked(g.Cell(r, c)) {
+		t.Error("grid must mirror blocked patches")
+	}
+	// Routing through the grid avoids the blocked patch.
+	rng := rand.New(rand.NewSource(1))
+	var pending []route.CNOT
+	if plan.Layout.N >= 4 {
+		pending = append(pending, route.CNOT{Control: 0, Target: plan.Layout.N - 1})
+	}
+	routed := g.RoutePaths(pending, rng)
+	if len(pending) > 0 && len(routed) == 0 {
+		t.Error("unblocked endpoints should remain routable")
+	}
+}
+
+func TestSystemIndexBounds(t *testing.T) {
+	plan := testPlan(t)
+	sys := plan.NewSystem()
+	if _, err := sys.Step(-1, nil); err == nil {
+		t.Error("negative index must fail")
+	}
+	if _, err := sys.Recover(sys.NumPatches(), nil); err == nil {
+		t.Error("out-of-range index must fail")
+	}
+}

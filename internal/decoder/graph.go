@@ -1,0 +1,143 @@
+// Package decoder implements syndrome decoders over decoding graphs derived
+// from detector error models: a weighted union-find decoder (the
+// Delfosse–Nickerson almost-linear-time near-MWPM decoder used in place of
+// the paper's PyMatching), a greedy pairwise matcher, and an exact
+// minimum-weight perfect matching for small syndromes used to validate the
+// others.
+package decoder
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"surfdeformer/internal/sim"
+)
+
+// Boundary is the virtual boundary node index in decoding graphs.
+const Boundary = -1
+
+// Edge is one decoding-graph edge: an error mechanism connecting two
+// detectors (or one detector and the boundary) with weight -log(p/(1-p))
+// and a flag telling whether the mechanism flips the logical observable.
+type Edge struct {
+	U, V   int32 // V == Boundary for boundary edges
+	Weight float64
+	Obs    bool
+	P      float64
+}
+
+// Graph is a decoding graph over the detectors of one DEM.
+type Graph struct {
+	NumDets int
+	Edges   []Edge
+	// adjacency: per detector, edge indices
+	adj [][]int32
+	// Decomposed counts mechanisms with more than two detectors that were
+	// split into edge chains; FreeLogicalP accumulates the probability mass
+	// of mechanisms that flip the observable without touching any detector
+	// (irreducible failures no decoder can see).
+	Decomposed   int
+	FreeLogicalP float64
+}
+
+// NewGraph converts a DEM into a decoding graph. Mechanisms touching more
+// than two detectors are decomposed into consecutive pairs (detector IDs
+// are round-ordered, so consecutive pairing follows the space-time layout).
+func NewGraph(dem *sim.DEM) *Graph {
+	g := &Graph{NumDets: dem.NumDets}
+	type key struct{ u, v int32 }
+	acc := map[key]*Edge{}
+	addPair := func(u, v int32, p float64, obs bool) {
+		// Canonical order: boundary always in V, otherwise ascending.
+		if u == Boundary {
+			u, v = v, u
+		}
+		if v != Boundary && u > v {
+			u, v = v, u
+		}
+		if u == Boundary {
+			return // boundary-boundary mechanisms carry no decodable info
+		}
+		k := key{u, v}
+		if e, ok := acc[k]; ok {
+			// Merge parallel mechanisms; keep the dominant observable flag.
+			newP := e.P + p - 2*e.P*p
+			if p > e.P {
+				e.Obs = obs
+			}
+			e.P = newP
+			return
+		}
+		acc[k] = &Edge{U: u, V: v, Obs: obs, P: p}
+	}
+	for _, m := range dem.Mechs {
+		switch len(m.Dets) {
+		case 0:
+			if m.Obs {
+				g.FreeLogicalP = g.FreeLogicalP + m.P - 2*g.FreeLogicalP*m.P
+			}
+		case 1:
+			addPair(m.Dets[0], Boundary, m.P, m.Obs)
+		case 2:
+			addPair(m.Dets[0], m.Dets[1], m.P, m.Obs)
+		default:
+			g.Decomposed++
+			// Pair consecutive detectors; attach the observable flip to the
+			// first pair only (the decomposition keeps total parity).
+			for i := 0; i+1 < len(m.Dets); i += 2 {
+				addPair(m.Dets[i], m.Dets[i+1], m.P, m.Obs && i == 0)
+			}
+			if len(m.Dets)%2 == 1 {
+				addPair(m.Dets[len(m.Dets)-1], Boundary, m.P, false)
+			}
+		}
+	}
+	keys := make([]key, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].u != keys[j].u {
+			return keys[i].u < keys[j].u
+		}
+		return keys[i].v < keys[j].v
+	})
+	g.adj = make([][]int32, g.NumDets)
+	for _, k := range keys {
+		e := acc[k]
+		p := e.P
+		if p <= 0 {
+			continue
+		}
+		if p >= 0.5 {
+			p = 0.4999
+		}
+		e.Weight = math.Log((1 - p) / p)
+		idx := int32(len(g.Edges))
+		g.Edges = append(g.Edges, *e)
+		if e.U != Boundary {
+			g.adj[e.U] = append(g.adj[e.U], idx)
+		}
+		if e.V != Boundary {
+			g.adj[e.V] = append(g.adj[e.V], idx)
+		}
+	}
+	return g
+}
+
+// Adj returns the edge indices incident to detector d.
+func (g *Graph) Adj(d int32) []int32 { return g.adj[d] }
+
+// Validate performs structural checks used by tests.
+func (g *Graph) Validate() error {
+	for i, e := range g.Edges {
+		if e.U == Boundary && e.V == Boundary {
+			return fmt.Errorf("decoder: edge %d connects boundary to boundary", i)
+		}
+		if e.Weight < 0 {
+			return fmt.Errorf("decoder: edge %d has negative weight", i)
+		}
+	}
+	return nil
+}

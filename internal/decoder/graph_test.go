@@ -1,0 +1,88 @@
+package decoder
+
+import (
+	"testing"
+
+	"surfdeformer/internal/sim"
+)
+
+func TestGraphDecomposition(t *testing.T) {
+	dem := &sim.DEM{
+		NumDets: 6,
+		Mechs: []sim.Mechanism{
+			{P: 0.01, Dets: []int32{0, 1}},                   // plain edge
+			{P: 0.02, Dets: []int32{2}},                      // boundary edge
+			{P: 0.005, Dets: []int32{0, 1, 3, 4}, Obs: true}, // 4-det: decomposed
+			{P: 0.003, Dets: []int32{2, 3, 5}},               // 3-det: pair + boundary
+			{P: 0.001, Dets: nil, Obs: true},                 // free logical
+		},
+	}
+	g := NewGraph(dem)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Decomposed != 2 {
+		t.Errorf("Decomposed = %d, want 2", g.Decomposed)
+	}
+	if g.FreeLogicalP != 0.001 {
+		t.Errorf("FreeLogicalP = %v, want 0.001", g.FreeLogicalP)
+	}
+	// The 4-det mechanism contributes edges (0,1) (merged with the plain
+	// edge) and (3,4); the 3-det one contributes (2,3) and (5,boundary).
+	type pair struct{ u, v int32 }
+	want := map[pair]bool{
+		{0, 1}: true, {3, 4}: true, {2, 3}: true,
+		{2, Boundary}: true, {5, Boundary}: true,
+	}
+	got := map[pair]bool{}
+	for _, e := range g.Edges {
+		got[pair{e.U, e.V}] = true
+	}
+	for p := range want {
+		if !got[p] {
+			t.Errorf("missing edge %v", p)
+		}
+	}
+	// Parallel mechanisms on (0,1) merged: probability combined.
+	for _, e := range g.Edges {
+		if e.U == 0 && e.V == 1 {
+			wantP := 0.01 + 0.005 - 2*0.01*0.005
+			if diff := e.P - wantP; diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("merged edge P = %v, want %v", e.P, wantP)
+			}
+		}
+	}
+}
+
+func TestGraphMergesObsToDominant(t *testing.T) {
+	dem := &sim.DEM{
+		NumDets: 2,
+		Mechs: []sim.Mechanism{
+			{P: 0.001, Dets: []int32{0, 1}, Obs: false},
+			{P: 0.01, Dets: []int32{0, 1}, Obs: true},
+		},
+	}
+	g := NewGraph(dem)
+	if len(g.Edges) != 1 {
+		t.Fatalf("%d edges, want 1 merged", len(g.Edges))
+	}
+	if !g.Edges[0].Obs {
+		t.Error("merged edge must carry the dominant mechanism's observable flag")
+	}
+}
+
+func TestGraphWeightsPositive(t *testing.T) {
+	dem := &sim.DEM{
+		NumDets: 2,
+		Mechs: []sim.Mechanism{
+			{P: 0.49, Dets: []int32{0, 1}},
+			{P: 1e-9, Dets: []int32{0}},
+		},
+	}
+	g := NewGraph(dem)
+	for _, e := range g.Edges {
+		if e.Weight <= 0 {
+			t.Errorf("edge weight %v must be positive", e.Weight)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package decoder
+
+import (
+	"surfdeformer/internal/sim"
+)
+
+// UnionFind is a weighted union-find decoder (Delfosse–Nickerson): odd
+// clusters grow uniformly along their frontier edges; fully grown edges
+// merge clusters; clusters become inactive when their flagged-detector
+// parity turns even or they touch the boundary. A peeling pass over each
+// cluster's grown forest then produces a correction whose observable parity
+// is the decoder's prediction.
+//
+// The implementation favours clarity and per-shot locality: all state it
+// touches during a shot is recorded and reset afterwards, so a single
+// decoder instance amortizes allocation across millions of shots.
+type UnionFind struct {
+	g *Graph
+
+	parent   []int32
+	parity   []int8 // flagged parity at root
+	bound    []bool // cluster touches boundary (at root)
+	growth   []float64
+	grown    []bool
+	absorbed []bool // node belongs to some cluster
+	flag     []bool // peeling scratch
+
+	touched []int32 // nodes absorbed this shot
+	edges   []int32 // edge indices with non-zero growth this shot
+}
+
+// NewUnionFind builds a union-find decoder over the graph.
+func NewUnionFind(g *Graph) *UnionFind {
+	n := g.NumDets
+	u := &UnionFind{
+		g:        g,
+		parent:   make([]int32, n),
+		parity:   make([]int8, n),
+		bound:    make([]bool, n),
+		growth:   make([]float64, len(g.Edges)),
+		grown:    make([]bool, len(g.Edges)),
+		absorbed: make([]bool, n),
+		flag:     make([]bool, n),
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// UnionFindFactory adapts the decoder to the sim.DecoderFactory interface.
+func UnionFindFactory() sim.DecoderFactory {
+	return func(dem *sim.DEM) (sim.Decoder, error) {
+		g := NewGraph(dem)
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		return NewUnionFind(g), nil
+	}
+}
+
+var _ sim.Decoder = (*UnionFind)(nil)
+
+func (u *UnionFind) find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *UnionFind) union(a, b int32) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	u.parent[rb] = ra
+	u.parity[ra] = (u.parity[ra] + u.parity[rb]) % 2
+	u.bound[ra] = u.bound[ra] || u.bound[rb]
+}
+
+func (u *UnionFind) absorb(n int32) {
+	if !u.absorbed[n] {
+		u.absorbed[n] = true
+		u.touched = append(u.touched, n)
+	}
+}
+
+// DecodeToObs decodes one shot and predicts the logical observable flip.
+func (u *UnionFind) DecodeToObs(flagged []int32) bool {
+	edgeSet := u.DecodeToEdges(flagged)
+	obs := false
+	for _, ei := range edgeSet {
+		if u.g.Edges[ei].Obs {
+			obs = !obs
+		}
+	}
+	return obs
+}
+
+// DecodeToEdges decodes one shot and returns the correction edge set. The
+// correction always annihilates the syndrome: its edge-set boundary equals
+// the flagged set modulo the virtual boundary node.
+func (u *UnionFind) DecodeToEdges(flagged []int32) []int32 {
+	if len(flagged) == 0 {
+		return nil
+	}
+	defer u.reset()
+	for _, d := range flagged {
+		u.absorb(d)
+		u.parity[d] = 1
+	}
+
+	for iter := 0; ; iter++ {
+		roots := u.activeRoots()
+		if len(roots) == 0 || iter > 4*len(u.g.Edges) {
+			break
+		}
+		isActive := map[int32]bool{}
+		for _, r := range roots {
+			isActive[r] = true
+		}
+		// Gather the frontier: non-grown edges incident to active clusters,
+		// with the number of active sides (an edge grown from both sides
+		// completes twice as fast).
+		type frontierEdge struct {
+			ei    int32
+			sides float64
+		}
+		seen := map[int32]float64{}
+		for _, n := range u.touched {
+			if !isActive[u.find(n)] {
+				continue
+			}
+			for _, ei := range u.g.adj[n] {
+				if u.grown[ei] {
+					continue
+				}
+				seen[ei]++
+			}
+		}
+		if len(seen) == 0 {
+			break
+		}
+		var frontier []frontierEdge
+		minStep := -1.0
+		for ei, sides := range seen {
+			if sides > 2 {
+				sides = 2
+			}
+			rem := (u.g.Edges[ei].Weight - u.growth[ei]) / sides
+			if minStep < 0 || rem < minStep {
+				minStep = rem
+			}
+			frontier = append(frontier, frontierEdge{ei, sides})
+		}
+		for _, fe := range frontier {
+			if u.growth[fe.ei] == 0 {
+				u.edges = append(u.edges, fe.ei)
+			}
+			u.growth[fe.ei] += minStep * fe.sides
+			if u.growth[fe.ei] >= u.g.Edges[fe.ei].Weight-1e-12 && !u.grown[fe.ei] {
+				u.grown[fe.ei] = true
+				e := u.g.Edges[fe.ei]
+				if e.V == Boundary {
+					u.absorb(e.U)
+					u.bound[u.find(e.U)] = true
+				} else {
+					u.absorb(e.U)
+					u.absorb(e.V)
+					u.union(e.U, e.V)
+				}
+			}
+		}
+	}
+	return u.peel(flagged)
+}
+
+// activeRoots returns the roots of odd, boundary-free clusters.
+func (u *UnionFind) activeRoots() []int32 {
+	seen := map[int32]bool{}
+	var roots []int32
+	for _, n := range u.touched {
+		r := u.find(n)
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		if u.parity[r] == 1 && !u.bound[r] {
+			roots = append(roots, r)
+		}
+	}
+	return roots
+}
+
+// peel extracts a correction from the grown forest: BFS builds a spanning
+// forest rooted at boundary attachments (where present) or at arbitrary
+// cluster nodes, then leaves are peeled inward, emitting an edge whenever
+// the leaf carries a flag.
+func (u *UnionFind) peel(flagged []int32) []int32 {
+	incident := map[int32][]int32{}
+	for _, ei := range u.edges {
+		if !u.grown[ei] {
+			continue
+		}
+		e := u.g.Edges[ei]
+		incident[e.U] = append(incident[e.U], ei)
+		if e.V != Boundary {
+			incident[e.V] = append(incident[e.V], ei)
+		}
+	}
+	visited := map[int32]bool{}
+	parentEdge := map[int32]int32{}
+	var order []int32
+	bfs := func(seeds []int32) {
+		queue := seeds
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			order = append(order, n)
+			for _, ei := range incident[n] {
+				e := u.g.Edges[ei]
+				other := e.U
+				if other == n {
+					other = e.V
+				}
+				if other == Boundary || visited[other] {
+					continue
+				}
+				visited[other] = true
+				parentEdge[other] = ei
+				queue = append(queue, other)
+			}
+		}
+	}
+	// Components with boundary attachments are rooted at the boundary:
+	// exhaust their BFS first so leftover flags drain into the boundary.
+	var seeds []int32
+	for _, ei := range u.edges {
+		e := u.g.Edges[ei]
+		if u.grown[ei] && e.V == Boundary && !visited[e.U] {
+			visited[e.U] = true
+			parentEdge[e.U] = ei
+			seeds = append(seeds, e.U)
+		}
+	}
+	bfs(seeds)
+	// Remaining components (even parity): one root each, explored fully
+	// before the next root is opened so the forest structure is real.
+	for _, n := range u.touched {
+		if !visited[n] {
+			visited[n] = true
+			parentEdge[n] = -1
+			bfs([]int32{n})
+		}
+	}
+	for _, d := range flagged {
+		u.flag[d] = true
+	}
+	var correction []int32
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if !u.flag[n] {
+			continue
+		}
+		ei := parentEdge[n]
+		if ei < 0 {
+			continue // cluster root with leftover flag: even-parity cluster
+		}
+		correction = append(correction, ei)
+		u.flag[n] = false
+		e := u.g.Edges[ei]
+		other := e.U
+		if other == n {
+			other = e.V
+		}
+		if other != Boundary {
+			u.flag[other] = !u.flag[other]
+		}
+	}
+	for _, d := range flagged {
+		u.flag[d] = false
+	}
+	for _, n := range u.touched {
+		u.flag[n] = false
+	}
+	return correction
+}
+
+func (u *UnionFind) reset() {
+	for _, n := range u.touched {
+		u.parent[n] = n
+		u.parity[n] = 0
+		u.bound[n] = false
+		u.absorbed[n] = false
+	}
+	for _, ei := range u.edges {
+		u.growth[ei] = 0
+		u.grown[ei] = false
+	}
+	u.touched = u.touched[:0]
+	u.edges = u.edges[:0]
+}

@@ -1,0 +1,141 @@
+package defect
+
+import (
+	"math/rand"
+
+	"surfdeformer/internal/lattice"
+)
+
+// The paper's dynamic-defect taxonomy (§I, §II-B) names three mechanisms:
+// cosmic-ray multi-bit burst errors (the Model in defect.go), leakage
+// errors, and error drift. This file provides the latter two so mitigation
+// strategies can be exercised against every defect species.
+
+// LeakageModel describes leakage events: single qubits leave the
+// computational space, becoming inoperable and seeding high-weight
+// correlated errors on their neighbours until reset.
+type LeakageModel struct {
+	// RatePerQubit is the leakage probability per qubit per cycle.
+	RatePerQubit float64
+	// MeanDurationCycles is the expected time until the leaked qubit is
+	// returned to the computational space.
+	MeanDurationCycles int
+	// NeighbourRate is the induced error rate on lattice neighbours while
+	// the qubit is leaked.
+	NeighbourRate float64
+}
+
+// DefaultLeakage follows the leakage literature the paper cites [25]:
+// rare per-cycle leakage with multi-hundred-cycle lifetimes and strongly
+// elevated neighbour error rates.
+func DefaultLeakage() *LeakageModel {
+	return &LeakageModel{
+		RatePerQubit:       1e-5,
+		MeanDurationCycles: 400,
+		NeighbourRate:      0.25,
+	}
+}
+
+// SampleLeakage draws leakage events over a window of cycles for the sites
+// of a patch.
+func (m *LeakageModel) SampleLeakage(sites []lattice.Coord, cycles int64, rng *rand.Rand) []Event {
+	var events []Event
+	for _, q := range sites {
+		lambda := m.RatePerQubit * float64(cycles)
+		n := poisson(lambda, rng)
+		for i := 0; i < n; i++ {
+			start := int64(rng.Float64() * float64(cycles))
+			dur := int64(1)
+			if m.MeanDurationCycles > 0 {
+				dur = 1 + int64(rng.ExpFloat64()*float64(m.MeanDurationCycles))
+			}
+			region := []lattice.Coord{q}
+			for _, nb := range q.DiagNeighbors() {
+				region = append(region, nb)
+			}
+			lattice.SortCoords(region)
+			events = append(events, Event{
+				Center:     q,
+				StartCycle: start,
+				EndCycle:   start + dur,
+				Region:     region,
+			})
+		}
+	}
+	return events
+}
+
+// DriftModel describes error drift: qubit error rates wander over time;
+// a drifted qubit's rate is multiplied until recalibration.
+type DriftModel struct {
+	// RatePerQubit is the drift-onset probability per qubit per second.
+	RatePerQubit float64
+	// Multiplier scales the physical error rate of a drifted qubit.
+	Multiplier float64
+	// MeanDurationCycles is the expected time until recalibration.
+	MeanDurationCycles int
+}
+
+// DefaultDrift gives occasional 10× rate excursions, the regime where
+// decoder-prior mismatch (rather than outright code breakage) dominates.
+func DefaultDrift() *DriftModel {
+	return &DriftModel{
+		RatePerQubit:       1e-3,
+		Multiplier:         10,
+		MeanDurationCycles: 50000,
+	}
+}
+
+// DriftedRate returns the error rate of a drifted qubit given the base
+// physical rate.
+func (m *DriftModel) DriftedRate(base float64) float64 {
+	r := base * m.Multiplier
+	if r > 0.5 {
+		return 0.5
+	}
+	return r
+}
+
+// SampleDrift draws drift events over a window.
+func (m *DriftModel) SampleDrift(sites []lattice.Coord, cycles int64, cycleSeconds float64, rng *rand.Rand) []Event {
+	var events []Event
+	windowSeconds := float64(cycles) * cycleSeconds
+	for _, q := range sites {
+		n := poisson(m.RatePerQubit*windowSeconds, rng)
+		for i := 0; i < n; i++ {
+			start := int64(rng.Float64() * float64(cycles))
+			dur := int64(1)
+			if m.MeanDurationCycles > 0 {
+				dur = 1 + int64(rng.ExpFloat64()*float64(m.MeanDurationCycles))
+			}
+			events = append(events, Event{
+				Center:     q,
+				StartCycle: start,
+				EndCycle:   start + dur,
+				Region:     []lattice.Coord{q},
+			})
+		}
+	}
+	return events
+}
+
+// Severity classifies whether an event needs deformation (removal) or can
+// be left to decoder reweighting: the paper's §VIII argues reweighting
+// suffices only for mild rate elevation, while ≈50% regions and inoperable
+// qubits must be removed.
+type Severity int
+
+const (
+	// SeverityReweight marks events a decoder-prior update can absorb.
+	SeverityReweight Severity = iota
+	// SeverityRemove marks events requiring code deformation.
+	SeverityRemove
+)
+
+// Classify returns the mitigation tier for a local error rate.
+func Classify(localRate float64) Severity {
+	if localRate >= 0.1 {
+		return SeverityRemove
+	}
+	return SeverityReweight
+}

@@ -1,0 +1,408 @@
+package deform
+
+import (
+	"testing"
+
+	"surfdeformer/internal/code"
+	"surfdeformer/internal/lattice"
+)
+
+func co(r, c int) lattice.Coord { return lattice.Coord{Row: r, Col: c} }
+
+// mustBuild compiles the spec, validates the result, checks that the graph
+// distance agrees with the exact exponential search (when feasible) and that
+// every deterministic parity check is booked (center deficit zero).
+func mustBuild(t *testing.T, s *Spec) *code.Code {
+	t.Helper()
+	c, err := s.Build()
+	if err != nil {
+		t.Fatalf("Build(%v): %v", s, err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("built code invalid: %v", err)
+	}
+	if def, err := c.CenterDeficit(); err != nil {
+		t.Fatalf("CenterDeficit: %v", err)
+	} else if def != 0 {
+		t.Errorf("center deficit %d, want 0 (missing super-stabilizers)", def)
+	}
+	for _, typ := range []lattice.CheckType{lattice.XCheck, lattice.ZCheck} {
+		exact, err := c.ExactDistance(typ)
+		if err != nil {
+			continue // too large for the exponential check; graph result stands
+		}
+		var graph int
+		if typ == lattice.XCheck {
+			graph = c.DistanceX()
+		} else {
+			graph = c.DistanceZ()
+		}
+		if graph != exact {
+			t.Errorf("%v distance: graph %d vs exact %d", typ, graph, exact)
+		}
+	}
+	return c
+}
+
+func TestBuildFreshMatchesFromPatch(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		s := NewSquareSpec(co(0, 0), d)
+		c := mustBuild(t, s)
+		ref := code.FromPatch(lattice.NewPatch(co(0, 0), d))
+		if c.NumData() != ref.NumData() || c.NumSyndrome() != ref.NumSyndrome() {
+			t.Errorf("d=%d: qubit counts %d/%d, want %d/%d", d,
+				c.NumData(), c.NumSyndrome(), ref.NumData(), ref.NumSyndrome())
+		}
+		if len(c.Stabs()) != len(ref.Stabs()) || len(c.Gauges()) != 0 {
+			t.Errorf("d=%d: %d stabs %d gauges, want %d/0", d, len(c.Stabs()), len(c.Gauges()), len(ref.Stabs()))
+		}
+		if c.DistanceX() != d || c.DistanceZ() != d {
+			t.Errorf("d=%d: distances %d/%d", d, c.DistanceX(), c.DistanceZ())
+		}
+	}
+}
+
+func TestDataQRMInterior(t *testing.T) {
+	// Fig. 6a: removing the centre of a d=3 patch yields the [[8,1,1]]
+	// super-stabilizer code with distance 2.
+	s := NewSquareSpec(co(0, 0), 3)
+	if err := s.DataQRM(co(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	c := mustBuild(t, s)
+	n, k, l, err := c.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 || k != 1 || l != 1 {
+		t.Errorf("[[%d,%d,%d]], want [[8,1,1]]", n, k, l)
+	}
+	if c.Distance() != 2 {
+		t.Errorf("distance %d, want 2", c.Distance())
+	}
+	// Two super-stabilizers (merged X and merged Z) must be present.
+	supers := 0
+	for _, st := range c.Stabs() {
+		if st.IsSuper() {
+			supers++
+		}
+	}
+	if supers != 2 {
+		t.Errorf("%d super-stabilizers, want 2", supers)
+	}
+	if len(c.Gauges()) != 4 {
+		t.Errorf("%d gauges, want 4 broken checks", len(c.Gauges()))
+	}
+}
+
+func TestDataQRMRejections(t *testing.T) {
+	s := NewSquareSpec(co(0, 0), 3)
+	if err := s.DataQRM(co(2, 2)); err == nil {
+		t.Error("DataQRM must reject syndrome sites")
+	}
+	if err := s.DataQRM(co(99, 99)); err == nil {
+		t.Error("DataQRM must reject out-of-patch sites")
+	}
+	if err := s.DataQRM(co(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DataQRM(co(3, 3)); err == nil {
+		t.Error("DataQRM must reject double removal")
+	}
+}
+
+func TestSyndromeQRMInteriorPreservesOppositeDistance(t *testing.T) {
+	// Fig. 6b / fig. 7a: removing the syndrome qubit of a fully interior
+	// X check on a d=5 patch keeps Z-distance 5 (the check survives as a
+	// product of direct measurements) while the merged Z octagon drops the
+	// X-distance to 3.
+	s := NewSquareSpec(co(0, 0), 5)
+	center := co(4, 6) // interior X check with all four Z neighbours present
+	if err := s.SyndromeQRM(center); err != nil {
+		t.Fatal(err)
+	}
+	c := mustBuild(t, s)
+	if got := c.DistanceZ(); got != 5 {
+		t.Errorf("DistanceZ = %d, want 5 (SyndromeQRM preserves the X check)", got)
+	}
+	if got := c.DistanceX(); got != 3 {
+		t.Errorf("DistanceX = %d, want 3 (merged Z octagon)", got)
+	}
+	// The X check must survive as a super-stabilizer over 4 direct gauges,
+	// and the Z octagon as a super-stabilizer over the 4 demoted neighbours.
+	var xSuper, zSuper int
+	for _, st := range c.Stabs() {
+		if !st.IsSuper() {
+			continue
+		}
+		typ, _ := st.Op.CSSType()
+		if typ == lattice.XCheck {
+			xSuper++
+			if len(st.MemberIDs) != 4 {
+				t.Errorf("X super has %d members, want 4 direct measurements", len(st.MemberIDs))
+			}
+		} else {
+			zSuper++
+			if st.Op.Weight() != 8 {
+				t.Errorf("Z octagon weight %d, want 8", st.Op.Weight())
+			}
+		}
+	}
+	if xSuper != 1 || zSuper != 1 {
+		t.Errorf("supers X=%d Z=%d, want 1/1", xSuper, zSuper)
+	}
+	// Syndrome qubit count drops by exactly one.
+	if got, want := c.NumSyndrome(), 24-1; got != want {
+		t.Errorf("syndrome count %d, want %d", got, want)
+	}
+}
+
+func TestSyndromeQRMNearBoundary(t *testing.T) {
+	// A near-boundary syndrome removal (only 3 opposite-type neighbours)
+	// must still produce a valid k=1 code.
+	s := NewSquareSpec(co(0, 0), 5)
+	if err := s.SyndromeQRM(co(2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	c := mustBuild(t, s)
+	if got := c.DistanceZ(); got != 5 {
+		t.Errorf("DistanceZ = %d, want 5", got)
+	}
+	if got := c.DistanceX(); got >= 5 {
+		t.Errorf("DistanceX = %d, want < 5", got)
+	}
+}
+
+func TestASCStyleSyndromeRemovalLosesMore(t *testing.T) {
+	// Fig. 7a comparison: ASC-S removes the four adjacent data qubits via
+	// DataQRM instead of using SyndromeQRM; both distances collapse to 3,
+	// whereas SyndromeQRM preserves Z-distance 5.
+	ascSpec := NewSquareSpec(co(0, 0), 5)
+	rect := ascSpec.Rect()
+	ch, ok := rect.CheckAt(co(4, 6))
+	if !ok {
+		t.Fatal("no check at (4,6)")
+	}
+	for _, q := range ch.Support {
+		if err := ascSpec.DataQRM(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	asc := mustBuild(t, ascSpec)
+
+	sdSpec := NewSquareSpec(co(0, 0), 5)
+	if err := sdSpec.SyndromeQRM(co(4, 6)); err != nil {
+		t.Fatal(err)
+	}
+	sd := mustBuild(t, sdSpec)
+
+	if asc.DistanceZ() >= sd.DistanceZ() {
+		t.Errorf("ASC Z-distance %d should be below Surf-Deformer's %d", asc.DistanceZ(), sd.DistanceZ())
+	}
+	if asc.DistanceZ() != 3 {
+		t.Errorf("ASC Z-distance %d, want 3 (fig. 7a)", asc.DistanceZ())
+	}
+}
+
+func TestPatchQRMCornerBalancing(t *testing.T) {
+	// Fig. 8: a defective corner data qubit can be cut by freezing either
+	// X or Z on it; the two choices trade X-distance against Z-distance.
+	corner := co(1, 9) // top-right corner of a d=5 patch
+	var dists [2][2]int
+	for i, fix := range []lattice.CheckType{lattice.XCheck, lattice.ZCheck} {
+		s := NewSquareSpec(co(0, 0), 5)
+		if err := s.PatchQRM(corner, fix); err != nil {
+			t.Fatal(err)
+		}
+		c := mustBuild(t, s)
+		dists[i][0] = c.DistanceX()
+		dists[i][1] = c.DistanceZ()
+	}
+	// Both must remain valid codes with distance >= 3, and the choices must
+	// not be identical in their (X, Z) profile — that asymmetry is what the
+	// balancing function exploits.
+	for i := range dists {
+		if dists[i][0] < 3 || dists[i][1] < 3 {
+			t.Errorf("fix option %d gives distances %v; cut too destructive", i, dists[i])
+		}
+	}
+	if dists[0] == dists[1] {
+		t.Errorf("both fix choices give %v; expected an X/Z trade-off", dists[0])
+	}
+}
+
+func TestPatchQRMInteriorRejected(t *testing.T) {
+	s := NewSquareSpec(co(0, 0), 5)
+	if err := s.PatchQRM(co(5, 5), lattice.XCheck); err == nil {
+		t.Error("PatchQRM must reject interior data sites")
+	}
+}
+
+func TestPatchQADDGrowth(t *testing.T) {
+	// Growing a d=3 patch right by two layers yields a 5x3 rectangle:
+	// Z-distance 5, X-distance 3.
+	s := NewSquareSpec(co(0, 0), 3)
+	if err := s.PatchQADD(lattice.Right, 2); err != nil {
+		t.Fatal(err)
+	}
+	c := mustBuild(t, s)
+	if got := c.DistanceZ(); got != 5 {
+		t.Errorf("DistanceZ = %d, want 5", got)
+	}
+	if got := c.DistanceX(); got != 3 {
+		t.Errorf("DistanceX = %d, want 3", got)
+	}
+	if c.NumData() != 15 {
+		t.Errorf("data count %d, want 15", c.NumData())
+	}
+}
+
+func TestPatchQADDLeftShiftsOrigin(t *testing.T) {
+	s := NewSquareSpec(co(0, 0), 3)
+	if err := s.PatchQADD(lattice.Left, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Origin != co(0, -2) || s.DX != 4 {
+		t.Fatalf("spec after left growth: %v", s)
+	}
+	c := mustBuild(t, s)
+	if got := c.DistanceZ(); got != 4 {
+		t.Errorf("DistanceZ = %d, want 4", got)
+	}
+}
+
+func TestGrowthOverNotchConvertsToInterior(t *testing.T) {
+	// Fig. 9: remove a boundary qubit (cut), then grow past it. The removed
+	// site becomes interior and is handled by super-stabilizers; the code
+	// stays valid and the distance recovers with enough layers.
+	s := NewSquareSpec(co(0, 0), 5)
+	edge := co(5, 9) // right-edge data qubit (non-corner)
+	// Freezing Z on the defect breaks the adjacent X checks and advances
+	// the Z boundary inward, costing Z-distance.
+	if err := s.PatchQRM(edge, lattice.ZCheck); err != nil {
+		t.Fatal(err)
+	}
+	before := mustBuild(t, s)
+	dzBefore := before.DistanceZ()
+	if dzBefore >= 5 {
+		t.Fatalf("cut did not reduce Z-distance: %d", dzBefore)
+	}
+	if err := s.PatchQADD(lattice.Right, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Fixes) != 0 {
+		t.Errorf("interiorized fix should have been dropped, have %v", s.Fixes)
+	}
+	after := mustBuild(t, s)
+	if got := after.DistanceZ(); got < 5 {
+		t.Errorf("DistanceZ = %d after 2-layer growth, want >= 5", got)
+	}
+	// The interiorized hole still pinches the vertical direction by one
+	// unit (fig. 9d: full restoration would also need vertical growth).
+	if got := after.DistanceX(); got < 4 {
+		t.Errorf("DistanceX = %d, want >= 4", got)
+	}
+	if err := s.PatchQADD(lattice.Bottom, 1); err != nil {
+		t.Fatal(err)
+	}
+	grown := mustBuild(t, s)
+	if got := grown.DistanceX(); got < 5 {
+		t.Errorf("DistanceX = %d after vertical growth, want >= 5", got)
+	}
+}
+
+func TestBuildDefectClusterBreaksPatch(t *testing.T) {
+	// Removing an entire horizontal row of data qubits severs the patch:
+	// Build must report the broken topology rather than return k != 1.
+	s := NewSquareSpec(co(0, 0), 3)
+	for _, q := range []lattice.Coord{co(3, 1), co(3, 3), co(3, 5)} {
+		if err := s.DataQRM(q); err != nil && !s.RemovedData[q] {
+			// boundary qubits: record removal directly for this stress test
+			s.RemovedData[q] = true
+		}
+	}
+	if _, err := s.Build(); err == nil {
+		t.Error("Build should fail when defects sever the patch")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewSquareSpec(co(0, 0), 5)
+	if err := s.DataQRM(co(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if err := c.DataQRM(co(3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if s.RemovedData[co(3, 5)] {
+		t.Error("clone mutation leaked into original")
+	}
+	if err := c.PatchQADD(lattice.Top, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.DZ != 5 || s.Origin != co(0, 0) {
+		t.Error("clone growth leaked into original")
+	}
+}
+
+func TestMultipleInteriorRemovals(t *testing.T) {
+	// A diagonal pair of removed data qubits on d=5 must still build and
+	// agree with the exact distance.
+	s := NewSquareSpec(co(0, 0), 5)
+	for _, q := range []lattice.Coord{co(3, 3), co(5, 5)} {
+		if err := s.DataQRM(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := mustBuild(t, s)
+	if c.Distance() < 2 {
+		t.Errorf("distance %d collapsed", c.Distance())
+	}
+	n, k, l, err := c.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 23 || k != 1 {
+		t.Errorf("[[%d,%d,%d]], want n=23 k=1", n, k, l)
+	}
+}
+
+func TestAdjacentClusterRemoval(t *testing.T) {
+	// Two data qubits sharing checks (an adjacent pair) form one merged
+	// super-stabilizer region.
+	s := NewSquareSpec(co(0, 0), 5)
+	for _, q := range []lattice.Coord{co(5, 3), co(5, 5)} {
+		if err := s.DataQRM(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := mustBuild(t, s)
+	_, k, _, err := c.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Errorf("k = %d, want 1", k)
+	}
+}
+
+func TestMixedDataAndSyndromeRemoval(t *testing.T) {
+	// A defective syndrome qubit adjacent to a defective data qubit — the
+	// hardest local pattern — must still build a valid code.
+	s := NewSquareSpec(co(0, 0), 5)
+	if err := s.SyndromeQRM(co(4, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DataQRM(co(3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	c := mustBuild(t, s)
+	_, k, _, err := c.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Errorf("k = %d, want 1", k)
+	}
+}

@@ -1,0 +1,129 @@
+package deform
+
+import (
+	"math/rand"
+	"testing"
+
+	"surfdeformer/internal/lattice"
+)
+
+// TestFuzzDeformEnlargeInvariants drives the full deformation unit through
+// random multi-round defect histories on a d=7 patch and checks, after
+// every step: structural validity, k=1, graph-vs-exact distance agreement
+// where feasible, and center-deficit zero.
+func TestFuzzDeformEnlargeInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz loop")
+	}
+	rng := rand.New(rand.NewSource(2024))
+	const d = 7
+	for trial := 0; trial < 10; trial++ {
+		u := NewUnit(co(0, 0), d, d, PolicySurfDeformer, UniformBudget(2))
+		for round := 0; round < 3; round++ {
+			min, max := u.Spec().Bounds()
+			// 1-2 random defect sites per round, anywhere in the current
+			// bounding box.
+			var defects []lattice.Coord
+			n := 1 + rng.Intn(2)
+			for i := 0; i < n; i++ {
+				q := lattice.Coord{
+					Row: min.Row + rng.Intn(max.Row-min.Row+1),
+					Col: min.Col + rng.Intn(max.Col-min.Col+1),
+				}
+				if q.IsData() || q.IsCheck() {
+					defects = append(defects, q)
+				}
+			}
+			res, err := u.Step(defects)
+			if err != nil {
+				// Dense histories can sever the patch; that is a legal
+				// outcome, not an invariant violation. Stop this trial.
+				t.Logf("trial %d round %d: %v (defects %v)", trial, round, err, defects)
+				break
+			}
+			if err := res.Code.Validate(); err != nil {
+				t.Fatalf("trial %d round %d: invalid code: %v", trial, round, err)
+			}
+			if def, err := res.Code.CenterDeficit(); err != nil || def != 0 {
+				t.Fatalf("trial %d round %d: center deficit %d (%v)", trial, round, def, err)
+			}
+			_, k, _, err := res.Code.Params()
+			if err != nil || k != 1 {
+				t.Fatalf("trial %d round %d: k=%d err=%v", trial, round, k, err)
+			}
+			for _, typ := range []lattice.CheckType{lattice.XCheck, lattice.ZCheck} {
+				exact, err := res.Code.ExactDistance(typ)
+				if err != nil {
+					continue
+				}
+				graph := res.Code.DistanceZ()
+				if typ == lattice.XCheck {
+					graph = res.Code.DistanceX()
+				}
+				if graph != exact {
+					t.Fatalf("trial %d round %d type %v: graph %d vs exact %d",
+						trial, round, typ, graph, exact)
+				}
+			}
+		}
+	}
+}
+
+// TestPolicyNoBalanceKeepsGaugePairs verifies the ablation policy: boundary
+// cuts without gauge fixing retain gauge-pair structure (more measured
+// information, less distance optimization).
+func TestPolicyNoBalanceKeepsGaugePairs(t *testing.T) {
+	edge := co(5, 9)
+	s := NewSquareSpec(co(0, 0), 5)
+	if err := ApplyDefects(s, []lattice.Coord{edge}, PolicyNoBalance); err != nil {
+		t.Fatal(err)
+	}
+	if _, fixed := s.Fixes[edge]; fixed {
+		t.Fatal("no-balance policy must not record fixes")
+	}
+	c := mustBuild(t, s)
+	if len(c.Gauges()) == 0 {
+		t.Error("gauge-pair cut should retain gauge operators")
+	}
+	// Compare with the balanced cut: balancing may sacrifice gauge info
+	// for distance, so balanced min-distance >= no-balance min-distance.
+	s2 := NewSquareSpec(co(0, 0), 5)
+	if err := ApplyDefects(s2, []lattice.Coord{edge}, PolicySurfDeformer); err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustBuild(t, s2)
+	if c2.Distance() < c.Distance() {
+		t.Errorf("balanced cut distance %d below no-balance %d", c2.Distance(), c.Distance())
+	}
+}
+
+// TestEnlargeBothAxes restores a corner-damaged patch needing growth in
+// both directions.
+func TestEnlargeBothAxes(t *testing.T) {
+	s := NewSquareSpec(co(0, 0), 5)
+	// Interior defects near the centre cost both distances.
+	for _, q := range []lattice.Coord{co(5, 5), co(5, 3)} {
+		if err := s.DataQRM(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Enlarge(s, 5, 5, nil, PolicySurfDeformer, UniformBudget(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReachedX < 5 || res.ReachedZ < 5 {
+		t.Errorf("reached %d/%d, want 5/5", res.ReachedX, res.ReachedZ)
+	}
+	grewVert, grewHoriz := 0, 0
+	for side, n := range res.LayersAdded {
+		switch side {
+		case lattice.Top, lattice.Bottom:
+			grewVert += n
+		default:
+			grewHoriz += n
+		}
+	}
+	if grewVert == 0 && grewHoriz == 0 {
+		t.Error("no growth recorded for a double removal")
+	}
+}

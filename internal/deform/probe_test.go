@@ -1,0 +1,35 @@
+package deform
+
+import (
+	"math/rand"
+	"testing"
+
+	"surfdeformer/internal/defect"
+)
+
+// TestLargePatchRemovalDistances checks the yield-study regime (fig. 13b):
+// scattered static faults on an l=35 patch must cost only a few units of
+// distance after Surf-Deformer removal.
+func TestLargePatchRemovalDistances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large patch build")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{5, 10, 20} {
+		base := NewSquareSpec(co(0, 0), 35)
+		min, max := base.Bounds()
+		faults := defect.StaticFaults(min, max, k, rng)
+		spec := NewSquareSpec(co(0, 0), 35)
+		if err := ApplyDefects(spec, faults, PolicySurfDeformer); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		c, err := spec.Build()
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		t.Logf("k=%d: dX=%d dZ=%d", k, c.DistanceX(), c.DistanceZ())
+		if c.Distance() < 27 {
+			t.Errorf("k=%d: distance %d below the fig. 13b target 27", k, c.Distance())
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package deform
+
+import (
+	"fmt"
+
+	"surfdeformer/internal/lattice"
+)
+
+// Dynamic defects are temporary (§I: effects persist for thousands of QEC
+// rounds "before their effects go away"). When the defect detector reports
+// a region healthy again, the deformation unit re-incorporates the
+// recovered qubits and shrinks any enlargement that is no longer needed —
+// freeing the communication channel the growth had borrowed from the Δd
+// reserve (fig. 10a).
+
+// Reincorporate returns recovered physical sites to the code: their
+// removal records and boundary fixes are dropped. Sites that were never
+// removed are ignored.
+func (s *Spec) Reincorporate(sites []lattice.Coord) int {
+	n := 0
+	for _, q := range sites {
+		if s.RemovedData[q] {
+			delete(s.RemovedData, q)
+			delete(s.Fixes, q)
+			n++
+		}
+		if s.RemovedSyndrome[q] {
+			delete(s.RemovedSyndrome, q)
+			n++
+		}
+	}
+	return n
+}
+
+// Shrink removes grown layers that are no longer needed: while the patch
+// exceeds its original dimensions and the candidate boundary layer holds no
+// removal records, the layer is given back. It returns the number of layers
+// shed per side.
+func (s *Spec) Shrink(origDX, origDZ int, origOrigin lattice.Coord) map[lattice.Side]int {
+	shed := map[lattice.Side]int{}
+	for {
+		progress := false
+		if s.DX > origDX && s.Origin.Col < origOrigin.Col && s.layerClear(lattice.Left) {
+			s.Origin.Col += 2
+			s.DX--
+			shed[lattice.Left]++
+			progress = true
+		}
+		if s.DX > origDX && s.Origin.Col+2*s.DX > origOrigin.Col+2*origDX && s.layerClear(lattice.Right) {
+			s.DX--
+			shed[lattice.Right]++
+			progress = true
+		}
+		if s.DZ > origDZ && s.Origin.Row < origOrigin.Row && s.layerClear(lattice.Top) {
+			s.Origin.Row += 2
+			s.DZ--
+			shed[lattice.Top]++
+			progress = true
+		}
+		if s.DZ > origDZ && s.Origin.Row+2*s.DZ > origOrigin.Row+2*origDZ && s.layerClear(lattice.Bottom) {
+			s.DZ--
+			shed[lattice.Bottom]++
+			progress = true
+		}
+		if !progress {
+			return shed
+		}
+	}
+}
+
+// layerClear reports whether the outermost layer on the given side holds no
+// removal records (so it can be shed without re-exposing a defect cut).
+func (s *Spec) layerClear(side lattice.Side) bool {
+	min, max := s.Bounds()
+	inLayer := func(q lattice.Coord) bool {
+		switch side {
+		case lattice.Left:
+			return q.Col <= min.Col+2
+		case lattice.Right:
+			return q.Col >= max.Col-2
+		case lattice.Top:
+			return q.Row <= min.Row+2
+		default:
+			return q.Row >= max.Row-2
+		}
+	}
+	for q := range s.RemovedData {
+		if inLayer(q) {
+			return false
+		}
+	}
+	for q := range s.RemovedSyndrome {
+		if inLayer(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// Recover processes a recovery report: the listed sites are healthy again.
+// The unit re-incorporates them, sheds superfluous growth, and rebuilds.
+func (u *Unit) Recover(recovered []lattice.Coord) (*StepResult, error) {
+	for _, q := range recovered {
+		delete(u.defectSet, q)
+	}
+	u.spec.Reincorporate(recovered)
+	shed := u.spec.Shrink(u.origDX, u.origDZ, u.origOrigin)
+	c, err := u.spec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("deform: recovery rebuild failed: %w", err)
+	}
+	return &StepResult{
+		Code:       c,
+		DistanceX:  c.DistanceX(),
+		DistanceZ:  c.DistanceZ(),
+		NumRemoved: u.spec.NumRemoved(),
+		Layers:     negate(shed),
+		Spec:       u.spec,
+	}, nil
+}
+
+func negate(m map[lattice.Side]int) map[lattice.Side]int {
+	out := map[lattice.Side]int{}
+	for k, v := range m {
+		out[k] = -v
+	}
+	return out
+}

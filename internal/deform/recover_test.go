@@ -1,0 +1,125 @@
+package deform
+
+import (
+	"testing"
+
+	"surfdeformer/internal/lattice"
+)
+
+func TestReincorporate(t *testing.T) {
+	s := NewSquareSpec(co(0, 0), 5)
+	defects := []lattice.Coord{co(5, 5), co(4, 6), co(1, 5)}
+	if err := ApplyDefects(s, defects, PolicySurfDeformer); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRemoved() != 3 {
+		t.Fatalf("removed %d, want 3", s.NumRemoved())
+	}
+	n := s.Reincorporate(defects)
+	if n != 3 {
+		t.Fatalf("reincorporated %d, want 3", n)
+	}
+	if s.NumRemoved() != 0 || len(s.Fixes) != 0 {
+		t.Error("records must be fully cleared")
+	}
+	c := mustBuild(t, s)
+	if c.Distance() != 5 || len(c.Gauges()) != 0 {
+		t.Errorf("recovered code distance %d gauges %d, want pristine 5/0", c.Distance(), len(c.Gauges()))
+	}
+	if s.Reincorporate(defects) != 0 {
+		t.Error("double recovery must be a no-op")
+	}
+}
+
+func TestShrinkShedsCleanLayers(t *testing.T) {
+	s := NewSquareSpec(co(0, 0), 5)
+	if err := s.PatchQADD(lattice.Right, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PatchQADD(lattice.Top, 1); err != nil {
+		t.Fatal(err)
+	}
+	shed := s.Shrink(5, 5, co(0, 0))
+	if shed[lattice.Right] != 2 || shed[lattice.Top] != 1 {
+		t.Fatalf("shed %v, want 2 right + 1 top", shed)
+	}
+	if s.DX != 5 || s.DZ != 5 || s.Origin != co(0, 0) {
+		t.Errorf("spec after shrink: %v", s)
+	}
+}
+
+func TestShrinkKeepsDirtyLayers(t *testing.T) {
+	s := NewSquareSpec(co(0, 0), 5)
+	if err := s.PatchQADD(lattice.Right, 2); err != nil {
+		t.Fatal(err)
+	}
+	// A removal inside the outermost grown layer pins it.
+	s.RemovedData[co(5, 13)] = true
+	shed := s.Shrink(5, 5, co(0, 0))
+	if shed[lattice.Right] != 0 {
+		t.Errorf("dirty layer was shed: %v", shed)
+	}
+	// Clearing the record frees the layers.
+	delete(s.RemovedData, co(5, 13))
+	shed = s.Shrink(5, 5, co(0, 0))
+	if shed[lattice.Right] != 2 {
+		t.Errorf("shed %v after cleanup, want 2", shed)
+	}
+}
+
+func TestUnitFullLifecycle(t *testing.T) {
+	// Strike -> deform+grow -> recover -> shrink back to pristine.
+	u := NewUnit(co(0, 0), 5, 5, PolicySurfDeformer, UniformBudget(2))
+	strike := []lattice.Coord{co(5, 5)}
+	r1, err := u.Step(strike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Enlarged {
+		t.Fatal("interior strike should trigger growth")
+	}
+	qubitsDuring := r1.Code.NumQubits()
+
+	r2, err := u.Recover(strike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.NumRemoved != 0 {
+		t.Errorf("%d removals left after recovery", r2.NumRemoved)
+	}
+	if r2.DistanceX != 5 || r2.DistanceZ != 5 {
+		t.Errorf("distances %d/%d after recovery, want 5/5", r2.DistanceX, r2.DistanceZ)
+	}
+	if got := r2.Code.NumQubits(); got != 2*5*5-1 {
+		t.Errorf("qubits after shrink %d, want pristine %d (had %d during)", got, 2*5*5-1, qubitsDuring)
+	}
+	if err := r2.Code.Validate(); err != nil {
+		t.Errorf("recovered code invalid: %v", err)
+	}
+	if len(u.Defects()) != 0 {
+		t.Error("defect set must be empty after recovery")
+	}
+	// The unit can absorb a fresh strike after recovery.
+	if _, err := u.Step([]lattice.Coord{co(3, 3)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverPartial(t *testing.T) {
+	u := NewUnit(co(0, 0), 5, 5, PolicySurfDeformer, UniformBudget(2))
+	strikes := []lattice.Coord{co(5, 5), co(3, 7)}
+	if _, err := u.Step(strikes); err != nil {
+		t.Fatal(err)
+	}
+	// Only one site recovers; the other stays excluded.
+	r, err := u.Recover(strikes[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRemoved == 0 {
+		t.Error("partial recovery must keep the remaining defect excluded")
+	}
+	if len(u.Defects()) != 1 {
+		t.Errorf("defect set %v, want 1 entry", u.Defects())
+	}
+}

@@ -1,0 +1,238 @@
+package deform
+
+import (
+	"math/rand"
+	"testing"
+
+	"surfdeformer/internal/lattice"
+)
+
+func TestApplyDefectsClassification(t *testing.T) {
+	s := NewSquareSpec(co(0, 0), 5)
+	defects := []lattice.Coord{
+		co(5, 5),   // interior data
+		co(4, 6),   // interior syndrome (X check)
+		co(1, 5),   // top-edge data
+		co(99, 99), // outside: ignored
+	}
+	if err := ApplyDefects(s, defects, PolicySurfDeformer); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RemovedData[co(5, 5)] || !s.RemovedSyndrome[co(4, 6)] || !s.RemovedData[co(1, 5)] {
+		t.Errorf("spec after defects: %v", s)
+	}
+	if _, fixed := s.Fixes[co(1, 5)]; !fixed {
+		t.Error("boundary defect should carry a fix choice")
+	}
+	if _, fixed := s.Fixes[co(5, 5)]; fixed {
+		t.Error("interior defect must not carry a fix choice")
+	}
+	c := mustBuild(t, s)
+	if c.Distance() < 2 {
+		t.Errorf("distance collapsed to %d", c.Distance())
+	}
+	// Idempotence: reapplying the same defects must not error or change.
+	before := s.NumRemoved()
+	if err := ApplyDefects(s, defects, PolicySurfDeformer); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRemoved() != before {
+		t.Error("reapplying defects changed the spec")
+	}
+}
+
+func TestApplyDefectsASCRemovesNeighbours(t *testing.T) {
+	s := NewSquareSpec(co(0, 0), 5)
+	if err := ApplyDefects(s, []lattice.Coord{co(4, 6)}, PolicyASC); err != nil {
+		t.Fatal(err)
+	}
+	// ASC-S disables the four data qubits of the defective syndrome's check.
+	if len(s.RemovedData) != 4 {
+		t.Errorf("ASC removed %d data qubits, want 4", len(s.RemovedData))
+	}
+	c := mustBuild(t, s)
+	// Both distances collapse to 3 (fig. 7a).
+	if c.DistanceZ() != 3 || c.DistanceX() != 3 {
+		t.Errorf("ASC distances %d/%d, want 3/3", c.DistanceX(), c.DistanceZ())
+	}
+}
+
+func TestBalancingBeatsASCOnCorner(t *testing.T) {
+	// Fig. 8: balanced boundary cuts keep min(dX, dZ) at least as high as
+	// ASC's fixed-Z choice, on every corner of the patch.
+	corners := []lattice.Coord{co(1, 1), co(1, 9), co(9, 1), co(9, 9)}
+	for _, corner := range corners {
+		bal := NewSquareSpec(co(0, 0), 5)
+		if err := ApplyDefects(bal, []lattice.Coord{corner}, PolicySurfDeformer); err != nil {
+			t.Fatal(err)
+		}
+		balCode := mustBuild(t, bal)
+		asc := NewSquareSpec(co(0, 0), 5)
+		if err := ApplyDefects(asc, []lattice.Coord{corner}, PolicyASC); err != nil {
+			t.Fatal(err)
+		}
+		ascCode := mustBuild(t, asc)
+		if balCode.Distance() < ascCode.Distance() {
+			t.Errorf("corner %v: balanced distance %d < ASC distance %d",
+				corner, balCode.Distance(), ascCode.Distance())
+		}
+	}
+}
+
+func TestRandomDefectPatternsStayValid(t *testing.T) {
+	// Fuzz Algorithm 1 + Build over random sparse defect patterns; every
+	// result must validate, keep k=1 and agree with the exact distance.
+	rng := rand.New(rand.NewSource(7))
+	rect := NewSquareSpec(co(0, 0), 5).Rect()
+	for trial := 0; trial < 25; trial++ {
+		s := NewSquareSpec(co(0, 0), 5)
+		var defects []lattice.Coord
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				defects = append(defects, rect.Data[rng.Intn(len(rect.Data))])
+			} else {
+				defects = append(defects, rect.Checks[rng.Intn(len(rect.Checks))].Center)
+			}
+		}
+		if err := ApplyDefects(s, defects, PolicySurfDeformer); err != nil {
+			t.Fatalf("trial %d defects %v: %v", trial, defects, err)
+		}
+		c, err := s.Build()
+		if err != nil {
+			// Dense patterns can legitimately sever a d=5 patch; only a
+			// k!=1 explanation is acceptable.
+			continue
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("trial %d defects %v: invalid code: %v", trial, defects, err)
+		}
+		for _, typ := range []lattice.CheckType{lattice.XCheck, lattice.ZCheck} {
+			exact, err := c.ExactDistance(typ)
+			if err != nil {
+				continue
+			}
+			graph := c.DistanceZ()
+			if typ == lattice.XCheck {
+				graph = c.DistanceX()
+			}
+			if graph != exact {
+				t.Fatalf("trial %d defects %v type %v: graph %d vs exact %d",
+					trial, defects, typ, graph, exact)
+			}
+		}
+	}
+}
+
+func TestEnlargeRestoresDistance(t *testing.T) {
+	// Remove the centre of a d=5 patch (distance drops), then enlarge with
+	// budget: the distance must return to 5 in both bases.
+	s := NewSquareSpec(co(0, 0), 5)
+	if err := ApplyDefects(s, []lattice.Coord{co(5, 5)}, PolicySurfDeformer); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Enlarge(s, 5, 5, nil, PolicySurfDeformer, UniformBudget(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReachedX < 5 || res.ReachedZ < 5 {
+		t.Errorf("reached distances %d/%d, want >= 5/5", res.ReachedX, res.ReachedZ)
+	}
+	total := 0
+	for _, n := range res.LayersAdded {
+		total += n
+	}
+	if total == 0 {
+		t.Error("no layers added although distance was short")
+	}
+	if total > 2 {
+		t.Errorf("added %d layers for a single interior defect, expected <= 2 (adaptive, not fixed doubling)", total)
+	}
+	if err := res.Code.Validate(); err != nil {
+		t.Errorf("enlarged code invalid: %v", err)
+	}
+}
+
+func TestEnlargeRespectsBudget(t *testing.T) {
+	s := NewSquareSpec(co(0, 0), 5)
+	if err := ApplyDefects(s, []lattice.Coord{co(5, 5)}, PolicySurfDeformer); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Enlarge(s, 5, 5, nil, PolicySurfDeformer, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for side, n := range res.LayersAdded {
+		if n != 0 {
+			t.Errorf("added %d layers on %v with zero budget", n, side)
+		}
+	}
+	if res.ReachedX >= 5 && res.ReachedZ >= 5 {
+		t.Error("distance should remain degraded without budget")
+	}
+}
+
+func TestEnlargeAroundDefectiveScaleLayer(t *testing.T) {
+	// Fig. 9c/d: a defect waiting inside the prospective scale layer. The
+	// enlargement must still restore the distance, spending extra layers.
+	s := NewSquareSpec(co(0, 0), 5)
+	if err := ApplyDefects(s, []lattice.Coord{co(5, 9)}, PolicySurfDeformer); err != nil {
+		t.Fatal(err)
+	}
+	// The first new column on the right contains a defect at (5, 11).
+	defective := func(q lattice.Coord) bool { return q == co(5, 11) }
+	res, err := Enlarge(s, 5, 5, defective, PolicySurfDeformer, UniformBudget(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReachedZ < 5 {
+		t.Errorf("Z distance %d after enlargement, want >= 5", res.ReachedZ)
+	}
+	if err := res.Code.Validate(); err != nil {
+		t.Errorf("enlarged code invalid: %v", err)
+	}
+}
+
+func TestUnitStepAccumulatesDefects(t *testing.T) {
+	u := NewUnit(co(0, 0), 5, 5, PolicySurfDeformer, UniformBudget(2))
+	r1, err := u.Step([]lattice.Coord{co(5, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.DistanceX < 5 || r1.DistanceZ < 5 {
+		t.Errorf("step 1 distances %d/%d, want >= 5", r1.DistanceX, r1.DistanceZ)
+	}
+	r2, err := u.Step([]lattice.Coord{co(5, 5), co(3, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Defects) != 1 {
+		t.Errorf("step 2 processed %d fresh defects, want 1", len(r2.Defects))
+	}
+	if got := len(u.Defects()); got != 2 {
+		t.Errorf("accumulated defects %d, want 2", got)
+	}
+	if err := r2.Code.Validate(); err != nil {
+		t.Errorf("unit code invalid: %v", err)
+	}
+}
+
+func TestInstructionSetsTable1(t *testing.T) {
+	sets := InstructionSets()
+	if len(sets) != 4 {
+		t.Fatalf("Table I has %d rows, want 4", len(sets))
+	}
+	byName := map[string]InstructionSet{}
+	for _, s := range sets {
+		byName[s.Method] = s
+	}
+	if len(byName["Lattice Surgery"].Extended) != 0 {
+		t.Error("lattice surgery extends nothing")
+	}
+	if len(byName["ASC-S"].Extended) != 1 || byName["ASC-S"].Extended[0] != InstrDataQRM {
+		t.Error("ASC-S extends exactly DataQ_RM")
+	}
+	if len(byName["Surf-Deformer"].Extended) != 4 {
+		t.Error("Surf-Deformer extends all four instructions")
+	}
+}

@@ -1,0 +1,217 @@
+// Package deform implements the Surf-Deformer instruction set and the
+// runtime code deformation unit (paper §IV and §V).
+//
+// A deformed patch is described declaratively by a Spec: the bounding
+// rectangle of the patch, the set of removed (defective) data and syndrome
+// sites, and the boundary-fix choices made by the balancing step. The four
+// instructions — DataQRM, SyndromeQRM, PatchQRM, PatchQADD — are edits of
+// the Spec; Build compiles a Spec into a concrete code.Code by the algebraic
+// procedure described in build.go. Semantically each instruction is a
+// composition of the atomic gauge transformations in package gauge (see the
+// paper's fig. 6); the Spec/Build factoring computes their net effect.
+package deform
+
+import (
+	"fmt"
+
+	"surfdeformer/internal/lattice"
+)
+
+// Spec declaratively describes one deformed surface-code patch.
+type Spec struct {
+	// Origin is the top-left corner of the bounding box (even coordinates).
+	Origin lattice.Coord
+	// DX and DZ are the data-qubit column and row counts of the bounding
+	// rectangle (the undeformed patch would have Z distance DX and X
+	// distance DZ).
+	DX, DZ int
+
+	// RemovedData holds defective data sites excluded from the code.
+	RemovedData map[lattice.Coord]bool
+	// RemovedSyndrome holds defective syndrome sites whose checks are
+	// inferred from direct data measurements instead (SyndromeQRM).
+	RemovedSyndrome map[lattice.Coord]bool
+	// Fixes records boundary-cut gauge-fixing choices, keyed by the removed
+	// data coordinate: Fixes[q] = T freezes the single-qubit T operator on
+	// q, merging the broken opposite-type checks into one product check.
+	Fixes map[lattice.Coord]lattice.CheckType
+}
+
+// NewSpec returns the spec of an undeformed dx×dz patch at origin.
+func NewSpec(origin lattice.Coord, dx, dz int) *Spec {
+	if origin.Row%2 != 0 || origin.Col%2 != 0 {
+		panic(fmt.Sprintf("deform: spec origin %v must be even-even", origin))
+	}
+	if dx < 1 || dz < 1 {
+		panic(fmt.Sprintf("deform: invalid spec dimensions %dx%d", dx, dz))
+	}
+	return &Spec{
+		Origin:          origin,
+		DX:              dx,
+		DZ:              dz,
+		RemovedData:     map[lattice.Coord]bool{},
+		RemovedSyndrome: map[lattice.Coord]bool{},
+		Fixes:           map[lattice.Coord]lattice.CheckType{},
+	}
+}
+
+// NewSquareSpec returns the spec of an undeformed distance-d patch.
+func NewSquareSpec(origin lattice.Coord, d int) *Spec { return NewSpec(origin, d, d) }
+
+// Clone returns a deep copy of the spec.
+func (s *Spec) Clone() *Spec {
+	c := &Spec{
+		Origin:          s.Origin,
+		DX:              s.DX,
+		DZ:              s.DZ,
+		RemovedData:     make(map[lattice.Coord]bool, len(s.RemovedData)),
+		RemovedSyndrome: make(map[lattice.Coord]bool, len(s.RemovedSyndrome)),
+		Fixes:           make(map[lattice.Coord]lattice.CheckType, len(s.Fixes)),
+	}
+	for q := range s.RemovedData {
+		c.RemovedData[q] = true
+	}
+	for q := range s.RemovedSyndrome {
+		c.RemovedSyndrome[q] = true
+	}
+	for q, t := range s.Fixes {
+		c.Fixes[q] = t
+	}
+	return c
+}
+
+// Rect returns the regular (undeformed) geometry of the bounding rectangle.
+func (s *Spec) Rect() *lattice.Patch { return lattice.NewRectPatch(s.Origin, s.DX, s.DZ) }
+
+// Bounds returns the inclusive coordinate bounding box of the rectangle.
+func (s *Spec) Bounds() (min, max lattice.Coord) {
+	return s.Origin, lattice.Coord{Row: s.Origin.Row + 2*s.DZ, Col: s.Origin.Col + 2*s.DX}
+}
+
+// Contains reports whether the coordinate lies inside the bounding box.
+func (s *Spec) Contains(q lattice.Coord) bool {
+	min, max := s.Bounds()
+	return q.Row >= min.Row && q.Row <= max.Row && q.Col >= min.Col && q.Col <= max.Col
+}
+
+// OnBoundary reports whether a data coordinate lies on the patch outline
+// (the paper's EdgeX/EdgeZ classification; corners are on both).
+func (s *Spec) OnBoundary(q lattice.Coord) (onXEdge, onZEdge bool) {
+	min, max := s.Bounds()
+	// Top and bottom rows host the X boundaries; left and right columns the
+	// Z boundaries (package lattice convention).
+	onXEdge = q.Row == min.Row+1 || q.Row == max.Row-1
+	onZEdge = q.Col == min.Col+1 || q.Col == max.Col-1
+	return onXEdge, onZEdge
+}
+
+// IsInterior reports whether the data coordinate is strictly inside the
+// patch outline.
+func (s *Spec) IsInterior(q lattice.Coord) bool {
+	x, z := s.OnBoundary(q)
+	return !x && !z
+}
+
+// DataQRM removes a single interior data qubit (paper fig. 6a). The broken
+// checks around it become gauge operator pairs with merged super-stabilizers
+// — the super-stabilizer method. The instruction is recorded in the spec;
+// Build materializes its effect.
+func (s *Spec) DataQRM(q lattice.Coord) error {
+	if !q.IsData() {
+		return fmt.Errorf("deform: DataQRM target %v is not a data site", q)
+	}
+	if !s.Contains(q) {
+		return fmt.Errorf("deform: DataQRM target %v outside patch", q)
+	}
+	if s.RemovedData[q] {
+		return fmt.Errorf("deform: data qubit %v already removed", q)
+	}
+	s.RemovedData[q] = true
+	return nil
+}
+
+// SyndromeQRM removes a single syndrome qubit (paper fig. 6b). Its check is
+// henceforth inferred from direct single-qubit measurements of the adjacent
+// data qubits, and the opposite-type neighbours become gauge operators whose
+// product survives as a super-stabilizer.
+func (s *Spec) SyndromeQRM(q lattice.Coord) error {
+	if !q.IsCheck() {
+		return fmt.Errorf("deform: SyndromeQRM target %v is not a syndrome site", q)
+	}
+	if !s.Contains(q) {
+		return fmt.Errorf("deform: SyndromeQRM target %v outside patch", q)
+	}
+	if s.RemovedSyndrome[q] {
+		return fmt.Errorf("deform: syndrome qubit %v already removed", q)
+	}
+	s.RemovedSyndrome[q] = true
+	return nil
+}
+
+// PatchQRM removes a boundary qubit by deforming the patch boundary (paper
+// fig. 6c). For data sites, fix chooses which single-qubit operator is
+// frozen (the balancing decision of §V-A): freezing type T merges the broken
+// opposite-type checks. For syndrome sites the check is dropped to direct
+// measurements exactly as SyndromeQRM.
+func (s *Spec) PatchQRM(q lattice.Coord, fix lattice.CheckType) error {
+	if q.IsData() {
+		if !s.Contains(q) {
+			return fmt.Errorf("deform: PatchQRM target %v outside patch", q)
+		}
+		if s.IsInterior(q) {
+			return fmt.Errorf("deform: PatchQRM target %v is interior; use DataQRM", q)
+		}
+		if s.RemovedData[q] {
+			return fmt.Errorf("deform: data qubit %v already removed", q)
+		}
+		s.RemovedData[q] = true
+		s.Fixes[q] = fix
+		return nil
+	}
+	if q.IsCheck() {
+		return s.SyndromeQRM(q)
+	}
+	return fmt.Errorf("deform: PatchQRM target %v is neither data nor syndrome", q)
+}
+
+// PatchQADD grows the patch by the given number of full layers on one side
+// (paper fig. 6d). Growing left or top shifts the origin; removed sites keep
+// their absolute coordinates, so boundary notches that end up in the
+// interior automatically acquire interior (super-stabilizer) treatment —
+// the fig. 9 behaviour.
+func (s *Spec) PatchQADD(side lattice.Side, layers int) error {
+	if layers < 1 {
+		return fmt.Errorf("deform: PatchQADD with %d layers", layers)
+	}
+	switch side {
+	case lattice.Left:
+		s.Origin.Col -= 2 * layers
+		s.DX += layers
+	case lattice.Right:
+		s.DX += layers
+	case lattice.Top:
+		s.Origin.Row -= 2 * layers
+		s.DZ += layers
+	case lattice.Bottom:
+		s.DZ += layers
+	default:
+		return fmt.Errorf("deform: PatchQADD with invalid side %v", side)
+	}
+	// Boundary fixes of qubits that are now interior lose their meaning as
+	// cuts; interior treatment (gauge pairs) supersedes them.
+	for q := range s.Fixes {
+		if s.IsInterior(q) {
+			delete(s.Fixes, q)
+		}
+	}
+	return nil
+}
+
+// NumRemoved returns how many physical sites the spec has removed.
+func (s *Spec) NumRemoved() int { return len(s.RemovedData) + len(s.RemovedSyndrome) }
+
+// String summarizes the spec.
+func (s *Spec) String() string {
+	return fmt.Sprintf("spec{origin:%v %dx%d removed:%d/%d fixes:%d}",
+		s.Origin, s.DX, s.DZ, len(s.RemovedData), len(s.RemovedSyndrome), len(s.Fixes))
+}

@@ -1,0 +1,157 @@
+package deform
+
+import (
+	"fmt"
+
+	"surfdeformer/internal/code"
+	"surfdeformer/internal/lattice"
+)
+
+// Unit is the runtime Code Deformation Unit of fig. 5: before each QEC
+// cycle it consumes the dynamic defect report, executes the defect-removal
+// subroutine followed by adaptive enlargement, and hands the deformed code
+// to the execution unit.
+type Unit struct {
+	spec    *Spec
+	policy  Policy
+	budget  Budget
+	targetX int
+	targetZ int
+
+	// Original geometry, for shrinking back after defects subside.
+	origDX, origDZ int
+	origOrigin     lattice.Coord
+
+	// defectSet accumulates every defect seen so far; defects persist for
+	// thousands of cycles, so the spec keeps them excluded until the
+	// detector reports recovery (Recover).
+	defectSet map[lattice.Coord]bool
+}
+
+// NewUnit creates a deformation unit for a fresh dx×dz patch at origin.
+// The unit aims to keep the X and Z distances at dz and dx respectively,
+// growing at most budget layers per side.
+func NewUnit(origin lattice.Coord, dx, dz int, policy Policy, budget Budget) *Unit {
+	return &Unit{
+		spec:       NewSpec(origin, dx, dz),
+		policy:     policy,
+		budget:     budget,
+		targetX:    dz,
+		targetZ:    dx,
+		origDX:     dx,
+		origDZ:     dz,
+		origOrigin: origin,
+		defectSet:  map[lattice.Coord]bool{},
+	}
+}
+
+// StepResult describes one deformation round.
+type StepResult struct {
+	Code       *code.Code
+	DistanceX  int
+	DistanceZ  int
+	NumRemoved int                  // total removed physical sites in the spec
+	Layers     map[lattice.Side]int // layers added this step
+	Defects    []lattice.Coord      // defects processed this step
+	Spec       *Spec                // post-step spec (callers must not mutate)
+	Enlarged   bool                 // whether any growth happened this step
+}
+
+// Step processes a defect report: removal (Algorithm 1) then adaptive
+// enlargement (Algorithm 2). It is idempotent for repeated defects. The
+// entire update is representable within a single QEC cycle (the paper's
+// deformation property); Step returns the code to measure from now on.
+func (u *Unit) Step(defects []lattice.Coord) (*StepResult, error) {
+	var fresh []lattice.Coord
+	for _, q := range defects {
+		if !u.defectSet[q] {
+			u.defectSet[q] = true
+			fresh = append(fresh, q)
+		}
+	}
+	if err := ApplyDefects(u.spec, fresh, u.policy); err != nil {
+		return nil, fmt.Errorf("deform: removal failed: %w", err)
+	}
+	defective := func(q lattice.Coord) bool { return u.defectSet[q] }
+	res, err := Enlarge(u.spec, u.targetX, u.targetZ, defective, u.policy, u.budget)
+	if err != nil {
+		return nil, fmt.Errorf("deform: enlargement failed: %w", err)
+	}
+	enlarged := false
+	for _, n := range res.LayersAdded {
+		if n > 0 {
+			enlarged = true
+		}
+	}
+	return &StepResult{
+		Code:       res.Code,
+		DistanceX:  res.ReachedX,
+		DistanceZ:  res.ReachedZ,
+		NumRemoved: u.spec.NumRemoved(),
+		Layers:     res.LayersAdded,
+		Defects:    fresh,
+		Spec:       u.spec,
+		Enlarged:   enlarged,
+	}, nil
+}
+
+// Spec exposes the unit's current spec (callers must not mutate it).
+func (u *Unit) Spec() *Spec { return u.spec }
+
+// Defects returns the accumulated defect coordinates.
+func (u *Unit) Defects() []lattice.Coord {
+	out := make([]lattice.Coord, 0, len(u.defectSet))
+	for q := range u.defectSet {
+		out = append(out, q)
+	}
+	lattice.SortCoords(out)
+	return out
+}
+
+// Instruction identifies one entry of the extended instruction set
+// (Table I of the paper).
+type Instruction string
+
+// The Surf-Deformer instruction set. Lattice-surgery primitives (grow,
+// merge, split) are the baseline shared by all frameworks.
+const (
+	InstrDataQRM     Instruction = "DataQ_RM"
+	InstrSyndromeQRM Instruction = "SyndromeQ_RM"
+	InstrPatchQRM    Instruction = "PatchQ_RM"
+	InstrPatchQADD   Instruction = "PatchQ_ADD"
+)
+
+// InstructionSet lists the extended instructions a framework supports and
+// the operations they enable — the content of the paper's Table I.
+type InstructionSet struct {
+	Method     string
+	Extended   []Instruction
+	Operations []string
+}
+
+// InstructionSets returns Table I: the instruction sets of lattice surgery,
+// Q3DE, ASC-S and Surf-Deformer.
+func InstructionSets() []InstructionSet {
+	return []InstructionSet{
+		{
+			Method:     "Lattice Surgery",
+			Extended:   nil,
+			Operations: []string{"Logical operations"},
+		},
+		{
+			Method:     "Q3DE",
+			Extended:   nil,
+			Operations: []string{"Logical operations", "Fixed enlargement"},
+		},
+		{
+			Method:     "ASC-S",
+			Extended:   []Instruction{InstrDataQRM},
+			Operations: []string{"Logical operations", "Fixed qubit removal"},
+		},
+		{
+			Method:     "Surf-Deformer",
+			Extended:   []Instruction{InstrDataQRM, InstrSyndromeQRM, InstrPatchQRM, InstrPatchQADD},
+			Operations: []string{"Logical operations", "Adaptive qubit removal", "Adaptive enlargement"},
+		},
+	}
+}

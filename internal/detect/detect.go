@@ -1,0 +1,113 @@
+// Package detect implements dynamic-defect detection.
+//
+// Two detectors are provided. Oracle models the hardware detectors the
+// paper assumes ([31,32] and fig. 14b): it reports the true defective set
+// distorted by configurable false-positive and false-negative rates.
+// Window is a real statistical detector over the syndrome stream: a
+// defective region fires its checks almost every round, so a sliding-window
+// event-rate threshold per observable locates defects — the "statistical
+// methods" of the paper's §II-B.
+package detect
+
+import (
+	"math/rand"
+
+	"surfdeformer/internal/lattice"
+)
+
+// Oracle distorts the true defective set: every true defect is missed with
+// probability fn, and every healthy candidate site is spuriously reported
+// with probability fp. The paper's fig. 14b uses fp = fn = 0.01.
+func Oracle(truth, healthy []lattice.Coord, fp, fn float64, rng *rand.Rand) []lattice.Coord {
+	var out []lattice.Coord
+	for _, q := range truth {
+		if rng.Float64() >= fn {
+			out = append(out, q)
+		}
+	}
+	for _, q := range healthy {
+		if rng.Float64() < fp {
+			out = append(out, q)
+		}
+	}
+	lattice.SortCoords(out)
+	return out
+}
+
+// Window is a sliding-window syndrome-rate defect detector. Feed it the
+// per-round firing pattern of each tracked observable; an observable whose
+// event rate within the window exceeds the threshold is flagged.
+type Window struct {
+	rounds    int     // window length in rounds
+	threshold float64 // firing-rate threshold in (0, 1)
+
+	history map[int32][]int // per observable: recent firing rounds
+	current int
+}
+
+// NewWindow creates a detector with the given window length and rate
+// threshold. A healthy check fires at a rate of order the physical error
+// rate (~1e-2 for weight-4 checks at p=1e-3); a check adjacent to a 50%
+// defect fires at a rate near 0.5, so thresholds around 0.25 separate the
+// two populations after a ~20-round window.
+func NewWindow(rounds int, threshold float64) *Window {
+	return &Window{rounds: rounds, threshold: threshold, history: map[int32][]int{}}
+}
+
+// Feed records the observables that fired (produced a detection event) in
+// the given round. Rounds must be fed in non-decreasing order.
+func (w *Window) Feed(round int, fired []int32) {
+	if round > w.current {
+		w.current = round
+	}
+	for _, o := range fired {
+		w.history[o] = append(w.history[o], round)
+	}
+}
+
+// Flagged returns the observables whose event rate inside the trailing
+// window exceeds the threshold.
+func (w *Window) Flagged() []int32 {
+	lo := w.current - w.rounds + 1
+	var out []int32
+	for o, rounds := range w.history {
+		n := 0
+		for _, r := range rounds {
+			if r >= lo {
+				n++
+			}
+		}
+		if float64(n) >= w.threshold*float64(w.rounds) {
+			out = append(out, o)
+		}
+	}
+	sortInt32(out)
+	return out
+}
+
+// Trim drops history older than the window (call occasionally on long
+// streams to bound memory).
+func (w *Window) Trim() {
+	lo := w.current - w.rounds + 1
+	for o, rounds := range w.history {
+		keep := rounds[:0]
+		for _, r := range rounds {
+			if r >= lo {
+				keep = append(keep, r)
+			}
+		}
+		if len(keep) == 0 {
+			delete(w.history, o)
+			continue
+		}
+		w.history[o] = keep
+	}
+}
+
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+
+	"surfdeformer/internal/lattice"
+)
+
+func TestOracleRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var truth, healthy []lattice.Coord
+	for i := 0; i < 200; i++ {
+		truth = append(truth, lattice.Coord{Row: 1, Col: 2*i + 1})
+		healthy = append(healthy, lattice.Coord{Row: 3, Col: 2*i + 1})
+	}
+	report := Oracle(truth, healthy, 0.05, 0.1, rng)
+	inReport := map[lattice.Coord]bool{}
+	for _, q := range report {
+		inReport[q] = true
+	}
+	var hits, falsePos int
+	for _, q := range truth {
+		if inReport[q] {
+			hits++
+		}
+	}
+	for _, q := range healthy {
+		if inReport[q] {
+			falsePos++
+		}
+	}
+	// Expected: ~180 hits (fn=0.1), ~10 false positives (fp=0.05).
+	if hits < 160 || hits > 200 {
+		t.Errorf("hits %d, want ≈180", hits)
+	}
+	if falsePos < 2 || falsePos > 25 {
+		t.Errorf("false positives %d, want ≈10", falsePos)
+	}
+}
+
+func TestOraclePerfect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	truth := []lattice.Coord{{Row: 1, Col: 1}, {Row: 3, Col: 3}}
+	healthy := []lattice.Coord{{Row: 5, Col: 5}}
+	report := Oracle(truth, healthy, 0, 0, rng)
+	if len(report) != 2 {
+		t.Fatalf("perfect oracle returned %d sites, want 2", len(report))
+	}
+}
+
+func TestWindowSeparatesDefects(t *testing.T) {
+	w := NewWindow(20, 0.25)
+	rng := rand.New(rand.NewSource(3))
+	// Observable 7 is adjacent to a 50% defect (fires ~half the rounds);
+	// observables 0..5 are healthy (fire at ~1%).
+	for round := 0; round < 40; round++ {
+		var fired []int32
+		for o := int32(0); o < 6; o++ {
+			if rng.Float64() < 0.01 {
+				fired = append(fired, o)
+			}
+		}
+		if rng.Float64() < 0.5 {
+			fired = append(fired, 7)
+		}
+		w.Feed(round, fired)
+	}
+	flagged := w.Flagged()
+	found := false
+	for _, o := range flagged {
+		if o == 7 {
+			found = true
+		} else {
+			t.Errorf("healthy observable %d flagged", o)
+		}
+	}
+	if !found {
+		t.Error("defective observable not flagged")
+	}
+}
+
+func TestWindowTrim(t *testing.T) {
+	w := NewWindow(5, 0.5)
+	for round := 0; round < 30; round++ {
+		w.Feed(round, []int32{1})
+	}
+	w.Trim()
+	// After trimming, history holds at most the window.
+	if got := len(w.history[1]); got > 5 {
+		t.Errorf("history length %d after Trim, want <= 5", got)
+	}
+	if len(w.Flagged()) != 1 {
+		t.Error("observable should remain flagged after Trim")
+	}
+	// An observable that stopped firing falls out of the window.
+	for round := 30; round < 40; round++ {
+		w.Feed(round, nil)
+	}
+	if len(w.Flagged()) != 0 {
+		t.Error("stale observable should unflag")
+	}
+}

@@ -1,0 +1,107 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+
+	"surfdeformer/internal/defect"
+	"surfdeformer/internal/deform"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/layout"
+)
+
+// FitLoss derives a LossModel from the real deformation engine instead of
+// the analytic defaults: cosmic-ray events are sampled onto a d-patch, the
+// policy's removal subroutine runs, and (for policies with growth budget)
+// the adaptive enlargement follows. TransientLoss is the mean distance lost
+// right after removal; WindowLoss the mean loss remaining after
+// enlargement. This is the "fig. 11b-calibrated" mode of the Table II
+// estimator.
+func FitLoss(d int, policy deform.Policy, budget int, dm *defect.Model, samples int, rng *rand.Rand) LossModel {
+	if samples < 1 {
+		samples = 1
+	}
+	var transientSum, permanentSum float64
+	counted := 0
+	for s := 0; s < samples; s++ {
+		spec := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
+		min, max := spec.Bounds()
+		// One event: a strike centre anywhere on the patch.
+		sites := allSites(min, max)
+		center := sites[rng.Intn(len(sites))]
+		region := dm.RegionOf(center, min, max)
+		if err := deform.ApplyDefects(spec, region, policy); err != nil {
+			transientSum += float64(d - 2)
+			permanentSum += float64(d - 2)
+			counted++
+			continue
+		}
+		c, err := spec.Build()
+		if err != nil {
+			// Severed patch: total loss.
+			transientSum += float64(d - 2)
+			permanentSum += float64(d - 2)
+			counted++
+			continue
+		}
+		transient := float64(d - c.Distance())
+		permanent := transient
+		if budget > 0 {
+			inRegion := map[lattice.Coord]bool{}
+			for _, q := range region {
+				inRegion[q] = true
+			}
+			res, err := deform.Enlarge(spec, d, d,
+				func(q lattice.Coord) bool { return inRegion[q] },
+				policy, deform.UniformBudget(budget))
+			if err == nil {
+				rd := res.ReachedX
+				if res.ReachedZ < rd {
+					rd = res.ReachedZ
+				}
+				permanent = float64(d - rd)
+			}
+		}
+		if transient < 0 {
+			transient = 0
+		}
+		if permanent < 0 {
+			permanent = 0
+		}
+		transientSum += transient
+		permanentSum += permanent
+		counted++
+	}
+	resp := int64(100)
+	return LossModel{
+		TransientLoss:  int(math.Round(transientSum / float64(counted))),
+		WindowLoss:     int(math.Round(permanentSum / float64(counted))),
+		ResponseCycles: resp,
+	}
+}
+
+// FittedFrameworks returns the framework set with Surf-Deformer and ASC-S
+// loss models fitted by Monte Carlo at the given distance.
+func FittedFrameworks(d, budget, samples int, dm *defect.Model, rng *rand.Rand) map[layout.Scheme]Framework {
+	fws := DefaultFrameworks()
+	surf := fws[layout.SurfDeformer]
+	surf.Loss = FitLoss(d, deform.PolicySurfDeformer, budget, dm, samples, rng)
+	fws[layout.SurfDeformer] = surf
+	asc := fws[layout.ASCS]
+	asc.Loss = FitLoss(d, deform.PolicyASC, 0, dm, samples, rng)
+	fws[layout.ASCS] = asc
+	return fws
+}
+
+func allSites(min, max lattice.Coord) []lattice.Coord {
+	var sites []lattice.Coord
+	for r := min.Row; r <= max.Row; r++ {
+		for c := min.Col; c <= max.Col; c++ {
+			q := lattice.Coord{Row: r, Col: c}
+			if q.IsData() || q.IsCheck() {
+				sites = append(sites, q)
+			}
+		}
+	}
+	return sites
+}

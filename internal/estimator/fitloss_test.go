@@ -1,0 +1,46 @@
+package estimator
+
+import (
+	"math/rand"
+	"testing"
+
+	"surfdeformer/internal/defect"
+	"surfdeformer/internal/deform"
+	"surfdeformer/internal/layout"
+)
+
+func TestFitLossOrdering(t *testing.T) {
+	dm := defect.Paper()
+	rng := rand.New(rand.NewSource(5))
+	d := 11
+	surf := FitLoss(d, deform.PolicySurfDeformer, 4, dm, 8, rng)
+	asc := FitLoss(d, deform.PolicyASC, 0, dm, 8, rng)
+	t.Logf("fitted: surf transient=%d permanent=%d; asc transient=%d permanent=%d",
+		surf.TransientLoss, surf.WindowLoss, asc.TransientLoss, asc.WindowLoss)
+	// Surf-Deformer's enlargement must reclaim more distance than ASC's
+	// never-recover policy.
+	if surf.WindowLoss > asc.WindowLoss {
+		t.Errorf("surf permanent loss %d exceeds asc %d", surf.WindowLoss, asc.WindowLoss)
+	}
+	// A radius-2 event (25 sites) on a d=11 patch costs real distance but
+	// cannot exceed d-2 on average.
+	if surf.TransientLoss < 1 || surf.TransientLoss > d-2 {
+		t.Errorf("surf transient loss %d implausible", surf.TransientLoss)
+	}
+	if asc.WindowLoss < surf.TransientLoss-2 {
+		t.Errorf("asc permanent loss %d suspiciously small", asc.WindowLoss)
+	}
+}
+
+func TestFittedFrameworks(t *testing.T) {
+	dm := defect.Paper()
+	rng := rand.New(rand.NewSource(6))
+	fws := FittedFrameworks(9, 4, 5, dm, rng)
+	if fws[layout.SurfDeformer].Loss.WindowLoss > fws[layout.ASCS].Loss.WindowLoss {
+		t.Error("fitted surf permanent loss should not exceed asc's")
+	}
+	// The non-fitted schemes keep their defaults.
+	if fws[layout.Q3DE] != DefaultFrameworks()[layout.Q3DE] {
+		t.Error("Q3DE framework should be untouched by fitting")
+	}
+}

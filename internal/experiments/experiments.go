@@ -1,0 +1,276 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII). Each experiment returns structured rows so tests can
+// assert the paper's qualitative claims, and renders the same table/series
+// the paper reports.
+//
+// Absolute numbers depend on decoder and scale (see DESIGN.md §1 and
+// EXPERIMENTS.md); the shapes — who wins, by what factor, where crossovers
+// sit — are the reproduction target.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"surfdeformer/internal/decoder"
+	"surfdeformer/internal/defect"
+	"surfdeformer/internal/deform"
+	"surfdeformer/internal/estimator"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/layout"
+	"surfdeformer/internal/noise"
+	"surfdeformer/internal/program"
+	"surfdeformer/internal/sim"
+)
+
+// Options tunes experiment cost. Quick settings are used by unit tests and
+// the testing.B benchmarks; the CLI defaults are larger.
+type Options struct {
+	Shots  int   // Monte-Carlo shots per memory experiment
+	Trials int   // defect-timeline / sampling trials
+	Rounds int   // QEC rounds per memory experiment
+	Seed   int64 // RNG seed
+	Quick  bool  // shrink distances and sweeps for CI-speed runs
+	// FitLosses derives the per-event distance-loss constants of the
+	// retry-risk estimator from the real deformation engine (FitLoss)
+	// instead of the recorded defaults. Slower but self-contained.
+	FitLosses bool
+}
+
+// Defaults returns CLI-scale options.
+func Defaults() Options {
+	return Options{Shots: 20000, Trials: 100, Rounds: 8, Seed: 1}
+}
+
+// QuickOptions returns test-scale options.
+func QuickOptions() Options {
+	return Options{Shots: 1500, Trials: 20, Rounds: 4, Seed: 1, Quick: true}
+}
+
+func (o Options) rng() *rand.Rand { return rand.New(rand.NewSource(o.Seed)) }
+
+// ---------------------------------------------------------------------------
+// Table I: instruction sets
+// ---------------------------------------------------------------------------
+
+// Table1 renders the instruction-set comparison.
+func Table1(w io.Writer) {
+	fmt.Fprintf(w, "%-16s | %-52s | %s\n", "Method", "Extended instructions over LS", "Supported operations")
+	fmt.Fprintln(w, strRepeat("-", 120))
+	for _, set := range deform.InstructionSets() {
+		ext := "N/A"
+		if len(set.Extended) > 0 {
+			ext = ""
+			for i, in := range set.Extended {
+				if i > 0 {
+					ext += ", "
+				}
+				ext += string(in)
+			}
+		}
+		ops := ""
+		for i, op := range set.Operations {
+			if i > 0 {
+				ops += ", "
+			}
+			ops += op
+		}
+		fmt.Fprintf(w, "%-16s | %-52s | %s\n", set.Method, ext, ops)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11a: logical error rate vs number of defective qubits
+// ---------------------------------------------------------------------------
+
+// Fig11aRow is one measurement of the defect-removal study.
+type Fig11aRow struct {
+	D           int
+	NumDefects  int
+	UntreatedLE float64 // per-cycle, defects left in the code
+	RemovedLE   float64 // per-cycle, defects removed by Surf-Deformer
+}
+
+// Fig11a measures the logical error rate of codes with defective qubits
+// left untreated (decoder uninformed) versus removed by the Surf-Deformer
+// defect-removal subroutine. Each point averages a few fault patterns;
+// patterns that sever the patch outright are skipped for the removed curve
+// (they saturate both curves and carry no comparative information).
+func Fig11a(opt Options) ([]Fig11aRow, error) {
+	ds := []int{9}
+	counts := []int{2, 4, 6, 10}
+	samples := 3
+	if opt.Quick {
+		ds = []int{5}
+		counts = []int{1, 3}
+		samples = 2
+	}
+	rng := opt.rng()
+	var rows []Fig11aRow
+	for _, d := range ds {
+		for _, k := range counts {
+			var uSum, rSum float64
+			uN, rN := 0, 0
+			for s := 0; s < samples; s++ {
+				base := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
+				min, max := base.Bounds()
+				defects := defect.StaticFaults(min, max, k, rng)
+				nominal := noise.Uniform(noise.DefaultPhysical)
+				defModel := nominal.WithDefects(defects, noise.DefaultDefectRate)
+
+				// Untreated: full code, hot qubits, uninformed decoder.
+				untreated, err := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d).Build()
+				if err != nil {
+					return nil, err
+				}
+				resU, err := sim.RunMemoryMismatched(untreated, defModel, nominal,
+					opt.Rounds, opt.Shots, lattice.ZCheck, decoder.UnionFindFactory(),
+					opt.Seed+int64(100*k+s))
+				if err != nil {
+					return nil, err
+				}
+				uSum += resU.PerRound
+				uN++
+
+				// Removed: Algorithm 1, nominal noise on surviving qubits.
+				spec := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
+				if err := deform.ApplyDefects(spec, defects, deform.PolicySurfDeformer); err != nil {
+					continue
+				}
+				removedCode, err := spec.Build()
+				if err != nil {
+					continue // severed pattern
+				}
+				resR, err := sim.RunMemory(removedCode, nominal, opt.Rounds, opt.Shots,
+					lattice.ZCheck, decoder.UnionFindFactory(), opt.Seed+int64(100*k+s)+1)
+				if err != nil {
+					return nil, err
+				}
+				rSum += resR.PerRound
+				rN++
+			}
+			row := Fig11aRow{D: d, NumDefects: k}
+			if uN > 0 {
+				row.UntreatedLE = uSum / float64(uN)
+			}
+			if rN > 0 {
+				row.RemovedLE = rSum / float64(rN)
+			} else {
+				row.RemovedLE = 0.5 // every pattern severed the patch
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig11a prints the series.
+func RenderFig11a(w io.Writer, rows []Fig11aRow) {
+	fmt.Fprintf(w, "%-4s %-10s %-22s %-22s\n", "d", "#defects", "untreated λ/cycle", "surf-deformer λ/cycle")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4d %-10d %-22.3e %-22.3e\n", r.D, r.NumDefects, r.UntreatedLE, r.RemovedLE)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11b: code distance after removal, ASC-S vs Surf-Deformer
+// ---------------------------------------------------------------------------
+
+// Fig11bRow is one point of the distance-retention study.
+type Fig11bRow struct {
+	D          int
+	NumDefects int
+	ASCMean    float64
+	SurfMean   float64
+}
+
+// Fig11b compares remaining code distance after defect removal between
+// ASC-S and Surf-Deformer across defect counts and code sizes.
+func Fig11b(opt Options) ([]Fig11bRow, error) {
+	ds := []int{9, 15, 21}
+	counts := []int{5, 10, 20, 30, 40, 50}
+	samples := 5
+	if opt.Quick {
+		ds = []int{9}
+		counts = []int{4, 10}
+		samples = 3
+	}
+	rng := opt.rng()
+	var rows []Fig11bRow
+	for _, d := range ds {
+		for _, k := range counts {
+			ascSum, surfSum := 0.0, 0.0
+			for s := 0; s < samples; s++ {
+				base := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
+				min, max := base.Bounds()
+				defects := defect.StaticFaults(min, max, k, rng)
+				ascSum += float64(removalDistance(defects, d, deform.PolicyASC))
+				surfSum += float64(removalDistance(defects, d, deform.PolicySurfDeformer))
+			}
+			rows = append(rows, Fig11bRow{D: d, NumDefects: k,
+				ASCMean: ascSum / float64(samples), SurfMean: surfSum / float64(samples)})
+		}
+	}
+	return rows, nil
+}
+
+// removalDistance applies the policy and returns the remaining min
+// distance; a severed patch counts as distance 0.
+func removalDistance(defects []lattice.Coord, d int, policy deform.Policy) int {
+	spec := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
+	if err := deform.ApplyDefects(spec, defects, policy); err != nil {
+		return 0
+	}
+	c, err := spec.Build()
+	if err != nil {
+		return 0
+	}
+	return c.Distance()
+}
+
+// RenderFig11b prints the series.
+func RenderFig11b(w io.Writer, rows []Fig11bRow) {
+	fmt.Fprintf(w, "%-4s %-10s %-12s %-12s\n", "d", "#defects", "asc-s", "surf-deformer")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4d %-10d %-12.2f %-12.2f\n", r.D, r.NumDefects, r.ASCMean, r.SurfMean)
+	}
+}
+
+func strRepeat(s string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += s
+	}
+	return out
+}
+
+// shared helpers for the program-level experiments
+
+func paperDistancePairs() map[string][2]int {
+	return map[string][2]int{
+		"simon-400-1000": {19, 21},
+		"simon-900-1500": {21, 23},
+		"rca-225-500":    {21, 23},
+		"rca-729-100":    {21, 23},
+		"qft-25-160":     {23, 25},
+		"qft-100-20":     {25, 27},
+		"grover-9-80":    {23, 25},
+		"grover-16-2":    {25, 27},
+	}
+}
+
+func estimators(opt Options) (*defect.Model, *estimator.LambdaModel, map[layout.Scheme]estimator.Framework) {
+	dm := defect.Paper()
+	if opt.FitLosses {
+		d, budget, samples := 15, 4, 10
+		if opt.Quick {
+			d, samples = 9, 4
+		}
+		rng := rand.New(rand.NewSource(opt.Seed + 7919))
+		return dm, estimator.DefaultLambda(), estimator.FittedFrameworks(d, budget, samples, dm, rng)
+	}
+	return dm, estimator.DefaultLambda(), estimator.DefaultFrameworks()
+}
+
+var _ = program.Benchmarks // referenced by program-level experiment files

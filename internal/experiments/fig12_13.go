@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"surfdeformer/internal/defect"
+	"surfdeformer/internal/deform"
+	"surfdeformer/internal/estimator"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/layout"
+	"surfdeformer/internal/program"
+)
+
+// ---------------------------------------------------------------------------
+// Fig. 12: physical qubits to reach ≈1% retry risk
+// ---------------------------------------------------------------------------
+
+// Fig12Row is one benchmark × scheme bar of the resource comparison.
+type Fig12Row struct {
+	Program *program.Program
+	Scheme  layout.Scheme
+	D       int
+	Qubits  int
+	Risk    float64
+	Reached bool
+}
+
+// Fig12 searches, per scheme, the minimal code distance meeting a 1% retry
+// risk and reports the physical qubits of the resulting layout. Lattice
+// surgery (no mitigation) and Q3DE* (2d spacing) are included per the
+// paper's revised comparison.
+func Fig12(opt Options) ([]Fig12Row, error) {
+	dm, lm, fws := estimators(opt)
+	benches := []*program.Program{
+		program.Simon(900, 1500),
+		program.RCA(729, 100),
+		program.QFT(100, 20),
+		program.Grover(16, 2),
+	}
+	if opt.Quick {
+		benches = benches[:1]
+	}
+	schemes := []layout.Scheme{layout.LatticeSurgery, layout.Q3DEStar, layout.ASCS, layout.SurfDeformer}
+	rng := opt.rng()
+	deltaDFor := func(d int) int { return layout.ChooseDeltaD(dm, d, layout.DefaultAlphaBlock) }
+	maxD := 61
+	var rows []Fig12Row
+	for _, prog := range benches {
+		for _, scheme := range schemes {
+			est, ok := estimator.MinimalDistance(prog, fws[scheme], 0.01, deltaDFor, dm, lm, opt.Trials, maxD, rng)
+			rows = append(rows, Fig12Row{
+				Program: prog,
+				Scheme:  scheme,
+				D:       est.D,
+				Qubits:  est.PhysicalQubits,
+				Risk:    est.RetryRisk,
+				Reached: ok,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig12 prints the bars.
+func RenderFig12(w io.Writer, rows []Fig12Row) {
+	fmt.Fprintf(w, "%-16s %-16s %-4s %-14s %-10s %s\n", "benchmark", "scheme", "d", "#qubits", "risk", "met-1%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-16s %-4d %-14.3e %-10.4f %v\n",
+			r.Program.Name, r.Scheme, r.D, float64(r.Qubits), r.Risk, r.Reached)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 13a: retry-risk vs qubit-count trade-off
+// ---------------------------------------------------------------------------
+
+// Fig13aRow is one point of the trade-off curve.
+type Fig13aRow struct {
+	Scheme layout.Scheme
+	D      int
+	Qubits int
+	Risk   float64
+}
+
+// Fig13a sweeps the code distance and reports the (physical qubits, retry
+// risk) trade-off line of ASC-S versus Surf-Deformer.
+func Fig13a(opt Options) ([]Fig13aRow, error) {
+	dm, lm, fws := estimators(opt)
+	prog := program.Simon(900, 1500)
+	ds := []int{17, 19, 21, 23, 25}
+	if opt.Quick {
+		ds = []int{19, 23}
+	}
+	rng := opt.rng()
+	var rows []Fig13aRow
+	for _, d := range ds {
+		deltaD := layout.ChooseDeltaD(dm, d, layout.DefaultAlphaBlock)
+		for _, scheme := range []layout.Scheme{layout.ASCS, layout.SurfDeformer} {
+			est := estimator.EstimateProgram(prog, fws[scheme], d, deltaD, dm, lm, opt.Trials, rng)
+			rows = append(rows, Fig13aRow{Scheme: scheme, D: d, Qubits: est.PhysicalQubits, Risk: est.RetryRisk})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig13a prints the trade-off lines.
+func RenderFig13a(w io.Writer, rows []Fig13aRow) {
+	fmt.Fprintf(w, "%-16s %-4s %-14s %-10s\n", "scheme", "d", "#qubits", "risk")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-4d %-14.3e %-10.5f\n", r.Scheme, r.D, float64(r.Qubits), r.Risk)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 13b: chiplet yield under static faults
+// ---------------------------------------------------------------------------
+
+// Fig13bRow is one yield measurement.
+type Fig13bRow struct {
+	NumFaults int
+	ASCYield  float64
+	SurfYield float64
+}
+
+// Fig13b measures the yield of deforming an l-sized patch with k static
+// faulty qubits into a code of distance ≥ target: the fraction of fault
+// patterns for which the deformed patch still meets the target distance.
+// The paper uses l = 35 → target 27; Quick mode scales down.
+func Fig13b(opt Options) ([]Fig13bRow, error) {
+	l, target := 35, 27
+	counts := []int{0, 10, 20, 30, 40}
+	samples := opt.Trials / 4
+	if opt.Quick {
+		l, target = 15, 11
+		counts = []int{0, 6, 12}
+		samples = 6
+	}
+	if samples < 3 {
+		samples = 3
+	}
+	rng := opt.rng()
+	var rows []Fig13bRow
+	for _, k := range counts {
+		ascOK, surfOK := 0, 0
+		for s := 0; s < samples; s++ {
+			base := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, l)
+			min, max := base.Bounds()
+			faults := defect.StaticFaults(min, max, k, rng)
+			if removalDistance(faults, l, deform.PolicyASC) >= target {
+				ascOK++
+			}
+			if removalDistance(faults, l, deform.PolicySurfDeformer) >= target {
+				surfOK++
+			}
+		}
+		rows = append(rows, Fig13bRow{
+			NumFaults: k,
+			ASCYield:  float64(ascOK) / float64(samples),
+			SurfYield: float64(surfOK) / float64(samples),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig13b prints the yield curves.
+func RenderFig13b(w io.Writer, rows []Fig13bRow) {
+	fmt.Fprintf(w, "%-10s %-10s %-10s\n", "#faults", "asc-s", "surf-deformer")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10d %-10.2f %-10.2f\n", r.NumFaults, r.ASCYield, r.SurfYield)
+	}
+}

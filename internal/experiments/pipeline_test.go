@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDetectionPipeline(t *testing.T) {
+	opt := QuickOptions()
+	opt.Trials = 12
+	res, err := DetectionPipeline(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected == 0 {
+		t.Fatal("a 50% defect region must be detectable from the syndrome stream")
+	}
+	// A region erroring at 50% fires its checks almost every round; the
+	// window detector should catch it within roughly one window.
+	if res.DetectionLatency < 0 || res.DetectionLatency > 14 {
+		t.Errorf("detection latency %.1f rounds implausible", res.DetectionLatency)
+	}
+	if res.Recall < 0.3 {
+		t.Errorf("region recall %.2f too low; detector misses the defect footprint", res.Recall)
+	}
+	if res.Precision < 0.2 {
+		t.Errorf("region precision %.2f too low; detector flags the whole patch", res.Precision)
+	}
+	if res.DistanceAfter < 2 {
+		t.Errorf("mitigated distance %.2f collapsed", res.DistanceAfter)
+	}
+	var buf bytes.Buffer
+	RenderPipeline(&buf, res)
+	if !strings.Contains(buf.String(), "detection latency") {
+		t.Error("render missing content")
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"surfdeformer/internal/estimator"
+	"surfdeformer/internal/layout"
+	"surfdeformer/internal/program"
+)
+
+// Table2Row is one benchmark × distance row of the end-to-end comparison.
+type Table2Row struct {
+	Program *program.Program
+	D       int
+
+	Q3DEQubits      int
+	Q3DEOverRuntime bool
+	ASCQubits       int
+	ASCRetryRisk    float64
+	SurfQubits      int
+	SurfRetryRisk   float64
+	DeltaD          int
+}
+
+// Table2 reproduces the end-to-end evaluation: for every benchmark program
+// and the paper's two distances per row, the physical qubit count and retry
+// risk of Q3DE, ASC-S and Surf-Deformer.
+func Table2(opt Options) ([]Table2Row, error) {
+	dm, lm, fws := estimators(opt)
+	pairs := paperDistancePairs()
+	benches := program.Benchmarks()
+	if opt.Quick {
+		benches = benches[:2]
+	}
+	rng := opt.rng()
+	var rows []Table2Row
+	for _, prog := range benches {
+		ds, ok := pairs[prog.Name]
+		if !ok {
+			ds = [2]int{19, 21}
+		}
+		for _, d := range ds {
+			deltaD := layout.ChooseDeltaD(dm, d, layout.DefaultAlphaBlock)
+			q3de := estimator.EstimateProgram(prog, fws[layout.Q3DE], d, deltaD, dm, lm, opt.Trials, rng)
+			asc := estimator.EstimateProgram(prog, fws[layout.ASCS], d, deltaD, dm, lm, opt.Trials, rng)
+			surf := estimator.EstimateProgram(prog, fws[layout.SurfDeformer], d, deltaD, dm, lm, opt.Trials, rng)
+			rows = append(rows, Table2Row{
+				Program:         prog,
+				D:               d,
+				DeltaD:          deltaD,
+				Q3DEQubits:      q3de.PhysicalQubits,
+				Q3DEOverRuntime: q3de.OverRuntime,
+				ASCQubits:       asc.PhysicalQubits,
+				ASCRetryRisk:    asc.RetryRisk,
+				SurfQubits:      surf.PhysicalQubits,
+				SurfRetryRisk:   surf.RetryRisk,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable2 prints the table in the paper's format.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "%-16s %-4s | %-12s %-12s | %-12s %-12s | %-12s %-12s\n",
+		"Benchmark", "d", "Q3DE #qubit", "Q3DE risk", "ASC #qubit", "ASC risk", "Surf #qubit", "Surf risk")
+	fmt.Fprintln(w, strRepeat("-", 110))
+	for _, r := range rows {
+		q3deRisk := "OverRuntime"
+		if !r.Q3DEOverRuntime {
+			q3deRisk = fmt.Sprintf("%.2f%%", 100*r.ASCRetryRisk)
+		}
+		fmt.Fprintf(w, "%-16s %-4d | %-12.2e %-12s | %-12.2e %-12.2f%% | %-12.2e %-12.2f%%\n",
+			r.Program.Name, r.D,
+			float64(r.Q3DEQubits), q3deRisk,
+			float64(r.ASCQubits), 100*r.ASCRetryRisk,
+			float64(r.SurfQubits), 100*r.SurfRetryRisk)
+	}
+}

@@ -1,0 +1,138 @@
+// Package gauge implements the four atomic gauge transformations of the
+// Surf-Deformer paper (§II-C, Appendix A): S2G, G2S, S2S and G2G. Each is a
+// checked rewrite of a code.Code that preserves the encoded logical state by
+// construction — the preconditions enforced here are exactly the hypotheses
+// of the paper's logical-state-preservation theorems.
+//
+// The higher-level deformation instructions (package deform) are
+// semantically compositions of these atomic operations; the instruction
+// layer materializes their net effect directly for efficiency, while this
+// package provides the faithful step-by-step calculus used by tests and by
+// callers that need auditable transformation scripts.
+package gauge
+
+import (
+	"fmt"
+
+	"surfdeformer/internal/code"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/pauli"
+)
+
+// S2G performs a Stabilizer-to-Gauge transformation: it introduces newOp as
+// a gauge operator and demotes every stabilizer that anti-commutes with it
+// to a gauge operator. Per the paper, Anti must be non-empty (otherwise the
+// operation is not an S2G) and newOp must commute with both logical
+// representatives (otherwise measuring it would corrupt the logical state).
+//
+// It returns the IDs of the demoted stabilizers' new gauge entries and the
+// ID of the newly added gauge operator.
+func S2G(c *code.Code, newOp pauli.Op, ancilla lattice.Coord, direct bool) (demoted []int, newID int, err error) {
+	if newOp.IsIdentity() {
+		return nil, 0, fmt.Errorf("gauge: S2G with identity operator")
+	}
+	if !newOp.Commutes(c.LogicalX()) || !newOp.Commutes(c.LogicalZ()) {
+		return nil, 0, fmt.Errorf("gauge: S2G operator anti-commutes with a logical; it would corrupt the encoded state")
+	}
+	var anti []code.Stab
+	for _, s := range c.Stabs() {
+		if !s.Op.Commutes(newOp) {
+			anti = append(anti, s)
+		}
+	}
+	if len(anti) == 0 {
+		return nil, 0, fmt.Errorf("gauge: S2G operator commutes with every stabilizer; nothing to demote")
+	}
+	for _, s := range anti {
+		if s.IsSuper() {
+			return nil, 0, fmt.Errorf("gauge: S2G cannot demote super-stabilizer %d; fix its gauges first", s.ID)
+		}
+	}
+	for _, s := range anti {
+		c.RemoveStab(s.ID)
+		demoted = append(demoted, c.AddGauge(s.Op, s.Ancilla, false))
+	}
+	newID = c.AddGauge(newOp, ancilla, direct)
+	return demoted, newID, nil
+}
+
+// G2S performs a Gauge-to-Stabilizer transformation: the gauge operator gid
+// is promoted to a stabilizer. Gauge operators anti-commuting with it are
+// first combined via G2G until exactly one remains, which is then removed
+// from the measured set (its information is sacrificed to fix the gauge).
+func G2S(c *code.Code, gid int) error {
+	g, ok := c.GaugeByID(gid)
+	if !ok {
+		return fmt.Errorf("gauge: G2S of unknown gauge %d", gid)
+	}
+	var anti []code.Gauge
+	for _, h := range c.Gauges() {
+		if h.ID != gid && !h.Op.Commutes(g.Op) {
+			anti = append(anti, h)
+		}
+	}
+	// Reduce |Anti| to one by multiplying the others into the first.
+	for i := 1; i < len(anti); i++ {
+		merged := pauli.Mul(anti[i].Op, anti[0].Op)
+		if merged.IsIdentity() {
+			return fmt.Errorf("gauge: G2G merge of gauges %d and %d is the identity", anti[i].ID, anti[0].ID)
+		}
+		if !c.ReplaceGaugeOp(anti[i].ID, merged) {
+			return fmt.Errorf("gauge: lost gauge %d during G2S", anti[i].ID)
+		}
+	}
+	if len(anti) > 0 {
+		c.RemoveGauge(anti[0].ID)
+	}
+	c.RemoveGauge(gid)
+	if g.Direct {
+		// Gauge fixing of a single-qubit operator: the qubit is frozen in a
+		// known eigenstate and the check is maintained by direct measurement.
+		c.AddDirectStab(g.Op)
+	} else {
+		c.AddStab(g.Op, g.Ancilla)
+	}
+	return nil
+}
+
+// S2S performs a Stabilizer-to-Stabilizer transformation: stabilizer dst is
+// replaced by the product dst·src. Both stabilizers stay in the group; only
+// the generator presentation changes.
+func S2S(c *code.Code, dst, src int) error {
+	sd, ok := c.StabByID(dst)
+	if !ok {
+		return fmt.Errorf("gauge: S2S of unknown stabilizer %d", dst)
+	}
+	ss, ok := c.StabByID(src)
+	if !ok {
+		return fmt.Errorf("gauge: S2S with unknown stabilizer %d", src)
+	}
+	if dst == src {
+		return fmt.Errorf("gauge: S2S of a stabilizer with itself yields the identity")
+	}
+	if sd.IsSuper() {
+		return fmt.Errorf("gauge: S2S cannot rewrite super-stabilizer %d; it is defined by its members", dst)
+	}
+	prod := pauli.Mul(sd.Op, ss.Op)
+	if prod.IsIdentity() {
+		return fmt.Errorf("gauge: S2S product of %d and %d is the identity", dst, src)
+	}
+	c.ReplaceStabOp(dst, prod)
+	return nil
+}
+
+// G2G performs a Gauge-to-Gauge transformation: gauge dst is replaced by
+// dst·m where m is another measured operator (stabilizer or gauge),
+// reorganizing the gauge presentation without changing the generated group.
+func G2G(c *code.Code, dst int, m pauli.Op) error {
+	g, ok := c.GaugeByID(dst)
+	if !ok {
+		return fmt.Errorf("gauge: G2G of unknown gauge %d", dst)
+	}
+	prod := pauli.Mul(g.Op, m)
+	if prod.IsIdentity() {
+		return fmt.Errorf("gauge: G2G product is the identity")
+	}
+	c.ReplaceGaugeOp(dst, prod)
+	return nil
+}

@@ -1,0 +1,250 @@
+package gauge
+
+import (
+	"testing"
+
+	"surfdeformer/internal/code"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/pauli"
+)
+
+func d3code(t *testing.T) *code.Code {
+	t.Helper()
+	c := code.FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, 3))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func center() lattice.Coord { return lattice.Coord{Row: 3, Col: 3} }
+
+func TestS2GDemotesAntiCommutingStabs(t *testing.T) {
+	c := d3code(t)
+	q := center()
+	nStab := len(c.Stabs())
+	// X_q anti-commutes with the two Z stabilizers covering the centre.
+	demoted, newID, err := S2G(c, pauli.X(q), q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(demoted) != 2 {
+		t.Fatalf("demoted %d stabilizers, want 2", len(demoted))
+	}
+	if len(c.Stabs()) != nStab-2 {
+		t.Errorf("stab count %d, want %d", len(c.Stabs()), nStab-2)
+	}
+	if len(c.Gauges()) != 3 {
+		t.Errorf("gauge count %d, want 3 (two demoted + X_q)", len(c.Gauges()))
+	}
+	if _, ok := c.GaugeByID(newID); !ok {
+		t.Error("new gauge not found")
+	}
+	// The transformation preserves [[n,k,l]] counting: k must stay 1.
+	_, k, l, err := c.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 || l != 1 {
+		t.Errorf("k=%d l=%d after S2G, want k=1 l=1", k, l)
+	}
+}
+
+func TestS2GRejectsCommutingOp(t *testing.T) {
+	c := d3code(t)
+	// A copy of an existing stabilizer commutes with everything.
+	op := c.Stabs()[0].Op
+	if _, _, err := S2G(c, op, lattice.Coord{}, true); err == nil {
+		t.Error("S2G must reject operator that demotes nothing")
+	}
+}
+
+func TestS2GRejectsLogicalCorruption(t *testing.T) {
+	c := d3code(t)
+	// A single X on a qubit of logical Z's support anti-commutes with it.
+	q := c.LogicalZ().Support()[0]
+	if _, _, err := S2G(c, pauli.X(q), q, true); err == nil {
+		// X(q) also anti-commutes with Z checks, so without the logical
+		// guard it would pass; the guard must fire first.
+		t.Error("S2G must refuse operators that anti-commute with a logical")
+	}
+}
+
+func TestS2GThenG2SRoundTrip(t *testing.T) {
+	c := d3code(t)
+	q := center()
+	orig := map[string]bool{}
+	for _, s := range c.Stabs() {
+		orig[s.Op.String()] = true
+	}
+	demoted, newID, err := S2G(c, pauli.X(q), q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Promote the first demoted Z stabilizer back: the anti-commuting X_q
+	// gauge is sacrificed, then promote the second (nothing anti-commutes).
+	if err := G2S(c, demoted[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := G2S(c, demoted[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GaugeByID(newID); ok {
+		t.Error("X_q gauge should have been consumed by G2S")
+	}
+	if len(c.Gauges()) != 0 {
+		t.Errorf("gauge count %d after round trip, want 0", len(c.Gauges()))
+	}
+	got := map[string]bool{}
+	for _, s := range c.Stabs() {
+		got[s.Op.String()] = true
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("stab count %d, want %d", len(got), len(orig))
+	}
+	for op := range orig {
+		if !got[op] {
+			t.Errorf("stabilizer %s lost in round trip", op)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("round-tripped code invalid: %v", err)
+	}
+}
+
+func TestG2SReducesMultipleAnti(t *testing.T) {
+	c := d3code(t)
+	q := center()
+	// Demote via X_q, then also add Z_q as gauge (anti-commutes with X-type
+	// gauges): S2G with Z_q demotes the two X stabilizers covering q.
+	_, xID, err := S2G(c, pauli.X(q), q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, zID, err := S2G(c, pauli.Z(q), q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Now X_q anti-commutes with Z_q and with the two demoted X-stab gauges
+	// that act on q... promote X_q: G2G reduction must fold the multiple
+	// anti-commuting partners into one before the sacrifice.
+	if err := G2S(c, xID); err != nil {
+		t.Fatal(err)
+	}
+	// X_q is now a stabilizer; Z_q must be gone or rewritten.
+	if g, ok := c.GaugeByID(zID); ok {
+		if !g.Op.Commutes(pauli.X(q)) {
+			t.Error("remaining gauge still anti-commutes with promoted stabilizer")
+		}
+	}
+	for _, s := range c.Stabs() {
+		for _, g := range c.Gauges() {
+			if !s.Op.Commutes(g.Op) {
+				t.Errorf("stabilizer %d anti-commutes with gauge %d after G2S", s.ID, g.ID)
+			}
+		}
+	}
+}
+
+func TestS2SRewrite(t *testing.T) {
+	c := d3code(t)
+	a, b := c.Stabs()[0], c.Stabs()[1]
+	want := pauli.Mul(a.Op, b.Op)
+	if err := S2S(c, a.ID, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.StabByID(a.ID)
+	if !got.Op.Equal(want) {
+		t.Error("S2S did not install the product")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("code invalid after S2S: %v", err)
+	}
+	if err := S2S(c, a.ID, a.ID); err == nil {
+		t.Error("S2S with itself must fail")
+	}
+}
+
+func TestG2GRewrite(t *testing.T) {
+	c := d3code(t)
+	q := center()
+	demoted, _, err := S2G(c, pauli.X(q), q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, _ := c.GaugeByID(demoted[0])
+	s := c.Stabs()[0]
+	want := pauli.Mul(g0.Op, s.Op)
+	if err := G2G(c, demoted[0], s.Op); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.GaugeByID(demoted[0])
+	if !got.Op.Equal(want) {
+		t.Error("G2G did not install the product")
+	}
+	// Multiplying by itself would give the identity: must be rejected.
+	if err := G2G(c, demoted[0], got.Op); err == nil {
+		t.Error("G2G to identity must fail")
+	}
+}
+
+func TestG2SUnknownAndDirectPromotion(t *testing.T) {
+	c := d3code(t)
+	if err := G2S(c, 999); err == nil {
+		t.Error("G2S of unknown gauge must fail")
+	}
+	q := center()
+	_, xID, err := S2G(c, pauli.X(q), q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// xID is a direct (weight-1) gauge; promoting it fixes the qubit in the
+	// |+> eigenstate and records a Direct stabilizer.
+	if err := G2S(c, xID); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, s := range c.Stabs() {
+		if s.Direct && s.Op.Equal(pauli.X(q)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("promoted direct gauge should appear as a Direct stabilizer")
+	}
+}
+
+// Property from the paper (§IV-A): S2G instructions commute — applying two
+// S2G transformations in either order yields the same measured set.
+func TestS2GCommutes(t *testing.T) {
+	build := func(first, second lattice.Coord) map[string]bool {
+		c := d3code(t)
+		if _, _, err := S2G(c, pauli.X(first), first, true); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := S2G(c, pauli.X(second), second, true); err != nil {
+			t.Fatal(err)
+		}
+		set := map[string]bool{}
+		for _, s := range c.Stabs() {
+			set["S:"+s.Op.String()] = true
+		}
+		for _, g := range c.Gauges() {
+			set["G:"+g.Op.String()] = true
+		}
+		return set
+	}
+	// Two interior-ish qubits not on the logical supports.
+	q1 := lattice.Coord{Row: 3, Col: 3}
+	q2 := lattice.Coord{Row: 3, Col: 5}
+	ab := build(q1, q2)
+	ba := build(q2, q1)
+	if len(ab) != len(ba) {
+		t.Fatalf("measured set sizes differ: %d vs %d", len(ab), len(ba))
+	}
+	for k := range ab {
+		if !ba[k] {
+			t.Errorf("measured sets differ at %s", k)
+		}
+	}
+}

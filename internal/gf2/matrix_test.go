@@ -1,0 +1,304 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasics(t *testing.T) {
+	v := NewVec(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	if !v.IsZero() {
+		t.Fatal("new vector should be zero")
+	}
+	v.Set(0, true)
+	v.Set(64, true)
+	v.Set(129, true)
+	if got := v.Weight(); got != 3 {
+		t.Fatalf("Weight = %d, want 3", got)
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !v.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	v.Flip(64)
+	if v.Get(64) {
+		t.Error("bit 64 should be cleared after Flip")
+	}
+	idx := v.Indices()
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 129 {
+		t.Errorf("Indices = %v, want [0 129]", idx)
+	}
+}
+
+func TestVecFromIndices(t *testing.T) {
+	v := VecFromIndices(10, []int{1, 3, 3, 7})
+	// Setting an index twice leaves the bit set: Set is idempotent.
+	want := []int{1, 3, 7}
+	got := v.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVecXorDot(t *testing.T) {
+	a := VecFromIndices(8, []int{0, 1, 2})
+	b := VecFromIndices(8, []int{1, 2, 3})
+	if a.Dot(b) {
+		// overlap {1,2} has even parity -> Dot false
+		t.Error("Dot: overlap of size 2 should give false")
+	}
+	if !a.Dot(VecFromIndices(8, []int{2, 5})) {
+		t.Error("Dot: overlap of size 1 should give true")
+	}
+	c := a.Clone()
+	c.Xor(b)
+	wantIdx := []int{0, 3}
+	gotIdx := c.Indices()
+	if len(gotIdx) != 2 || gotIdx[0] != wantIdx[0] || gotIdx[1] != wantIdx[1] {
+		t.Errorf("Xor indices = %v, want %v", gotIdx, wantIdx)
+	}
+}
+
+func TestVecOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Get")
+		}
+	}()
+	v := NewVec(4)
+	v.Get(4)
+}
+
+func TestMatrixRankIdentity(t *testing.T) {
+	n := 17
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, true)
+	}
+	if got := m.Rank(); got != n {
+		t.Fatalf("Rank(I_%d) = %d, want %d", n, got, n)
+	}
+}
+
+func TestMatrixRankDependentRows(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Set(0, 0, true)
+	m.Set(0, 1, true)
+	m.Set(1, 1, true)
+	m.Set(1, 2, true)
+	// Row 2 = row 0 + row 1.
+	m.Set(2, 0, true)
+	m.Set(2, 2, true)
+	if got := m.Rank(); got != 2 {
+		t.Fatalf("Rank = %d, want 2", got)
+	}
+}
+
+func TestInSpan(t *testing.T) {
+	m := FromRows([]Vec{
+		VecFromIndices(4, []int{0, 1}),
+		VecFromIndices(4, []int{1, 2}),
+	})
+	if !m.InSpan(VecFromIndices(4, []int{0, 2})) {
+		t.Error("sum of rows should lie in span")
+	}
+	if m.InSpan(VecFromIndices(4, []int{3})) {
+		t.Error("e_3 should not lie in span")
+	}
+	if !m.InSpan(NewVec(4)) {
+		t.Error("zero vector always lies in span")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	rows := []Vec{
+		VecFromIndices(5, []int{0, 1}),
+		VecFromIndices(5, []int{1, 2}),
+		VecFromIndices(5, []int{2, 3}),
+	}
+	m := FromRows(rows)
+	target := VecFromIndices(5, []int{0, 3}) // row0+row1+row2
+	combo, ok := m.Solve(target)
+	if !ok {
+		t.Fatal("Solve failed on in-span target")
+	}
+	// Verify the combination reproduces the target.
+	acc := NewVec(5)
+	for i := 0; i < m.Rows(); i++ {
+		if combo.Get(i) {
+			acc.Xor(m.Row(i))
+		}
+	}
+	if !acc.Equal(target) {
+		t.Fatalf("Solve combo %v does not reproduce target", combo.Indices())
+	}
+	if _, ok := m.Solve(VecFromIndices(5, []int{4})); ok {
+		t.Error("Solve should fail for out-of-span target")
+	}
+}
+
+func TestNullspace(t *testing.T) {
+	// m = [1 1 0; 0 1 1] has nullspace spanned by (1,1,1).
+	m := FromRows([]Vec{
+		VecFromIndices(3, []int{0, 1}),
+		VecFromIndices(3, []int{1, 2}),
+	})
+	ns := m.Nullspace()
+	if len(ns) != 1 {
+		t.Fatalf("nullspace dim = %d, want 1", len(ns))
+	}
+	if ns[0].Weight() != 3 {
+		t.Fatalf("nullspace basis = %v, want weight 3", ns[0].Indices())
+	}
+	// Every basis vector must satisfy m·x = 0.
+	for _, v := range ns {
+		if !m.MulVec(v).IsZero() {
+			t.Error("nullspace vector fails m·x = 0")
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 2, true)
+	m.Set(1, 0, true)
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose shape = %dx%d, want 3x2", tr.Rows(), tr.Cols())
+	}
+	if !tr.Get(2, 0) || !tr.Get(0, 1) {
+		t.Error("transpose bits misplaced")
+	}
+}
+
+func TestRowReducePivots(t *testing.T) {
+	m := FromRows([]Vec{
+		VecFromIndices(4, []int{1, 2}),
+		VecFromIndices(4, []int{2, 3}),
+		VecFromIndices(4, []int{1, 3}),
+	})
+	rref, rank, pivots := m.RowReduce()
+	if rank != 2 {
+		t.Fatalf("rank = %d, want 2", rank)
+	}
+	if len(pivots) != 2 {
+		t.Fatalf("pivots = %v, want 2 entries", pivots)
+	}
+	// rref rows beyond rank must be zero.
+	for r := rank; r < rref.Rows(); r++ {
+		if !rref.Row(r).IsZero() {
+			t.Error("non-zero row below rank in RREF")
+		}
+	}
+}
+
+// Property: rank is invariant under row shuffling.
+func TestQuickRankShuffleInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(10)
+		m := NewMatrix(rows, cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if rng.Intn(2) == 1 {
+					m.Set(r, c, true)
+				}
+			}
+		}
+		r1 := m.Rank()
+		perm := rng.Perm(rows)
+		shuffled := NewMatrix(rows, cols)
+		for i, p := range perm {
+			for c := 0; c < cols; c++ {
+				shuffled.Set(i, c, m.Get(p, c))
+			}
+		}
+		return shuffled.Rank() == r1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any vector v in the span (constructed as a random row
+// combination), Solve succeeds and the recovered combination reproduces v.
+func TestQuickSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(10)
+		m := NewMatrix(rows, cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if rng.Intn(2) == 1 {
+					m.Set(r, c, true)
+				}
+			}
+		}
+		v := NewVec(cols)
+		for r := 0; r < rows; r++ {
+			if rng.Intn(2) == 1 {
+				v.Xor(m.Row(r))
+			}
+		}
+		combo, ok := m.Solve(v)
+		if !ok {
+			return false
+		}
+		acc := NewVec(cols)
+		for r := 0; r < rows; r++ {
+			if combo.Get(r) {
+				acc.Xor(m.Row(r))
+			}
+		}
+		return acc.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nullspace dimension equals cols - rank (rank-nullity).
+func TestQuickRankNullity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(10)
+		m := NewMatrix(rows, cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if rng.Intn(2) == 1 {
+					m.Set(r, c, true)
+				}
+			}
+		}
+		return len(m.Nullspace()) == cols-m.Rank()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRank64x64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(64, 64)
+	for r := 0; r < 64; r++ {
+		for c := 0; c < 64; c++ {
+			if rng.Intn(2) == 1 {
+				m.Set(r, c, true)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Rank()
+	}
+}

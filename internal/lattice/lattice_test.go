@@ -1,0 +1,294 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordOrdering(t *testing.T) {
+	a := Coord{1, 5}
+	b := Coord{2, 0}
+	c := Coord{1, 6}
+	if !a.Less(b) || !a.Less(c) || b.Less(a) {
+		t.Error("row-major ordering violated")
+	}
+	cs := []Coord{b, c, a}
+	SortCoords(cs)
+	if cs[0] != a || cs[1] != c || cs[2] != b {
+		t.Errorf("SortCoords = %v", cs)
+	}
+}
+
+func TestCoordRoles(t *testing.T) {
+	if !(Coord{1, 3}).IsData() {
+		t.Error("(1,3) should be a data position")
+	}
+	if (Coord{1, 3}).IsCheck() {
+		t.Error("(1,3) should not be a check position")
+	}
+	if !(Coord{2, 4}).IsCheck() {
+		t.Error("(2,4) should be a check position")
+	}
+	if (Coord{2, 3}).IsData() || (Coord{2, 3}).IsCheck() {
+		t.Error("(2,3) is neither data nor check")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a, b := Coord{0, 0}, Coord{3, -4}
+	if got := Manhattan(a, b); got != 7 {
+		t.Errorf("Manhattan = %d, want 7", got)
+	}
+	if got := Chebyshev(a, b); got != 4 {
+		t.Errorf("Chebyshev = %d, want 4", got)
+	}
+}
+
+func TestNewPatchCounts(t *testing.T) {
+	for _, d := range []int{2, 3, 5, 7, 9} {
+		p := NewPatch(Coord{0, 0}, d)
+		if len(p.Data) != d*d {
+			t.Errorf("d=%d: data count %d, want %d", d, len(p.Data), d*d)
+		}
+		if len(p.Checks) != d*d-1 {
+			t.Errorf("d=%d: check count %d, want %d", d, len(p.Checks), d*d-1)
+		}
+		nx, nz := 0, 0
+		for _, ch := range p.Checks {
+			if ch.Type == XCheck {
+				nx++
+			} else {
+				nz++
+			}
+		}
+		// Odd-distance codes balance X and Z checks exactly; even-distance
+		// codes are off by one since the total d^2-1 is odd.
+		diff := nx - nz
+		if diff < 0 {
+			diff = -diff
+		}
+		if d%2 == 1 && diff != 0 {
+			t.Errorf("d=%d: X/Z check imbalance %d vs %d", d, nx, nz)
+		}
+		if d%2 == 0 && diff != 1 {
+			t.Errorf("d=%d: X/Z check imbalance %d vs %d, want off-by-one", d, nx, nz)
+		}
+	}
+}
+
+func TestNewPatchChecksCommute(t *testing.T) {
+	// Any two distinct checks must overlap on an even number of data qubits
+	// when their types differ (X vs Z anti-commute per shared qubit).
+	p := NewPatch(Coord{0, 0}, 5)
+	for i, a := range p.Checks {
+		for _, b := range p.Checks[i+1:] {
+			if a.Type == b.Type {
+				continue
+			}
+			n := 0
+			for _, qa := range a.Support {
+				for _, qb := range b.Support {
+					if qa == qb {
+						n++
+					}
+				}
+			}
+			if n%2 != 0 {
+				t.Fatalf("checks %v and %v share %d qubits (odd)", a.Center, b.Center, n)
+			}
+		}
+	}
+}
+
+func TestNewPatchLogicals(t *testing.T) {
+	d := 5
+	p := NewPatch(Coord{0, 0}, d)
+	if len(p.LogicalX) != d || len(p.LogicalZ) != d {
+		t.Fatalf("logical lengths %d/%d, want %d", len(p.LogicalX), len(p.LogicalZ), d)
+	}
+	// Logical X (X-type, vertical) must overlap every Z check evenly.
+	inLX := map[Coord]bool{}
+	for _, c := range p.LogicalX {
+		inLX[c] = true
+	}
+	for _, ch := range p.Checks {
+		if ch.Type != ZCheck {
+			continue
+		}
+		n := 0
+		for _, q := range ch.Support {
+			if inLX[q] {
+				n++
+			}
+		}
+		if n%2 != 0 {
+			t.Errorf("logical X anti-commutes with Z check at %v", ch.Center)
+		}
+	}
+	// Logical Z (Z-type, horizontal) must overlap every X check evenly.
+	inLZ := map[Coord]bool{}
+	for _, c := range p.LogicalZ {
+		inLZ[c] = true
+	}
+	for _, ch := range p.Checks {
+		if ch.Type != XCheck {
+			continue
+		}
+		n := 0
+		for _, q := range ch.Support {
+			if inLZ[q] {
+				n++
+			}
+		}
+		if n%2 != 0 {
+			t.Errorf("logical Z anti-commutes with X check at %v", ch.Center)
+		}
+	}
+	// The two logicals must anti-commute: odd intersection.
+	n := 0
+	for _, c := range p.LogicalX {
+		if inLZ[c] {
+			n++
+		}
+	}
+	if n%2 != 1 {
+		t.Errorf("logical X and Z intersect on %d qubits, want odd", n)
+	}
+}
+
+func TestRectPatch(t *testing.T) {
+	p := NewRectPatch(Coord{0, 0}, 3, 5) // 3 wide, 5 tall
+	if len(p.Data) != 15 {
+		t.Fatalf("data count %d, want 15", len(p.Data))
+	}
+	if len(p.LogicalZ) != 3 || len(p.LogicalX) != 5 {
+		t.Fatalf("logical lengths Z=%d X=%d, want 3/5", len(p.LogicalZ), len(p.LogicalX))
+	}
+	if len(p.Checks) != 14 {
+		t.Fatalf("check count %d, want n-k = 15-1 = 14", len(p.Checks))
+	}
+}
+
+func TestPatchOffsetOrigin(t *testing.T) {
+	p := NewPatch(Coord{10, 20}, 3)
+	min, max := p.Bounds()
+	if min != (Coord{10, 20}) || max != (Coord{16, 26}) {
+		t.Fatalf("bounds %v-%v", min, max)
+	}
+	for _, c := range p.Data {
+		if c.Row < min.Row || c.Row > max.Row || c.Col < min.Col || c.Col > max.Col {
+			t.Errorf("data qubit %v outside bounds", c)
+		}
+		if !c.IsData() {
+			t.Errorf("data qubit %v at non-data position", c)
+		}
+	}
+	for _, ch := range p.Checks {
+		if !ch.Center.IsCheck() {
+			t.Errorf("check centre %v at non-check position", ch.Center)
+		}
+	}
+}
+
+func TestSideOf(t *testing.T) {
+	p := NewPatch(Coord{0, 0}, 5)
+	cases := []struct {
+		c    Coord
+		side Side
+		ok   bool
+	}{
+		{Coord{1, 5}, Top, true},
+		{Coord{9, 5}, Bottom, true},
+		{Coord{5, 1}, Left, true},
+		{Coord{5, 9}, Right, true},
+		{Coord{5, 5}, Top, false}, // dead centre: interior
+	}
+	for _, tc := range cases {
+		side, ok := p.SideOf(tc.c)
+		if ok != tc.ok {
+			t.Errorf("SideOf(%v) ok = %v, want %v", tc.c, ok, tc.ok)
+			continue
+		}
+		if ok && side != tc.side {
+			t.Errorf("SideOf(%v) = %v, want %v", tc.c, side, tc.side)
+		}
+	}
+}
+
+func TestCheckAt(t *testing.T) {
+	p := NewPatch(Coord{0, 0}, 3)
+	if _, ok := p.CheckAt(Coord{2, 2}); !ok {
+		t.Error("expected a check at (2,2)")
+	}
+	if _, ok := p.CheckAt(Coord{0, 0}); ok {
+		t.Error("no check should exist at the corner (0,0)")
+	}
+}
+
+func TestNumQubits(t *testing.T) {
+	// A distance-d rotated surface code uses d^2 + (d^2-1) = 2d^2-1 qubits.
+	for _, d := range []int{3, 5, 7} {
+		p := NewPatch(Coord{0, 0}, d)
+		if got, want := p.NumQubits(), 2*d*d-1; got != want {
+			t.Errorf("d=%d: NumQubits = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestInvalidPatchPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewPatch(Coord{1, 0}, 3) }, // odd origin
+		func() { NewRectPatch(Coord{0, 0}, 0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: every data qubit of a patch is covered by at least one check of
+// each type unless it sits on a boundary, in which case it is covered by at
+// least one check overall.
+func TestQuickPatchCoverage(t *testing.T) {
+	f := func(seedD uint8) bool {
+		d := 2 + int(seedD)%8
+		p := NewPatch(Coord{0, 0}, d)
+		cover := map[Coord]int{}
+		for _, ch := range p.Checks {
+			for _, q := range ch.Support {
+				cover[q]++
+			}
+		}
+		for _, q := range p.Data {
+			if cover[q] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: check supports never exceed weight 4 and always have weight ≥2.
+func TestQuickCheckWeights(t *testing.T) {
+	f := func(seedD uint8) bool {
+		d := 2 + int(seedD)%8
+		p := NewPatch(Coord{0, 0}, d)
+		for _, ch := range p.Checks {
+			if len(ch.Support) < 2 || len(ch.Support) > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package layout implements the compile-time layout generator (§VI): it
+// arranges N logical qubits on a grid of surface-code patches, chooses the
+// extra inter-space Δd from the defect error model via the paper's Eq. 1,
+// and accounts physical qubits for each scheme under comparison.
+package layout
+
+import (
+	"fmt"
+	"math"
+
+	"surfdeformer/internal/defect"
+	"surfdeformer/internal/lattice"
+)
+
+// Scheme identifies the layout policies compared in the paper.
+type Scheme int
+
+const (
+	// SurfDeformer uses inter-space d+Δd: a d-wide communication channel
+	// plus Δd growth allowance (fig. 10a).
+	SurfDeformer Scheme = iota
+	// ASCS uses inter-space d (no growth ever happens; defects only shrink
+	// patches).
+	ASCS
+	// Q3DE uses inter-space d on a fixed layout; its 2× enlargement
+	// therefore blocks the surrounding channels (fig. 10b).
+	Q3DE
+	// Q3DEStar is the revised Q3DE with inter-space 2d so that doubling
+	// never blocks communication (fig. 10c).
+	Q3DEStar
+	// LatticeSurgery is the defect-oblivious baseline with inter-space d.
+	LatticeSurgery
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SurfDeformer:
+		return "surf-deformer"
+	case ASCS:
+		return "asc-s"
+	case Q3DE:
+		return "q3de"
+	case Q3DEStar:
+		return "q3de*"
+	case LatticeSurgery:
+		return "lattice-surgery"
+	}
+	return "invalid"
+}
+
+// Layout is a concrete placement of N logical patches.
+type Layout struct {
+	Scheme Scheme
+	N      int // logical qubits (algorithmic + magic-state)
+	D      int // code distance
+	DeltaD int // growth allowance (Surf-Deformer only)
+
+	Rows, Cols int
+	// Spacing is the inter-patch spacing in data-cell units.
+	Spacing int
+}
+
+// New builds a layout for the scheme. deltaD is only meaningful for
+// SurfDeformer; other schemes derive their spacing from d.
+func New(scheme Scheme, n, d, deltaD int) *Layout {
+	if n < 1 || d < 2 {
+		panic(fmt.Sprintf("layout: invalid n=%d d=%d", n, d))
+	}
+	l := &Layout{Scheme: scheme, N: n, D: d, DeltaD: deltaD}
+	switch scheme {
+	case SurfDeformer:
+		l.Spacing = d + deltaD
+	case Q3DEStar:
+		l.Spacing = 2 * d
+	default:
+		l.Spacing = d
+		l.DeltaD = 0
+	}
+	l.Cols = int(math.Ceil(math.Sqrt(float64(n))))
+	l.Rows = (n + l.Cols - 1) / l.Cols
+	return l
+}
+
+// Pitch returns the tile pitch in data-cell units: patch edge plus spacing.
+func (l *Layout) Pitch() int { return l.D + l.Spacing }
+
+// PhysicalQubits counts the physical qubits of the full layout: every tile
+// covers Pitch² data cells at ≈2 physical qubits per cell (data + one
+// syndrome qubit per plaquette).
+func (l *Layout) PhysicalQubits() int {
+	return 2 * l.N * l.Pitch() * l.Pitch()
+}
+
+// PatchOrigin returns the lattice origin of patch i (row-major placement).
+func (l *Layout) PatchOrigin(i int) lattice.Coord {
+	if i < 0 || i >= l.N {
+		panic(fmt.Sprintf("layout: patch index %d out of range", i))
+	}
+	r, c := i/l.Cols, i%l.Cols
+	return lattice.Coord{Row: 2 * l.Pitch() * r, Col: 2 * l.Pitch() * c}
+}
+
+// PatchCell returns the grid cell of patch i.
+func (l *Layout) PatchCell(i int) (row, col int) { return i / l.Cols, i % l.Cols }
+
+// GrowthBudget returns the per-side enlargement allowance in layers.
+// Surf-Deformer reserves Δd; Q3DE's doubling is d layers (but blocks
+// channels on the fixed layout); the others never grow.
+func (l *Layout) GrowthBudget() int {
+	switch l.Scheme {
+	case SurfDeformer:
+		return l.DeltaD
+	case Q3DE, Q3DEStar:
+		return l.D
+	default:
+		return 0
+	}
+}
+
+// ChooseDeltaD returns the smallest Δd whose blocking probability under the
+// defect model stays below alphaBlock (the paper's Eq. 1). The Poisson
+// parameter is λ = 2d²·ρ·T with T the defect duration window; defectSize D
+// is the per-event enlargement demand.
+func ChooseDeltaD(m *defect.Model, d int, alphaBlock float64) int {
+	nQubits := 2 * d * d
+	window := float64(m.DurationCycles) * m.CycleSeconds
+	lambda := m.PoissonLambda(nQubits, window)
+	defectSize := 2 * m.Radius // a radius-2 event spans ≈4 data columns
+	for deltaD := defectSize; deltaD <= 8*d; deltaD += 1 {
+		if defect.PBlock(lambda, deltaD, defectSize) < alphaBlock {
+			return deltaD
+		}
+	}
+	return 8 * d
+}
+
+// DefaultAlphaBlock is the paper's example blocking threshold (1%).
+const DefaultAlphaBlock = 0.01

@@ -1,0 +1,89 @@
+package layout
+
+import (
+	"testing"
+
+	"surfdeformer/internal/defect"
+)
+
+func TestNewLayoutSpacing(t *testing.T) {
+	cases := []struct {
+		scheme  Scheme
+		spacing int
+	}{
+		{SurfDeformer, 19 + 4},
+		{ASCS, 19},
+		{Q3DE, 19},
+		{Q3DEStar, 38},
+		{LatticeSurgery, 19},
+	}
+	for _, tc := range cases {
+		l := New(tc.scheme, 100, 19, 4)
+		if l.Spacing != tc.spacing {
+			t.Errorf("%v spacing = %d, want %d", tc.scheme, l.Spacing, tc.spacing)
+		}
+	}
+}
+
+func TestPhysicalQubitRatios(t *testing.T) {
+	// Table II: Surf-Deformer uses about (2d+Δd)²/(2d)² ≈ 1.22× the qubits
+	// of ASC-S at d=19, Δd=4; Q3DE* uses (3d)²/(2d+Δd)² ≈ 1.84× Surf.
+	d, dd, n := 19, 4, 400
+	surf := New(SurfDeformer, n, d, dd).PhysicalQubits()
+	asc := New(ASCS, n, d, dd).PhysicalQubits()
+	star := New(Q3DEStar, n, d, dd).PhysicalQubits()
+	ratio := float64(surf) / float64(asc)
+	if ratio < 1.15 || ratio > 1.3 {
+		t.Errorf("Surf/ASC qubit ratio %.3f, want ≈1.22", ratio)
+	}
+	ratio = float64(star) / float64(surf)
+	if ratio < 1.7 || ratio > 2.0 {
+		t.Errorf("Q3DE*/Surf qubit ratio %.3f, want ≈1.84", ratio)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	l := New(SurfDeformer, 10, 5, 2)
+	if l.Rows*l.Cols < 10 {
+		t.Errorf("grid %dx%d cannot host 10 patches", l.Rows, l.Cols)
+	}
+	seen := map[[2]int]bool{}
+	for i := 0; i < l.N; i++ {
+		r, c := l.PatchCell(i)
+		if seen[[2]int{r, c}] {
+			t.Error("duplicate patch cell")
+		}
+		seen[[2]int{r, c}] = true
+		origin := l.PatchOrigin(i)
+		if origin.Row%2 != 0 || origin.Col%2 != 0 {
+			t.Errorf("patch origin %v must be even-even", origin)
+		}
+	}
+}
+
+func TestChooseDeltaDPaperExample(t *testing.T) {
+	// Paper §VI: d=27 under the cosmic-ray model needs Δd = 4 for
+	// α_block = 0.01.
+	m := defect.Paper()
+	got := ChooseDeltaD(m, 27, DefaultAlphaBlock)
+	if got != 4 {
+		t.Errorf("ChooseDeltaD(d=27) = %d, want 4", got)
+	}
+	// A much stricter threshold demands more reserve.
+	strict := ChooseDeltaD(m, 27, 1e-6)
+	if strict <= got {
+		t.Errorf("stricter α_block should need more Δd: %d vs %d", strict, got)
+	}
+}
+
+func TestGrowthBudget(t *testing.T) {
+	if b := New(SurfDeformer, 4, 9, 3).GrowthBudget(); b != 3 {
+		t.Errorf("Surf budget %d, want 3", b)
+	}
+	if b := New(ASCS, 4, 9, 3).GrowthBudget(); b != 0 {
+		t.Errorf("ASC budget %d, want 0", b)
+	}
+	if b := New(Q3DE, 4, 9, 3).GrowthBudget(); b != 9 {
+		t.Errorf("Q3DE budget %d, want d", b)
+	}
+}

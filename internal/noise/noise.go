@@ -1,0 +1,91 @@
+// Package noise defines the error models used throughout the evaluation:
+// the standard circuit-level depolarizing model of the paper (§VII-A), an
+// optional correlated two-qubit channel (fig. 14a), and per-qubit overrides
+// describing dynamic-defect regions with elevated error rates.
+package noise
+
+import "surfdeformer/internal/lattice"
+
+// Model is a circuit-level Pauli error model.
+//
+// Following the paper: probability P1 for the single-qubit depolarizing
+// channel after single-qubit operations, P2 for the two-qubit depolarizing
+// channel after two-qubit gates, PM for the Pauli-X (flip) channel on
+// measurement and reset. The paper sets all three to p = 10⁻³, one tenth of
+// the surface-code threshold.
+type Model struct {
+	P1 float64 // single-qubit depolarizing rate
+	P2 float64 // two-qubit depolarizing rate
+	PM float64 // measurement/reset flip rate
+
+	// PCorrelated adds a correlated two-qubit channel on top of the
+	// depolarizing channel for two-qubit gates: with this probability the
+	// gate suffers a fixed correlated Pauli (X⊗X or Z⊗Z with equal odds).
+	// This is the knob swept in fig. 14a.
+	PCorrelated float64
+
+	// Defective elevates the error rate of specific physical qubits: any
+	// operation touching a defective qubit uses DefectRate instead of the
+	// base rates. This models the paper's dynamic defect regions whose
+	// physical error rate rises to ≈50%.
+	Defective  map[lattice.Coord]bool
+	DefectRate float64
+}
+
+// Uniform returns the paper's baseline model with all rates equal to p.
+func Uniform(p float64) *Model {
+	return &Model{P1: p, P2: p, PM: p}
+}
+
+// WithDefects returns a copy of the model with the given defective qubits
+// at the given local error rate (the paper uses 0.5).
+func (m *Model) WithDefects(defective []lattice.Coord, rate float64) *Model {
+	c := *m
+	c.Defective = make(map[lattice.Coord]bool, len(defective))
+	for _, q := range defective {
+		c.Defective[q] = true
+	}
+	c.DefectRate = rate
+	return &c
+}
+
+// WithCorrelated returns a copy of the model with the correlated two-qubit
+// channel set to pc.
+func (m *Model) WithCorrelated(pc float64) *Model {
+	c := *m
+	c.PCorrelated = pc
+	return &c
+}
+
+// IsDefective reports whether q lies in a defect region.
+func (m *Model) IsDefective(q lattice.Coord) bool { return m.Defective[q] }
+
+// Rate1 returns the single-qubit depolarizing rate at q.
+func (m *Model) Rate1(q lattice.Coord) float64 {
+	if m.Defective[q] {
+		return m.DefectRate
+	}
+	return m.P1
+}
+
+// Rate2 returns the two-qubit depolarizing rate for a gate on a and b.
+func (m *Model) Rate2(a, b lattice.Coord) float64 {
+	if m.Defective[a] || m.Defective[b] {
+		return m.DefectRate
+	}
+	return m.P2
+}
+
+// RateM returns the measurement/reset flip rate at q.
+func (m *Model) RateM(q lattice.Coord) float64 {
+	if m.Defective[q] {
+		return m.DefectRate
+	}
+	return m.PM
+}
+
+// DefaultPhysical is the paper's physical error rate p = 10⁻³.
+const DefaultPhysical = 1e-3
+
+// DefaultDefectRate is the error rate inside a defect region (≈50%).
+const DefaultDefectRate = 0.5

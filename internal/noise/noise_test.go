@@ -1,0 +1,62 @@
+package noise
+
+import (
+	"testing"
+
+	"surfdeformer/internal/lattice"
+)
+
+func TestUniformRates(t *testing.T) {
+	m := Uniform(1e-3)
+	q := lattice.Coord{Row: 1, Col: 1}
+	if m.Rate1(q) != 1e-3 || m.Rate2(q, q) != 1e-3 || m.RateM(q) != 1e-3 {
+		t.Error("uniform model must report p everywhere")
+	}
+	if m.IsDefective(q) {
+		t.Error("uniform model has no defects")
+	}
+}
+
+func TestDefectOverrides(t *testing.T) {
+	hot := lattice.Coord{Row: 3, Col: 3}
+	cold := lattice.Coord{Row: 1, Col: 1}
+	m := Uniform(1e-3).WithDefects([]lattice.Coord{hot}, 0.5)
+	if got := m.Rate1(hot); got != 0.5 {
+		t.Errorf("defective Rate1 = %v, want 0.5", got)
+	}
+	if got := m.Rate1(cold); got != 1e-3 {
+		t.Errorf("healthy Rate1 = %v, want 1e-3", got)
+	}
+	// Two-qubit gates touching a defective qubit inherit the defect rate.
+	if got := m.Rate2(hot, cold); got != 0.5 {
+		t.Errorf("Rate2 hot-cold = %v, want 0.5", got)
+	}
+	if got := m.Rate2(cold, cold); got != 1e-3 {
+		t.Errorf("Rate2 cold-cold = %v", got)
+	}
+	if got := m.RateM(hot); got != 0.5 {
+		t.Errorf("RateM hot = %v", got)
+	}
+}
+
+func TestWithDefectsIsCopy(t *testing.T) {
+	base := Uniform(1e-3)
+	hot := lattice.Coord{Row: 3, Col: 3}
+	derived := base.WithDefects([]lattice.Coord{hot}, 0.5)
+	if base.IsDefective(hot) {
+		t.Error("WithDefects must not mutate the base model")
+	}
+	if !derived.IsDefective(hot) {
+		t.Error("derived model must carry the defect")
+	}
+}
+
+func TestWithCorrelated(t *testing.T) {
+	m := Uniform(1e-3).WithCorrelated(4e-3)
+	if m.PCorrelated != 4e-3 {
+		t.Error("correlated rate not installed")
+	}
+	if Uniform(1e-3).PCorrelated != 0 {
+		t.Error("base model must default to zero correlated rate")
+	}
+}

@@ -1,0 +1,245 @@
+// Package pauli implements sparse Pauli operators over lattice qubits.
+//
+// An operator is stored as two sorted coordinate sets: the X support and the
+// Z support. A qubit in both supports carries a Pauli Y. Global phases are
+// deliberately not tracked: every consumer in this repository (stabilizer
+// bookkeeping, distance computation, deformation) works modulo phase, which
+// is the standard convention for CSS-code manipulation.
+package pauli
+
+import (
+	"sort"
+	"strings"
+
+	"surfdeformer/internal/lattice"
+)
+
+// Op is a sparse Pauli operator. The zero value is the identity.
+type Op struct {
+	xs []lattice.Coord // sorted row-major
+	zs []lattice.Coord // sorted row-major
+}
+
+// X returns the operator ∏ X_c over the given coordinates.
+func X(coords ...lattice.Coord) Op { return Op{xs: canon(coords)} }
+
+// Z returns the operator ∏ Z_c over the given coordinates.
+func Z(coords ...lattice.Coord) Op { return Op{zs: canon(coords)} }
+
+// Y returns the operator ∏ Y_c over the given coordinates.
+func Y(coords ...lattice.Coord) Op {
+	c := canon(coords)
+	return Op{xs: c, zs: append([]lattice.Coord(nil), c...)}
+}
+
+// FromSupports builds an operator from explicit X and Z supports. Duplicate
+// coordinates within one support cancel (X·X = I).
+func FromSupports(xs, zs []lattice.Coord) Op {
+	return Op{xs: canon(xs), zs: canon(zs)}
+}
+
+// canon sorts the coordinates and cancels pairs: an even number of
+// occurrences of a coordinate vanishes, an odd number leaves one.
+func canon(coords []lattice.Coord) []lattice.Coord {
+	if len(coords) == 0 {
+		return nil
+	}
+	cs := append([]lattice.Coord(nil), coords...)
+	lattice.SortCoords(cs)
+	out := cs[:0]
+	for i := 0; i < len(cs); {
+		j := i
+		for j < len(cs) && cs[j] == cs[i] {
+			j++
+		}
+		if (j-i)%2 == 1 {
+			out = append(out, cs[i])
+		}
+		i = j
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// XSupport returns the X support (shared slice; callers must not mutate).
+func (o Op) XSupport() []lattice.Coord { return o.xs }
+
+// ZSupport returns the Z support (shared slice; callers must not mutate).
+func (o Op) ZSupport() []lattice.Coord { return o.zs }
+
+// IsIdentity reports whether o acts trivially on every qubit.
+func (o Op) IsIdentity() bool { return len(o.xs) == 0 && len(o.zs) == 0 }
+
+// IsCSS reports whether o is a pure X-type or pure Z-type operator.
+func (o Op) IsCSS() bool { return len(o.xs) == 0 || len(o.zs) == 0 }
+
+// CSSType returns the check flavour of a CSS operator. For pure-X operators
+// it returns lattice.XCheck; for pure-Z, lattice.ZCheck; mixed operators
+// return ok=false. The identity reports as X-type by convention.
+func (o Op) CSSType() (lattice.CheckType, bool) {
+	switch {
+	case len(o.zs) == 0:
+		return lattice.XCheck, true
+	case len(o.xs) == 0:
+		return lattice.ZCheck, true
+	default:
+		return 0, false
+	}
+}
+
+// Weight returns the number of qubits o acts on non-trivially.
+func (o Op) Weight() int {
+	return len(o.xs) + len(o.zs) - overlapCount(o.xs, o.zs)
+}
+
+// Support returns the sorted set of qubits o acts on.
+func (o Op) Support() []lattice.Coord { return union(o.xs, o.zs) }
+
+// ActsOn reports whether o is non-trivial on coordinate c.
+func (o Op) ActsOn(c lattice.Coord) bool { return contains(o.xs, c) || contains(o.zs, c) }
+
+// PauliAt returns the single-qubit Pauli of o at c as one of "I","X","Y","Z".
+func (o Op) PauliAt(c lattice.Coord) string {
+	x, z := contains(o.xs, c), contains(o.zs, c)
+	switch {
+	case x && z:
+		return "Y"
+	case x:
+		return "X"
+	case z:
+		return "Z"
+	default:
+		return "I"
+	}
+}
+
+// Mul returns the product o·p (phases dropped).
+func Mul(o, p Op) Op {
+	return Op{xs: symDiff(o.xs, p.xs), zs: symDiff(o.zs, p.zs)}
+}
+
+// Commutes reports whether o and p commute. Two Paulis commute iff the
+// symplectic overlap |X(o)∩Z(p)| + |Z(o)∩X(p)| is even.
+func (o Op) Commutes(p Op) bool {
+	return (overlapCount(o.xs, p.zs)+overlapCount(o.zs, p.xs))%2 == 0
+}
+
+// Equal reports whether o and p are the same operator (up to phase).
+func (o Op) Equal(p Op) bool {
+	return coordsEqual(o.xs, p.xs) && coordsEqual(o.zs, p.zs)
+}
+
+// RestrictedTo returns the operator with support intersected with keep.
+// It is used when qubits are physically removed from a code.
+func (o Op) RestrictedTo(keep func(lattice.Coord) bool) Op {
+	return Op{xs: filter(o.xs, keep), zs: filter(o.zs, keep)}
+}
+
+// String renders the operator as e.g. "X(1,1) X(1,3) Z(3,1)"; identity
+// renders as "I".
+func (o Op) String() string {
+	if o.IsIdentity() {
+		return "I"
+	}
+	var parts []string
+	for _, c := range o.Support() {
+		parts = append(parts, o.PauliAt(c)+c.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// contains reports membership via binary search on a sorted slice.
+func contains(cs []lattice.Coord, c lattice.Coord) bool {
+	i := sort.Search(len(cs), func(i int) bool { return !cs[i].Less(c) })
+	return i < len(cs) && cs[i] == c
+}
+
+// overlapCount returns |a ∩ b| for sorted slices.
+func overlapCount(a, b []lattice.Coord) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i].Less(b[j]):
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// symDiff returns the symmetric difference of two sorted slices.
+func symDiff(a, b []lattice.Coord) []lattice.Coord {
+	var out []lattice.Coord
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i].Less(b[j]):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// union returns the sorted union of two sorted slices.
+func union(a, b []lattice.Coord) []lattice.Coord {
+	var out []lattice.Coord
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i].Less(b[j]):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func filter(cs []lattice.Coord, keep func(lattice.Coord) bool) []lattice.Coord {
+	var out []lattice.Coord
+	for _, c := range cs {
+		if keep(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func coordsEqual(a, b []lattice.Coord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,231 @@
+package pauli
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"surfdeformer/internal/lattice"
+)
+
+func c(r, col int) lattice.Coord { return lattice.Coord{Row: r, Col: col} }
+
+func TestIdentity(t *testing.T) {
+	var id Op
+	if !id.IsIdentity() {
+		t.Error("zero value should be identity")
+	}
+	if id.Weight() != 0 {
+		t.Error("identity weight should be 0")
+	}
+	if id.String() != "I" {
+		t.Errorf("identity String = %q", id.String())
+	}
+	x := X(c(0, 0))
+	if !Mul(x, x).IsIdentity() {
+		t.Error("X·X should be identity")
+	}
+}
+
+func TestCanonCancellation(t *testing.T) {
+	// X(a)·X(a) built in one call: duplicate coordinates cancel.
+	op := X(c(1, 1), c(1, 1))
+	if !op.IsIdentity() {
+		t.Error("even repetitions should cancel")
+	}
+	op = X(c(1, 1), c(1, 1), c(1, 1))
+	if op.Weight() != 1 {
+		t.Error("odd repetitions should leave one")
+	}
+}
+
+func TestWeightAndSupport(t *testing.T) {
+	op := FromSupports(
+		[]lattice.Coord{c(0, 0), c(1, 1)},
+		[]lattice.Coord{c(1, 1), c(2, 2)},
+	)
+	if got := op.Weight(); got != 3 {
+		t.Fatalf("Weight = %d, want 3 (X,Y,Z)", got)
+	}
+	if got := op.PauliAt(c(1, 1)); got != "Y" {
+		t.Errorf("PauliAt(1,1) = %s, want Y", got)
+	}
+	if got := op.PauliAt(c(0, 0)); got != "X" {
+		t.Errorf("PauliAt(0,0) = %s, want X", got)
+	}
+	if got := op.PauliAt(c(2, 2)); got != "Z" {
+		t.Errorf("PauliAt(2,2) = %s, want Z", got)
+	}
+	if got := op.PauliAt(c(9, 9)); got != "I" {
+		t.Errorf("PauliAt(9,9) = %s, want I", got)
+	}
+	if len(op.Support()) != 3 {
+		t.Errorf("Support = %v", op.Support())
+	}
+}
+
+func TestCommutation(t *testing.T) {
+	// X and Z on the same qubit anti-commute.
+	if X(c(0, 0)).Commutes(Z(c(0, 0))) {
+		t.Error("X0 and Z0 must anti-commute")
+	}
+	// Disjoint supports commute.
+	if !X(c(0, 0)).Commutes(Z(c(1, 1))) {
+		t.Error("disjoint X and Z must commute")
+	}
+	// Overlap of two anti-commuting pairs -> commute overall.
+	a := X(c(0, 0), c(1, 1))
+	b := Z(c(0, 0), c(1, 1))
+	if !a.Commutes(b) {
+		t.Error("even overlap must commute")
+	}
+	// Y with X on same qubit anti-commutes.
+	if Y(c(0, 0)).Commutes(X(c(0, 0))) {
+		t.Error("Y and X must anti-commute")
+	}
+	// Y with Y commutes.
+	if !Y(c(0, 0)).Commutes(Y(c(0, 0))) {
+		t.Error("Y and Y must commute")
+	}
+}
+
+func TestMulCSS(t *testing.T) {
+	a := Z(c(0, 0), c(0, 2))
+	b := Z(c(0, 2), c(0, 4))
+	p := Mul(a, b)
+	if got, _ := p.CSSType(); got != lattice.ZCheck {
+		t.Error("product of Z ops must be Z-type")
+	}
+	if p.Weight() != 2 {
+		t.Fatalf("weight = %d, want 2", p.Weight())
+	}
+	if !p.ActsOn(c(0, 0)) || !p.ActsOn(c(0, 4)) || p.ActsOn(c(0, 2)) {
+		t.Error("shared qubit should cancel in product")
+	}
+}
+
+func TestMulMixedMakesY(t *testing.T) {
+	p := Mul(X(c(0, 0)), Z(c(0, 0)))
+	if p.PauliAt(c(0, 0)) != "Y" {
+		t.Errorf("X·Z at same qubit = %s, want Y", p.PauliAt(c(0, 0)))
+	}
+	if p.Weight() != 1 {
+		t.Errorf("weight = %d, want 1", p.Weight())
+	}
+}
+
+func TestCSSType(t *testing.T) {
+	if typ, ok := X(c(0, 0)).CSSType(); !ok || typ != lattice.XCheck {
+		t.Error("pure X op should be X-type")
+	}
+	if typ, ok := Z(c(0, 0)).CSSType(); !ok || typ != lattice.ZCheck {
+		t.Error("pure Z op should be Z-type")
+	}
+	if _, ok := Y(c(0, 0)).CSSType(); ok {
+		t.Error("Y op is not CSS")
+	}
+	if !Y(c(0, 0)).IsCSS() == true {
+		// Y has both supports; IsCSS must be false.
+		t.Log("ok")
+	}
+	if Y(c(0, 0)).IsCSS() {
+		t.Error("Y op must not report CSS")
+	}
+}
+
+func TestRestrictedTo(t *testing.T) {
+	op := FromSupports(
+		[]lattice.Coord{c(0, 0), c(1, 1)},
+		[]lattice.Coord{c(2, 2)},
+	)
+	keep := func(q lattice.Coord) bool { return q != c(1, 1) }
+	r := op.RestrictedTo(keep)
+	if r.ActsOn(c(1, 1)) {
+		t.Error("restricted op still acts on removed qubit")
+	}
+	if !r.ActsOn(c(0, 0)) || !r.ActsOn(c(2, 2)) {
+		t.Error("restriction dropped kept qubits")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := X(c(0, 0), c(2, 2))
+	b := X(c(2, 2), c(0, 0))
+	if !a.Equal(b) {
+		t.Error("order of construction must not matter")
+	}
+	if a.Equal(Z(c(0, 0), c(2, 2))) {
+		t.Error("X op must differ from Z op")
+	}
+}
+
+func TestString(t *testing.T) {
+	op := Mul(X(c(0, 0)), Z(c(0, 2)))
+	if got := op.String(); got != "X(0,0) Z(0,2)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func randOp(rng *rand.Rand, n int) Op {
+	var xs, zs []lattice.Coord
+	for i := 0; i < n; i++ {
+		q := c(rng.Intn(5), rng.Intn(5))
+		switch rng.Intn(3) {
+		case 0:
+			xs = append(xs, q)
+		case 1:
+			zs = append(zs, q)
+		default:
+			xs = append(xs, q)
+			zs = append(zs, q)
+		}
+	}
+	return FromSupports(xs, zs)
+}
+
+// Property: multiplication is associative and self-inverse (a·a = I).
+func TestQuickMulGroupLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, cc := randOp(rng, 4), randOp(rng, 4), randOp(rng, 4)
+		if !Mul(a, a).IsIdentity() {
+			return false
+		}
+		lhs := Mul(Mul(a, b), cc)
+		rhs := Mul(a, Mul(b, cc))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: commutation is symmetric, and multiplying two commuting ops
+// produces an op whose commutation with a third follows the product rule:
+// [ab, c] anti-commutes iff exactly one of a,b anti-commutes with c.
+func TestQuickCommutationBilinear(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, cc := randOp(rng, 4), randOp(rng, 4), randOp(rng, 4)
+		if a.Commutes(b) != b.Commutes(a) {
+			return false
+		}
+		want := a.Commutes(cc) == b.Commutes(cc) // XOR of anti-commutations
+		return Mul(a, b).Commutes(cc) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: weight is subadditive under multiplication.
+func TestQuickWeightSubadditive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randOp(rng, 5), randOp(rng, 5)
+		return Mul(a, b).Weight() <= a.Weight()+b.Weight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package program models the benchmark quantum programs of the evaluation
+// (§VII-A): Simon's algorithm, the Takahashi–Kunihiro ripple-carry adder
+// (RCA), the approximate quantum Fourier transform (QFT) and Grover search.
+// Each program is summarized by the quantities the retry-risk estimator
+// consumes: logical qubit count, logical CNOT count, logical T count, and
+// the lattice-surgery schedule length.
+package program
+
+import (
+	"fmt"
+	"math"
+)
+
+// Program is one benchmark instance.
+type Program struct {
+	Name    string
+	Qubits  int   // algorithmic logical qubits
+	Reps    int   // repetitions (second suffix in the paper's naming)
+	CX      int64 // total logical CNOT count
+	T       int64 // total logical T count
+	Derived bool  // true when counts come from formulas rather than Table II
+}
+
+// Table II of the paper fixes the gate counts of the eight evaluated
+// configurations; the constructors below reproduce them exactly and
+// generalize by formula elsewhere.
+var paperCounts = map[string][2]int64{
+	// name -> {CX, T}
+	"simon-400-1000": {302000, 0},
+	"simon-900-1500": {1010000, 0},
+	"rca-225-500":    {896000, 784000},
+	"rca-729-100":    {582000, 510000},
+	"qft-25-160":     {102000, 187000000},
+	"qft-100-20":     {230000, 1580000000},
+	"grover-9-80":    {136000, 199000000},
+	"grover-16-2":    {429000, 1130000000},
+}
+
+// Simon returns Simon's algorithm on n qubits repeated r times. The oracle
+// uses ≈0.75·n CNOTs per repetition and no T gates (Clifford circuit).
+func Simon(n, r int) *Program {
+	return lookupOr("simon", n, r, func() (int64, int64) {
+		return int64(math.Round(0.755 * float64(n) * float64(r))), 0
+	})
+}
+
+// RCA returns the ripple-carry adder on n qubits repeated r times:
+// ≈8·n CNOTs and ≈7·n T gates per repetition (2n Toffolis decomposed into
+// Clifford+T).
+func RCA(n, r int) *Program {
+	return lookupOr("rca", n, r, func() (int64, int64) {
+		return int64(8 * n * r), int64(7 * n * r)
+	})
+}
+
+// QFT returns the approximate QFT on n qubits repeated r times: n(n-1)
+// CNOTs per layer and controlled rotations synthesized into T gates whose
+// count the paper's Table II fixes for the evaluated sizes.
+func QFT(n, r int) *Program {
+	return lookupOr("qft", n, r, func() (int64, int64) {
+		rot := float64(n*(n-1)) / 2
+		// Rotation synthesis cost grows with the precision demanded by
+		// larger circuits; calibrated to the paper's two QFT rows.
+		tPerRot := 1300 * math.Sqrt(float64(n))
+		return int64(float64(n*(n-1)) * 1.06 * float64(r)), int64(rot * tPerRot * float64(r))
+	})
+}
+
+// Grover returns Grover search on n qubits repeated r times.
+func Grover(n, r int) *Program {
+	return lookupOr("grover", n, r, func() (int64, int64) {
+		iters := float64(r) * math.Pow(2, float64(n)/2)
+		return int64(iters * float64(n) * 2), int64(iters * float64(n) * 30)
+	})
+}
+
+func lookupOr(kind string, n, r int, formula func() (int64, int64)) *Program {
+	name := fmt.Sprintf("%s-%d-%d", kind, n, r)
+	p := &Program{Name: name, Qubits: n, Reps: r}
+	if counts, ok := paperCounts[name]; ok {
+		p.CX, p.T = counts[0], counts[1]
+		return p
+	}
+	p.CX, p.T = formula()
+	p.Derived = true
+	return p
+}
+
+// Benchmarks returns the paper's eight Table II configurations in order.
+func Benchmarks() []*Program {
+	return []*Program{
+		Simon(400, 1000),
+		Simon(900, 1500),
+		RCA(225, 500),
+		RCA(729, 100),
+		QFT(25, 160),
+		QFT(100, 20),
+		Grover(9, 80),
+		Grover(16, 2),
+	}
+}
+
+// TFactoryQubits estimates the logical qubits devoted to magic-state
+// distillation: programs with T gates reserve one 15-to-1 factory block of
+// ≈12 logical-qubit tiles per 50 algorithmic qubits (Litinski-style
+// accounting), at least one block when any T gates exist.
+func (p *Program) TFactoryQubits() int {
+	if p.T == 0 {
+		return 0
+	}
+	blocks := (p.Qubits + 49) / 50
+	if blocks < 1 {
+		blocks = 1
+	}
+	return 12 * blocks
+}
+
+// LogicalQubits returns the total logical patches the layout must host.
+func (p *Program) LogicalQubits() int { return p.Qubits + p.TFactoryQubits() }
+
+// ScheduleSteps estimates the lattice-surgery schedule length in logical
+// time-steps: CNOTs route with parallelism ≈ N/4 (each op occupies its two
+// endpoints plus a channel), while T gates stream from the distillation
+// factories. Following the pipelined multi-level distillation accounting of
+// the frameworks the paper compiles with ([40,42]), each factory block
+// sustains ≈256 magic states per logical time-step once its pipeline is
+// full; the schedule is dominated by whichever stream is longer.
+func (p *Program) ScheduleSteps() int64 {
+	n := int64(p.Qubits)
+	par := n / 4
+	if par < 1 {
+		par = 1
+	}
+	steps := (p.CX + par - 1) / par
+	if p.T > 0 {
+		factories := int64(p.TFactoryQubits() / 12)
+		if factories < 1 {
+			factories = 1
+		}
+		const statesPerFactoryStep = 256
+		tSteps := (p.T + factories*statesPerFactoryStep - 1) / (factories * statesPerFactoryStep)
+		if tSteps > steps {
+			steps = tSteps
+		}
+	}
+	return steps
+}
+
+// Cycles converts schedule steps into QEC cycles: each lattice-surgery
+// operation takes d rounds of syndrome extraction.
+func (p *Program) Cycles(d int) int64 { return p.ScheduleSteps() * int64(d) }
+
+// SpaceTimeVolume returns patches × cycles — the exposure the retry-risk
+// composition integrates over.
+func (p *Program) SpaceTimeVolume(d int) int64 {
+	return int64(p.LogicalQubits()) * p.Cycles(d)
+}

@@ -1,0 +1,91 @@
+package program
+
+import "testing"
+
+func TestPaperTableCounts(t *testing.T) {
+	// The eight Table II configurations must reproduce the paper's gate
+	// counts exactly.
+	cases := []struct {
+		p      *Program
+		cx, tg int64
+		qubits int
+	}{
+		{Simon(400, 1000), 302000, 0, 400},
+		{Simon(900, 1500), 1010000, 0, 900},
+		{RCA(225, 500), 896000, 784000, 225},
+		{RCA(729, 100), 582000, 510000, 729},
+		{QFT(25, 160), 102000, 187000000, 25},
+		{QFT(100, 20), 230000, 1580000000, 100},
+		{Grover(9, 80), 136000, 199000000, 9},
+		{Grover(16, 2), 429000, 1130000000, 16},
+	}
+	for _, tc := range cases {
+		if tc.p.CX != tc.cx || tc.p.T != tc.tg {
+			t.Errorf("%s: CX=%d T=%d, want %d/%d", tc.p.Name, tc.p.CX, tc.p.T, tc.cx, tc.tg)
+		}
+		if tc.p.Qubits != tc.qubits {
+			t.Errorf("%s: qubits=%d, want %d", tc.p.Name, tc.p.Qubits, tc.qubits)
+		}
+		if tc.p.Derived {
+			t.Errorf("%s should come from the paper table", tc.p.Name)
+		}
+	}
+}
+
+func TestDerivedFormulasTrackPaperScaling(t *testing.T) {
+	// Off-table sizes use formulas that should land near the paper's
+	// per-repetition scaling.
+	s := Simon(500, 100)
+	if !s.Derived {
+		t.Fatal("simon-500-100 should be derived")
+	}
+	perRep := float64(s.CX) / 100
+	if perRep < 0.6*500 || perRep > 0.9*500 {
+		t.Errorf("Simon CX/rep = %.0f, want ≈0.75n", perRep)
+	}
+	r := RCA(100, 10)
+	if r.CX != 8*100*10 || r.T != 7*100*10 {
+		t.Errorf("RCA derived counts CX=%d T=%d", r.CX, r.T)
+	}
+}
+
+func TestTFactoryAccounting(t *testing.T) {
+	if got := Simon(400, 1000).TFactoryQubits(); got != 0 {
+		t.Errorf("Clifford program should need no factories, got %d", got)
+	}
+	qft := QFT(100, 20)
+	if qft.TFactoryQubits() == 0 {
+		t.Error("T-heavy program needs factories")
+	}
+	if qft.LogicalQubits() <= qft.Qubits {
+		t.Error("logical qubits must include factories")
+	}
+}
+
+func TestScheduleMonotonic(t *testing.T) {
+	// More gates -> more steps; larger d -> more cycles.
+	small := Simon(400, 100)
+	big := Simon(400, 1000)
+	if small.Derived == false && big.Derived == false && small.ScheduleSteps() >= big.ScheduleSteps() {
+		t.Error("longer program should have a longer schedule")
+	}
+	p := RCA(225, 500)
+	if p.Cycles(21) <= p.Cycles(19) {
+		t.Error("larger distance means more QEC cycles")
+	}
+	if p.SpaceTimeVolume(21) <= 0 {
+		t.Error("space-time volume must be positive")
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 8 {
+		t.Fatalf("got %d benchmarks, want 8", len(bs))
+	}
+	for _, b := range bs {
+		if b.Derived {
+			t.Errorf("%s should use paper counts", b.Name)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package report renders experiment results as aligned text, CSV or JSON —
+// the output layer of cmd/surfdeform, so regenerated tables and figures can
+// feed plotting scripts directly.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format selects an output encoding.
+type Format string
+
+// Supported encodings.
+const (
+	Text Format = "text"
+	CSV  Format = "csv"
+	JSON Format = "json"
+)
+
+// ParseFormat validates a format name.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case Text, CSV, JSON:
+		return Format(s), nil
+	}
+	return "", fmt.Errorf("report: unknown format %q (want text, csv or json)", s)
+}
+
+// Table is a generic named result table.
+type Table struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// New creates an empty table with the given columns.
+func New(name string, columns ...string) *Table {
+	return &Table{Name: name, Columns: columns}
+}
+
+// Add appends a row; values are stringified with %v, floats with %g.
+func (t *Table) Add(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.6g", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.6g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table in the requested format.
+func (t *Table) Write(w io.Writer, f Format) error {
+	switch f {
+	case CSV:
+		return t.WriteCSV(w)
+	case JSON:
+		return t.WriteJSON(w)
+	default:
+		return t.WriteText(w)
+	}
+}
+
+// WriteText renders an aligned plain-text table.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range t.Columns {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV renders RFC-4180 CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON renders the table as one JSON object.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("fig-x", "d", "rate", "scheme")
+	t.Add(9, 0.00123456789, "surf-deformer")
+	t.Add(21, 1.5e-10, "asc,s") // comma exercises CSV quoting
+	return t
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, ok := range []string{"text", "csv", "json"} {
+		if _, err := ParseFormat(ok); err != nil {
+			t.Errorf("ParseFormat(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Error("unknown format must be rejected")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "d ") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Alignment: every line must place "scheme" column at same offset.
+	off := strings.Index(lines[0], "scheme")
+	if !strings.Contains(lines[1][off:], "surf") {
+		t.Error("column misaligned")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "d,rate,scheme\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"asc,s"`) {
+		t.Error("CSV must quote cells containing commas")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Table
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Name != "fig-x" || len(decoded.Rows) != 2 {
+		t.Errorf("round trip lost data: %+v", decoded)
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	for _, f := range []Format{Text, CSV, JSON} {
+		var buf bytes.Buffer
+		if err := sample().Write(&buf, f); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%v produced no output", f)
+		}
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("t", "v")
+	tb.Add(float64(0.000015))
+	if tb.Rows[0][0] != "1.5e-05" {
+		t.Errorf("float formatting = %q", tb.Rows[0][0])
+	}
+	tb.Add(float32(2.5))
+	if tb.Rows[1][0] != "2.5" {
+		t.Errorf("float32 formatting = %q", tb.Rows[1][0])
+	}
+}

@@ -1,0 +1,201 @@
+// Package route simulates lattice-surgery communication on a logical-qubit
+// grid: ancilla paths for long-range CNOTs are routed edge-disjointly
+// through the channels between patches, and enlarged or defective patches
+// block their surrounding channels. This is the machinery behind the
+// throughput study of fig. 11c and the OverRuntime verdicts of Table II.
+package route
+
+import (
+	"math/rand"
+)
+
+// Grid is the channel network of an N-patch layout: nodes are patch cells,
+// edges are the channel segments between orthogonally adjacent cells.
+type Grid struct {
+	Rows, Cols int
+	// blocked[c] marks a cell whose surrounding channels are unusable
+	// (a Q3DE-enlarged patch spills into its channels).
+	blocked []bool
+}
+
+// NewGrid creates an unblocked grid.
+func NewGrid(rows, cols int) *Grid {
+	return &Grid{Rows: rows, Cols: cols, blocked: make([]bool, rows*cols)}
+}
+
+// Cell flattens (r, c).
+func (g *Grid) Cell(r, c int) int { return r*g.Cols + c }
+
+// SetBlocked marks or clears a cell's blockage.
+func (g *Grid) SetBlocked(cell int, blocked bool) { g.blocked[cell] = blocked }
+
+// Blocked reports whether a cell's channels are blocked.
+func (g *Grid) Blocked(cell int) bool { return g.blocked[cell] }
+
+// ResetBlocked clears all blockage.
+func (g *Grid) ResetBlocked() {
+	for i := range g.blocked {
+		g.blocked[i] = false
+	}
+}
+
+// edgeKey canonically identifies the channel segment between two adjacent
+// cells.
+type edgeKey struct{ a, b int }
+
+func mkEdge(a, b int) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{a, b}
+}
+
+// CNOT is one two-qubit logical operation between patch cells.
+type CNOT struct {
+	Control, Target int
+}
+
+// RoutePaths routes as many of the pending CNOTs as possible in one
+// time-step using edge-disjoint BFS paths that avoid blocked cells. It
+// returns the indices of the routed operations.
+//
+// A CNOT touching a blocked patch cannot execute at all this step. Paths
+// may pass through cells occupied by other logical qubits' channels (the
+// channels run between patches), but not through blocked cells, and no two
+// paths may share a channel segment.
+func (g *Grid) RoutePaths(pending []CNOT, rng *rand.Rand) []int {
+	usedEdge := map[edgeKey]bool{}
+	var routed []int
+	order := rng.Perm(len(pending))
+	for _, oi := range order {
+		op := pending[oi]
+		if g.blocked[op.Control] || g.blocked[op.Target] {
+			continue
+		}
+		path := g.bfsPath(op.Control, op.Target, usedEdge)
+		if path == nil {
+			continue
+		}
+		for i := 0; i+1 < len(path); i++ {
+			usedEdge[mkEdge(path[i], path[i+1])] = true
+		}
+		routed = append(routed, oi)
+	}
+	return routed
+}
+
+// bfsPath finds a shortest path between cells avoiding blocked interior
+// cells and used edges. Endpoints may be the control/target themselves.
+func (g *Grid) bfsPath(src, dst int, usedEdge map[edgeKey]bool) []int {
+	if src == dst {
+		return []int{src}
+	}
+	prev := make([]int, g.Rows*g.Cols)
+	for i := range prev {
+		prev[i] = -2
+	}
+	prev[src] = -1
+	queue := []int{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			var path []int
+			for v := dst; v != -1; v = prev[v] {
+				path = append(path, v)
+			}
+			return path
+		}
+		r, c := cur/g.Cols, cur%g.Cols
+		for _, nb := range [][2]int{{r - 1, c}, {r + 1, c}, {r, c - 1}, {r, c + 1}} {
+			nr, nc := nb[0], nb[1]
+			if nr < 0 || nr >= g.Rows || nc < 0 || nc >= g.Cols {
+				continue
+			}
+			next := g.Cell(nr, nc)
+			if prev[next] != -2 {
+				continue
+			}
+			if usedEdge[mkEdge(cur, next)] {
+				continue
+			}
+			// Interior hops may not pass through blocked cells; the
+			// destination is checked by the caller.
+			if g.blocked[next] && next != dst {
+				continue
+			}
+			prev[next] = cur
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// TaskResult reports a task-set simulation.
+type TaskResult struct {
+	Steps      int
+	Operations int
+	// Throughput is operations per time-step.
+	Throughput float64
+	// Stalled reports that some operations could never be routed within
+	// the step budget (the Q3DE OverRuntime condition).
+	Stalled bool
+}
+
+// RunTasks executes the CNOT list to completion (or the step budget),
+// routing greedily each time-step. Operations are issued in order but may
+// complete out of order; an operation becomes eligible when its operands
+// are not used by an earlier pending operation (program order per qubit).
+func (g *Grid) RunTasks(ops []CNOT, maxSteps int, rng *rand.Rand) TaskResult {
+	done := make([]bool, len(ops))
+	completed := 0
+	steps := 0
+	for completed < len(ops) && steps < maxSteps {
+		steps++
+		// Eligible ops: operands free among not-done earlier ops.
+		busy := map[int]bool{}
+		var pending []CNOT
+		var pendingIdx []int
+		for i, op := range ops {
+			if done[i] {
+				continue
+			}
+			if busy[op.Control] || busy[op.Target] {
+				busy[op.Control] = true
+				busy[op.Target] = true
+				continue
+			}
+			busy[op.Control] = true
+			busy[op.Target] = true
+			pending = append(pending, op)
+			pendingIdx = append(pendingIdx, i)
+		}
+		routed := g.RoutePaths(pending, rng)
+		if len(routed) == 0 {
+			// Nothing routable this step; if nothing is eligible either,
+			// the task set is stalled for good.
+			stalledForever := true
+			for _, op := range pending {
+				if !g.blocked[op.Control] && !g.blocked[op.Target] {
+					stalledForever = false
+					break
+				}
+			}
+			if stalledForever && len(pending) > 0 {
+				return TaskResult{Steps: steps, Operations: completed,
+					Throughput: float64(completed) / float64(steps), Stalled: true}
+			}
+			continue
+		}
+		for _, ri := range routed {
+			done[pendingIdx[ri]] = true
+			completed++
+		}
+	}
+	res := TaskResult{Steps: steps, Operations: completed}
+	if steps > 0 {
+		res.Throughput = float64(completed) / float64(steps)
+	}
+	res.Stalled = completed < len(ops)
+	return res
+}

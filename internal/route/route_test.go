@@ -1,0 +1,121 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBFSPathBasic(t *testing.T) {
+	g := NewGrid(3, 3)
+	path := g.bfsPath(g.Cell(0, 0), g.Cell(2, 2), map[edgeKey]bool{})
+	if path == nil {
+		t.Fatal("no path on empty grid")
+	}
+	if len(path) != 5 {
+		t.Errorf("path length %d, want 5 cells (Manhattan route)", len(path))
+	}
+}
+
+func TestBlockedCellsAvoided(t *testing.T) {
+	g := NewGrid(1, 3)
+	g.SetBlocked(g.Cell(0, 1), true)
+	// Linear grid with middle blocked: no route on a 1×3 strip.
+	if path := g.bfsPath(g.Cell(0, 0), g.Cell(0, 2), map[edgeKey]bool{}); path != nil {
+		t.Error("path should be blocked")
+	}
+	g2 := NewGrid(2, 3)
+	g2.SetBlocked(g2.Cell(0, 1), true)
+	path := g2.bfsPath(g2.Cell(0, 0), g2.Cell(0, 2), map[edgeKey]bool{})
+	if path == nil {
+		t.Fatal("detour route should exist")
+	}
+	for _, cell := range path[1 : len(path)-1] {
+		if g2.Blocked(cell) {
+			t.Error("path passes through blocked cell")
+		}
+	}
+}
+
+func TestRoutePathsEdgeDisjoint(t *testing.T) {
+	g := NewGrid(4, 4)
+	rng := rand.New(rand.NewSource(1))
+	ops := []CNOT{
+		{g.Cell(0, 0), g.Cell(0, 3)},
+		{g.Cell(3, 0), g.Cell(3, 3)},
+		{g.Cell(0, 0), g.Cell(3, 0)}, // shares an endpoint with op 0
+	}
+	routed := g.RoutePaths(ops, rng)
+	if len(routed) < 2 {
+		t.Errorf("routed %d ops, want at least the two disjoint ones", len(routed))
+	}
+}
+
+func TestRunTasksCompletesOnOpenGrid(t *testing.T) {
+	g := NewGrid(5, 5)
+	rng := rand.New(rand.NewSource(2))
+	var ops []CNOT
+	for i := 0; i < 20; i++ {
+		a, b := rng.Intn(25), rng.Intn(25)
+		if a == b {
+			b = (b + 1) % 25
+		}
+		ops = append(ops, CNOT{a, b})
+	}
+	res := g.RunTasks(ops, 500, rng)
+	if res.Stalled {
+		t.Fatal("open grid should not stall")
+	}
+	if res.Operations != len(ops) {
+		t.Errorf("completed %d of %d ops", res.Operations, len(ops))
+	}
+	if res.Throughput <= 0 {
+		t.Error("throughput must be positive")
+	}
+}
+
+func TestRunTasksStallsWhenTargetBlocked(t *testing.T) {
+	g := NewGrid(3, 3)
+	g.SetBlocked(g.Cell(1, 1), true)
+	rng := rand.New(rand.NewSource(3))
+	res := g.RunTasks([]CNOT{{g.Cell(0, 0), g.Cell(1, 1)}}, 100, rng)
+	if !res.Stalled {
+		t.Error("operation on a blocked patch must stall")
+	}
+}
+
+func TestBlockingReducesThroughput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var ops []CNOT
+	mk := func() []CNOT {
+		var out []CNOT
+		for i := 0; i < 30; i++ {
+			a := rng.Intn(36)
+			b := (a + 7 + i) % 36
+			out = append(out, CNOT{a, b})
+		}
+		return out
+	}
+	ops = mk()
+
+	open := NewGrid(6, 6)
+	r1 := open.RunTasks(ops, 1000, rand.New(rand.NewSource(5)))
+
+	congested := NewGrid(6, 6)
+	// Block a diagonal band of patches not used as endpoints.
+	used := map[int]bool{}
+	for _, op := range ops {
+		used[op.Control] = true
+		used[op.Target] = true
+	}
+	blockedCount := 0
+	for c := 0; c < 36 && blockedCount < 6; c++ {
+		if !used[c] {
+			congested.SetBlocked(c, true)
+			blockedCount++
+		}
+	}
+	r2 := congested.RunTasks(ops, 1000, rand.New(rand.NewSource(5)))
+	if r2.Throughput > r1.Throughput {
+		t.Errorf("blocking should not raise throughput: %.3f vs %.3f", r2.Throughput, r1.Throughput)
+	}
+}

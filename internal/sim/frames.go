@@ -1,0 +1,368 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"surfdeformer/internal/circuit"
+	"surfdeformer/internal/code"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/noise"
+)
+
+// FrameSimulator is a direct, batched Pauli-frame simulator: it steps the
+// syndrome-extraction circuit shot by shot, sampling faults at every noise
+// site and propagating X/Z frames through the Clifford operations, 64 shots
+// at a time in the bits of a word (Stim's frame-simulator strategy).
+//
+// It is an independent implementation path from the DEM machinery in
+// dem.go: BuildDEM enumerates faults once and samples mechanism firings,
+// while FrameSimulator samples the physical circuit directly. Their
+// detector statistics must agree — the cross-validation test in
+// frames_test.go checks exactly that, which pins down the correctness of
+// detector layouts, fault propagation and probability bookkeeping at once.
+type FrameSimulator struct {
+	ops     []flatOp
+	nQubits int
+	nRec    int32
+	rounds  int
+	basis   lattice.CheckType
+	model   *noise.Model
+	coords  []lattice.Coord
+	recDets [][]int32
+	obsRec  []bool
+	nDets   int
+	// idleBefore marks op indices at which the per-round idle channel is
+	// injected (round starts), mirroring buildDEM's placement exactly.
+	idleBefore []int
+
+	// frames: per qubit, X and Z components for 64 shots.
+	fx, fz []uint64
+	// recs: measurement-record deviations for 64 shots.
+	recs []uint64
+}
+
+// NewFrameSimulator materializes the circuit of a memory experiment for
+// direct simulation under the given model.
+func NewFrameSimulator(c *code.Code, model *noise.Model, rounds int, basis lattice.CheckType) (*FrameSimulator, error) {
+	if rounds < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 rounds")
+	}
+	sched, err := circuit.NewSchedule(c)
+	if err != nil {
+		return nil, err
+	}
+	f := &FrameSimulator{rounds: rounds, basis: basis, model: model}
+
+	dataQubits := c.DataQubits()
+	qIdx := map[lattice.Coord]int32{}
+	for _, q := range dataQubits {
+		qIdx[q] = int32(len(f.coords))
+		f.coords = append(f.coords, q)
+	}
+	for _, op := range sched.Ops {
+		if op.Direct {
+			continue
+		}
+		if _, ok := qIdx[op.Ancilla]; !ok {
+			qIdx[op.Ancilla] = int32(len(f.coords))
+			f.coords = append(f.coords, op.Ancilla)
+		}
+	}
+	f.nQubits = len(f.coords)
+
+	recOf := make(map[[2]int]int32)
+	for _, q := range dataQubits {
+		f.ops = append(f.ops, flatOp{kind: opReset, basis: basis, a: qIdx[q], round: 0})
+	}
+	for r := 0; r < rounds; r++ {
+		f.idleBefore = append(f.idleBefore, len(f.ops))
+		var live []circuit.MeasuredOp
+		for _, m := range sched.Ops {
+			if m.MeasuredThisRound(r) {
+				live = append(live, m)
+			}
+		}
+		for _, m := range live {
+			if !m.Direct {
+				f.ops = append(f.ops, flatOp{kind: opReset, basis: m.Basis, a: qIdx[m.Ancilla], round: int16(r)})
+			}
+		}
+		maxSteps := 0
+		for _, m := range live {
+			if !m.Direct && len(m.Data) > maxSteps {
+				maxSteps = len(m.Data)
+			}
+		}
+		for t := 0; t < maxSteps; t++ {
+			for _, m := range live {
+				if m.Direct || t >= len(m.Data) {
+					continue
+				}
+				anc, dat := qIdx[m.Ancilla], qIdx[m.Data[t]]
+				if m.Basis == lattice.XCheck {
+					f.ops = append(f.ops, flatOp{kind: opCX, a: anc, b: dat, round: int16(r)})
+				} else {
+					f.ops = append(f.ops, flatOp{kind: opCX, a: dat, b: anc, round: int16(r)})
+				}
+			}
+		}
+		for _, m := range live {
+			rec := f.nRec
+			f.nRec++
+			recOf[[2]int{r, m.Slot}] = rec
+			target := m.Ancilla
+			if m.Direct {
+				target = m.Data[0]
+			}
+			f.ops = append(f.ops, flatOp{kind: opMeas, basis: m.Basis, a: qIdx[target], rec: rec, round: int16(r)})
+		}
+	}
+	readoutRec := make(map[lattice.Coord]int32)
+	for _, q := range dataQubits {
+		rec := f.nRec
+		f.nRec++
+		readoutRec[q] = rec
+		f.ops = append(f.ops, flatOp{kind: opMeas, basis: basis, a: qIdx[q], rec: rec, round: int16(rounds - 1)})
+	}
+
+	// Detector layout — identical construction to buildDEM so detector IDs
+	// line up between the two implementations.
+	f.recDets = make([][]int32, f.nRec)
+	addDet := func(recs ...int32) {
+		id := int32(f.nDets)
+		f.nDets++
+		for _, r := range recs {
+			f.recDets[r] = append(f.recDets[r], id)
+		}
+	}
+	for _, obs := range sched.Observables {
+		if obs.Type != basis {
+			continue
+		}
+		var avail []int
+		for r := 0; r < rounds; r++ {
+			if obs.AvailableThisRound(r) {
+				avail = append(avail, r)
+			}
+		}
+		if len(avail) == 0 {
+			continue
+		}
+		valueRecs := func(r int) []int32 {
+			var out []int32
+			for _, slot := range obs.Slots {
+				out = append(out, recOf[[2]int{r, slot}])
+			}
+			return out
+		}
+		addDet(valueRecs(avail[0])...)
+		for i := 1; i < len(avail); i++ {
+			addDet(append(valueRecs(avail[i-1]), valueRecs(avail[i])...)...)
+		}
+		last := valueRecs(avail[len(avail)-1])
+		for _, q := range obs.Support {
+			last = append(last, readoutRec[q])
+		}
+		addDet(last...)
+	}
+	logical := c.LogicalZ()
+	if basis == lattice.XCheck {
+		logical = c.LogicalX()
+	}
+	f.obsRec = make([]bool, f.nRec)
+	for _, q := range logical.Support() {
+		rec, ok := readoutRec[q]
+		if !ok {
+			return nil, fmt.Errorf("sim: logical support qubit %v missing from readout", q)
+		}
+		f.obsRec[rec] = true
+	}
+
+	f.fx = make([]uint64, f.nQubits)
+	f.fz = make([]uint64, f.nQubits)
+	f.recs = make([]uint64, f.nRec)
+	return f, nil
+}
+
+// NumDetectors returns the detector count (matches BuildDEM's layout).
+func (f *FrameSimulator) NumDetectors() int { return f.nDets }
+
+// Batch simulates 64 shots under the full noise model (including the
+// per-round single-qubit idle depolarizing on data qubits, matching
+// BuildDEM) and returns, per shot, the flagged detectors and the
+// observable flip.
+func (f *FrameSimulator) Batch(rng *rand.Rand) (flagged [][]int32, obs []bool) {
+	for i := range f.fx {
+		f.fx[i], f.fz[i] = 0, 0
+	}
+	for i := range f.recs {
+		f.recs[i] = 0
+	}
+	nextIdle := 0
+	for oi, op := range f.ops {
+		if nextIdle < len(f.idleBefore) && oi == f.idleBefore[nextIdle] {
+			f.injectIdle(rng)
+			nextIdle++
+		}
+		switch op.kind {
+		case opReset:
+			f.fx[op.a], f.fz[op.a] = 0, 0
+			m := biasedMask(f.model.RateM(f.coords[op.a]), rng)
+			if op.basis == lattice.ZCheck {
+				f.fx[op.a] ^= m
+			} else {
+				f.fz[op.a] ^= m
+			}
+		case opCX:
+			f.fx[op.b] ^= f.fx[op.a]
+			f.fz[op.a] ^= f.fz[op.b]
+			p2 := f.model.Rate2(f.coords[op.a], f.coords[op.b])
+			if p2 > 0 {
+				f.depolarize2(op.a, op.b, p2, rng)
+			}
+			if pc := f.model.PCorrelated; pc > 0 {
+				mxx := biasedMask(pc/2, rng)
+				f.fx[op.a] ^= mxx
+				f.fx[op.b] ^= mxx
+				mzz := biasedMask(pc/2, rng)
+				f.fz[op.a] ^= mzz
+				f.fz[op.b] ^= mzz
+			}
+		case opMeas:
+			var dev uint64
+			if op.basis == lattice.ZCheck {
+				dev = f.fx[op.a]
+			} else {
+				dev = f.fz[op.a]
+			}
+			dev ^= biasedMask(f.model.RateM(f.coords[op.a]), rng)
+			f.recs[op.rec] = dev
+		}
+	}
+	return f.collect()
+}
+
+// injectIdle applies one single-qubit depolarizing channel to every data
+// qubit (round boundary).
+func (f *FrameSimulator) injectIdle(rng *rand.Rand) {
+	for qi, q := range f.coords {
+		if !q.IsData() {
+			continue
+		}
+		p1 := f.model.Rate1(q)
+		if p1 <= 0 {
+			continue
+		}
+		// X, Y, Z each with p/3: draw two masks so Y = both.
+		mx := biasedMask(p1/3, rng)
+		mz := biasedMask(p1/3, rng)
+		my := biasedMask(p1/3, rng)
+		f.fx[qi] ^= mx ^ my
+		f.fz[qi] ^= mz ^ my
+	}
+}
+
+// depolarize2 applies the 15-way two-qubit depolarizing channel to 64 shots.
+func (f *FrameSimulator) depolarize2(a, b int32, p float64, rng *rand.Rand) {
+	// Draw one mask per generator component such that each of the 15
+	// non-identity Paulis occurs with probability p/15. Sampling per shot
+	// is clearer than bit tricks here: collect shots that error, then
+	// assign a uniform Pauli.
+	m := biasedMask(p, rng)
+	if m == 0 {
+		return
+	}
+	for bit := 0; bit < 64; bit++ {
+		if m&(1<<bit) == 0 {
+			continue
+		}
+		pauli := 1 + rng.Intn(15)
+		mask := uint64(1) << bit
+		if pauli&1 != 0 {
+			f.fx[a] ^= mask
+		}
+		if pauli&2 != 0 {
+			f.fx[b] ^= mask
+		}
+		if pauli&4 != 0 {
+			f.fz[a] ^= mask
+		}
+		if pauli&8 != 0 {
+			f.fz[b] ^= mask
+		}
+	}
+}
+
+// collect converts record deviations into per-shot flagged detectors and
+// observable flips.
+func (f *FrameSimulator) collect() ([][]int32, []bool) {
+	detBits := make([]uint64, f.nDets)
+	var obsBits uint64
+	for rec, dets := range f.recDets {
+		v := f.recs[rec]
+		if v == 0 {
+			continue
+		}
+		for _, d := range dets {
+			detBits[d] ^= v
+		}
+	}
+	for rec, isObs := range f.obsRec {
+		if isObs {
+			obsBits ^= f.recs[rec]
+		}
+	}
+	flagged := make([][]int32, 64)
+	obs := make([]bool, 64)
+	for d, bits := range detBits {
+		for bits != 0 {
+			bit := trailingZeros(bits)
+			flagged[bit] = append(flagged[bit], int32(d))
+			bits &= bits - 1
+		}
+	}
+	for bit := 0; bit < 64; bit++ {
+		obs[bit] = obsBits>>uint(bit)&1 == 1
+	}
+	return flagged, obs
+}
+
+// biasedMask returns a 64-bit mask whose bits are independent Bernoulli(p).
+func biasedMask(p float64, rng *rand.Rand) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return ^uint64(0)
+	}
+	var m uint64
+	// For small p, sample set-bit positions geometrically.
+	if p < 0.05 {
+		// Expected set bits 64p << 64: geometric skipping.
+		pos := 0
+		for {
+			u := rng.Float64()
+			if u <= 0 {
+				u = 1e-300
+			}
+			skip := int(math.Log(u) / math.Log(1-p))
+			pos += skip
+			if pos >= 64 {
+				return m
+			}
+			m |= 1 << uint(pos)
+			pos++
+		}
+	}
+	for bit := 0; bit < 64; bit++ {
+		if rng.Float64() < p {
+			m |= 1 << uint(bit)
+		}
+	}
+	return m
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

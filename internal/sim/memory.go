@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"surfdeformer/internal/code"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/noise"
+)
+
+// Decoder consumes the flagged detectors of one shot and predicts whether
+// the logical observable flipped.
+type Decoder interface {
+	DecodeToObs(flagged []int32) bool
+}
+
+// DecoderFactory builds a decoder for a DEM.
+type DecoderFactory func(*DEM) (Decoder, error)
+
+// MemoryResult summarizes a Monte-Carlo memory experiment.
+type MemoryResult struct {
+	Shots    int
+	Failures int
+	Rounds   int
+	// LogicalErrorRate is the per-shot failure probability.
+	LogicalErrorRate float64
+	// PerRound converts the shot failure rate into a per-round logical
+	// error rate via p_shot = (1 - (1-2λ)^R)/2.
+	PerRound float64
+	// Detectors and Mechanisms describe the DEM size (diagnostics).
+	Detectors  int
+	Mechanisms int
+}
+
+// RunMemory performs a memory experiment: build the DEM for the code under
+// the noise model, sample shots, decode each, and count logical failures.
+func RunMemory(c *code.Code, model *noise.Model, rounds, shots int, basis lattice.CheckType, factory DecoderFactory, seed int64) (*MemoryResult, error) {
+	dem, err := BuildDEM(c, model, rounds, basis)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := factory(dem)
+	if err != nil {
+		return nil, err
+	}
+	sampler := NewSampler(dem)
+	rng := rand.New(rand.NewSource(seed))
+	failures := 0
+	for s := 0; s < shots; s++ {
+		flagged, obs := sampler.Shot(rng)
+		if dec.DecodeToObs(flagged) != obs {
+			failures++
+		}
+	}
+	res := &MemoryResult{
+		Shots:      shots,
+		Failures:   failures,
+		Rounds:     rounds,
+		Detectors:  dem.NumDets,
+		Mechanisms: len(dem.Mechs),
+	}
+	res.LogicalErrorRate = float64(failures) / float64(shots)
+	res.PerRound = PerRoundRate(res.LogicalErrorRate, rounds)
+	return res, nil
+}
+
+// RunMemoryMismatched performs a memory experiment in which shots are drawn
+// from sampleModel while the decoder is built from decodeModel. This is the
+// honest model of an untreated dynamic defect: the hardware error rates
+// spike (sampleModel carries the 50% defect region) but the decoder keeps
+// using its calibrated nominal priors. Both models share the same circuit,
+// so the detector layout is identical.
+func RunMemoryMismatched(c *code.Code, sampleModel, decodeModel *noise.Model, rounds, shots int, basis lattice.CheckType, factory DecoderFactory, seed int64) (*MemoryResult, error) {
+	sampleDEM, err := BuildDEM(c, sampleModel, rounds, basis)
+	if err != nil {
+		return nil, err
+	}
+	decodeDEM, err := BuildDEM(c, decodeModel, rounds, basis)
+	if err != nil {
+		return nil, err
+	}
+	if decodeDEM.NumDets != sampleDEM.NumDets {
+		return nil, errDetectorMismatch
+	}
+	dec, err := factory(decodeDEM)
+	if err != nil {
+		return nil, err
+	}
+	sampler := NewSampler(sampleDEM)
+	rng := rand.New(rand.NewSource(seed))
+	failures := 0
+	for s := 0; s < shots; s++ {
+		flagged, obs := sampler.Shot(rng)
+		if dec.DecodeToObs(flagged) != obs {
+			failures++
+		}
+	}
+	res := &MemoryResult{
+		Shots:      shots,
+		Failures:   failures,
+		Rounds:     rounds,
+		Detectors:  sampleDEM.NumDets,
+		Mechanisms: len(sampleDEM.Mechs),
+	}
+	res.LogicalErrorRate = float64(failures) / float64(shots)
+	res.PerRound = PerRoundRate(res.LogicalErrorRate, rounds)
+	return res, nil
+}
+
+var errDetectorMismatch = errMismatch{}
+
+type errMismatch struct{}
+
+func (errMismatch) Error() string {
+	return "sim: sampling and decoding DEMs disagree on detector layout"
+}
+
+// RunMemoryBoth runs memory-Z and memory-X and returns the combined
+// per-round logical error rate (the union rate of either logical failing).
+func RunMemoryBoth(c *code.Code, model *noise.Model, rounds, shots int, factory DecoderFactory, seed int64) (z, x *MemoryResult, combined float64, err error) {
+	z, err = RunMemory(c, model, rounds, shots, lattice.ZCheck, factory, seed)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	x, err = RunMemory(c, model, rounds, shots, lattice.XCheck, factory, seed+1)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	combined = 1 - (1-z.PerRound)*(1-x.PerRound)
+	return z, x, combined, nil
+}
+
+// PerRoundRate inverts p_shot = (1 - (1-2λ)^R)/2 for the per-round logical
+// error rate λ, clamping at the fully-random limit.
+func PerRoundRate(pShot float64, rounds int) float64 {
+	if pShot >= 0.5 {
+		return 0.5
+	}
+	if pShot <= 0 {
+		return 0
+	}
+	return (1 - math.Pow(1-2*pShot, 1/float64(rounds))) / 2
+}
+
+// ShotRate is the inverse of PerRoundRate: the failure probability of R
+// rounds given a per-round rate.
+func ShotRate(perRound float64, rounds int) float64 {
+	if perRound >= 0.5 {
+		return 0.5
+	}
+	return (1 - math.Pow(1-2*perRound, float64(rounds))) / 2
+}

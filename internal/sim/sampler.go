@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampler draws shots from a DEM. Each mechanism fires independently with
+// its probability; a shot is the XOR of the fired signatures. Sampling uses
+// geometric skipping against the maximum mechanism probability, so the cost
+// per shot is proportional to the number of candidate firings rather than
+// the mechanism count.
+type Sampler struct {
+	dem   *DEM
+	pmax  float64
+	logQ  float64 // log(1 - pmax)
+	accum []int   // detector hit parity scratch
+}
+
+// NewSampler prepares a sampler for the DEM.
+func NewSampler(dem *DEM) *Sampler {
+	pmax := 0.0
+	for _, m := range dem.Mechs {
+		if m.P > pmax {
+			pmax = m.P
+		}
+	}
+	if pmax >= 1 {
+		pmax = 1 - 1e-12
+	}
+	return &Sampler{
+		dem:   dem,
+		pmax:  pmax,
+		logQ:  math.Log1p(-pmax),
+		accum: make([]int, dem.NumDets),
+	}
+}
+
+// Shot samples one experiment: the flagged detectors (sorted ascending) and
+// whether the logical observable flipped.
+func (s *Sampler) Shot(rng *rand.Rand) (flagged []int32, obs bool) {
+	if s.pmax <= 0 {
+		return nil, false
+	}
+	mechs := s.dem.Mechs
+	var fired []int
+	i := 0
+	for {
+		// Geometric skip: next candidate index under rate pmax.
+		u := rng.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		skip := int(math.Log(u) / s.logQ)
+		i += skip
+		if i >= len(mechs) {
+			break
+		}
+		// Thinning: accept with p_i / pmax.
+		if rng.Float64()*s.pmax < mechs[i].P {
+			fired = append(fired, i)
+		}
+		i++
+	}
+	for _, mi := range fired {
+		m := mechs[mi]
+		for _, d := range m.Dets {
+			s.accum[d] ^= 1
+		}
+		if m.Obs {
+			obs = !obs
+		}
+	}
+	for _, mi := range fired {
+		for _, d := range s.dem.Mechs[mi].Dets {
+			if s.accum[d] == 1 {
+				flagged = append(flagged, d)
+				s.accum[d] = 2 // mark emitted
+			}
+		}
+	}
+	// Reset scratch.
+	for _, mi := range fired {
+		for _, d := range s.dem.Mechs[mi].Dets {
+			s.accum[d] = 0
+		}
+	}
+	sortInt32(flagged)
+	return flagged, obs
+}
+
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// ExpectedFirings returns the mean number of mechanism firings per shot —
+// a quick sanity statistic used by tests and diagnostics.
+func (s *Sampler) ExpectedFirings() float64 {
+	sum := 0.0
+	for _, m := range s.dem.Mechs {
+		sum += m.P
+	}
+	return sum
+}

@@ -1,0 +1,184 @@
+package surgery
+
+import (
+	"testing"
+
+	"surfdeformer/internal/deform"
+	"surfdeformer/internal/lattice"
+)
+
+func co(r, c int) lattice.Coord { return lattice.Coord{Row: r, Col: c} }
+
+func TestMergeTwoPatches(t *testing.T) {
+	// Two d=5 patches separated by a 5-column channel (the paper's
+	// d-spaced layout).
+	a := deform.NewSquareSpec(co(0, 0), 5)
+	b := deform.NewSquareSpec(co(0, 20), 5)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DX != 5+5+5 || m.DZ != 5 {
+		t.Fatalf("merged spec %dx%d, want 15x5", m.DX, m.DZ)
+	}
+	c, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("merged code invalid: %v", err)
+	}
+	// The merged patch encodes one logical qubit with Z distance 15
+	// (widened) and X distance 5.
+	if got := c.DistanceZ(); got != 15 {
+		t.Errorf("merged DistanceZ = %d, want 15", got)
+	}
+	if got := c.DistanceX(); got != 5 {
+		t.Errorf("merged DistanceX = %d, want 5", got)
+	}
+}
+
+func TestMergeCarriesDeformations(t *testing.T) {
+	a := deform.NewSquareSpec(co(0, 0), 5)
+	if err := a.DataQRM(co(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	b := deform.NewSquareSpec(co(0, 20), 5)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.RemovedData[co(5, 5)] {
+		t.Error("merge lost the removal record")
+	}
+	c, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("merged deformed code invalid: %v", err)
+	}
+	if c.Distance() >= 5 && len(c.Gauges()) == 0 {
+		t.Error("carried-over removal should leave gauge structure")
+	}
+}
+
+func TestMergeRejectsMisaligned(t *testing.T) {
+	a := deform.NewSquareSpec(co(0, 0), 5)
+	if _, err := Merge(a, deform.NewSquareSpec(co(2, 20), 5)); err == nil {
+		t.Error("row-misaligned merge must fail")
+	}
+	if _, err := Merge(a, deform.NewSquareSpec(co(0, 20), 3)); err == nil {
+		t.Error("height-mismatched merge must fail")
+	}
+	if _, err := Merge(a, deform.NewSquareSpec(co(0, 10), 5)); err == nil {
+		t.Error("touching patches leave no ancilla strip; merge must fail")
+	}
+}
+
+func TestSplitRoundTrip(t *testing.T) {
+	a := deform.NewSquareSpec(co(0, 0), 5)
+	b := deform.NewSquareSpec(co(0, 20), 5)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, right, err := Split(m, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left.DX != 5 || right.DX != 5 {
+		t.Fatalf("split widths %d/%d, want 5/5", left.DX, right.DX)
+	}
+	if right.Origin != co(0, 20) {
+		t.Errorf("right origin %v, want (0,20)", right.Origin)
+	}
+	for _, s := range []*deform.Spec{left, right} {
+		c, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Distance() != 5 {
+			t.Errorf("split patch distance %d, want 5", c.Distance())
+		}
+	}
+}
+
+func TestSplitPartitionsRemovals(t *testing.T) {
+	a := deform.NewSquareSpec(co(0, 0), 5)
+	b := deform.NewSquareSpec(co(0, 20), 5)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DataQRM(co(5, 5)); err != nil { // left half
+		t.Fatal(err)
+	}
+	if err := m.DataQRM(co(5, 25)); err != nil { // right half
+		t.Fatal(err)
+	}
+	if err := m.DataQRM(co(5, 15)); err != nil { // ancilla strip: vanishes
+		t.Fatal(err)
+	}
+	left, right, err := Split(m, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !left.RemovedData[co(5, 5)] || left.RemovedData[co(5, 25)] {
+		t.Error("left split carries the wrong removals")
+	}
+	if !right.RemovedData[co(5, 25)] || right.RemovedData[co(5, 5)] {
+		t.Error("right split carries the wrong removals")
+	}
+	if left.RemovedData[co(5, 15)] || right.RemovedData[co(5, 15)] {
+		t.Error("strip removal must vanish with the strip")
+	}
+}
+
+func TestSplitRejectsBadGeometry(t *testing.T) {
+	m := deform.NewSpec(co(0, 0), 15, 5)
+	if _, _, err := Split(m, 0, 5); err == nil {
+		t.Error("empty left split must fail")
+	}
+	if _, _, err := Split(m, 10, 5); err == nil {
+		t.Error("split leaving no right patch must fail")
+	}
+}
+
+func TestMergeBlockedByDefects(t *testing.T) {
+	a := deform.NewSquareSpec(co(0, 0), 5)
+	b := deform.NewSquareSpec(co(0, 20), 5)
+	// A clean channel merges fine.
+	blocked, err := MergeBlocked(a, b, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked {
+		t.Error("clean channel should not block")
+	}
+	// A defect column across the strip severs the merged patch.
+	var wall []lattice.Coord
+	for r := 1; r <= 9; r += 2 {
+		wall = append(wall, co(r, 15))
+	}
+	blocked, err = MergeBlocked(a, b, wall, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !blocked {
+		t.Error("a defect wall across the channel must block the merge")
+	}
+}
+
+func TestGrowTowards(t *testing.T) {
+	a := deform.NewSquareSpec(co(0, 0), 5)
+	if err := GrowTowards(a, 16); err != nil {
+		t.Fatal(err)
+	}
+	if a.DX != 8 {
+		t.Errorf("grown DX = %d, want 8", a.DX)
+	}
+	if err := GrowTowards(a, 2); err == nil {
+		t.Error("growing backwards must fail")
+	}
+}

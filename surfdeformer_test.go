@@ -1,0 +1,188 @@
+package surfdeformer
+
+import "testing"
+
+func TestPatchLifecycle(t *testing.T) {
+	p, err := NewPatch(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Distance() != 5 {
+		t.Fatalf("fresh patch distance %d, want 5", p.Distance())
+	}
+	n, k, l, err := p.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 || k != 1 || l != 0 {
+		t.Errorf("[[%d,%d,%d]], want [[25,1,0]]", n, k, l)
+	}
+
+	// Strike the centre, remove, verify distance loss, restore.
+	defects := []Coord{{Row: 5, Col: 5}}
+	if err := p.RemoveDefects(defects, PolicySurfDeformer); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("deformed patch invalid: %v", err)
+	}
+	if p.Distance() >= 5 {
+		t.Errorf("distance %d after removal, want < 5", p.Distance())
+	}
+	stabs, gauges := p.Stabilizers()
+	if gauges == 0 {
+		t.Error("removal should introduce gauge operators")
+	}
+	_ = stabs
+	if err := p.RestoreDistance(5, 5, 2, PolicySurfDeformer); err != nil {
+		t.Fatal(err)
+	}
+	if p.DistanceX() < 5 || p.DistanceZ() < 5 {
+		t.Errorf("distances %d/%d after restore, want >= 5", p.DistanceX(), p.DistanceZ())
+	}
+}
+
+func TestRectPatchAndEnlarge(t *testing.T) {
+	p, err := NewRectPatch(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DistanceZ() != 3 || p.DistanceX() != 5 {
+		t.Fatalf("distances %d/%d, want Z=3 X=5", p.DistanceZ(), p.DistanceX())
+	}
+	if err := p.Enlarge(Right, 2); err != nil {
+		t.Fatal(err)
+	}
+	if p.DistanceZ() != 5 {
+		t.Errorf("DistanceZ %d after growth, want 5", p.DistanceZ())
+	}
+	if _, err := NewRectPatch(1, 5); err == nil {
+		t.Error("degenerate patch must be rejected")
+	}
+}
+
+func TestMemoryExperimentAPI(t *testing.T) {
+	p, err := NewPatch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.MemoryExperiment(MemoryOptions{
+		PhysicalErrorRate: 5e-3,
+		Rounds:            4,
+		Shots:             1500,
+		Seed:              2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogicalErrorRate <= 0 {
+		t.Error("d=3 at p=5e-3 should fail sometimes")
+	}
+	if res.PerRound <= 0 || res.PerRound > 0.5 {
+		t.Errorf("per-round rate %v out of range", res.PerRound)
+	}
+}
+
+func TestMemoryExperimentWithDefects(t *testing.T) {
+	p, err := NewPatch(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := []Coord{{Row: 5, Col: 5}}
+	unaware, err := p.MemoryExperiment(MemoryOptions{
+		Rounds: 4, Shots: 1200, Seed: 3,
+		Defective: hot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := p.MemoryExperiment(MemoryOptions{
+		Rounds: 4, Shots: 1200, Seed: 3,
+		Defective: hot, DecoderAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.LogicalErrorRate > unaware.LogicalErrorRate {
+		t.Errorf("informed decoder (%.4f) should beat uninformed (%.4f)",
+			aware.LogicalErrorRate, unaware.LogicalErrorRate)
+	}
+}
+
+func TestPlanProgramAPI(t *testing.T) {
+	plan, err := PlanProgram(Grover(9, 80), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.D < 3 || plan.D%2 == 0 {
+		t.Errorf("planned distance %d should be odd and >= 3", plan.D)
+	}
+	if plan.DeltaD < 1 {
+		t.Errorf("planned Δd %d should be positive", plan.DeltaD)
+	}
+	if plan.RetryRisk > 0.01 {
+		t.Errorf("plan risk %.4f misses target", plan.RetryRisk)
+	}
+	if plan.PhysicalQubits <= 0 {
+		t.Error("plan must count physical qubits")
+	}
+	unit := plan.NewUnit(0)
+	step, err := unit.Step([]Coord{{Row: 1, Col: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Code == nil {
+		t.Fatal("unit step must produce a code")
+	}
+}
+
+func TestReincorporateAPI(t *testing.T) {
+	p, err := NewPatch(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defects := []Coord{{Row: 5, Col: 5}}
+	if err := p.RemoveDefects(defects, PolicySurfDeformer); err != nil {
+		t.Fatal(err)
+	}
+	if p.Distance() >= 5 {
+		t.Fatal("removal should cost distance")
+	}
+	if err := p.Reincorporate(defects); err != nil {
+		t.Fatal(err)
+	}
+	if p.Distance() != 5 {
+		t.Errorf("distance %d after recovery, want 5", p.Distance())
+	}
+	if s, g := p.Stabilizers(); g != 0 {
+		t.Errorf("gauges %d after recovery, want 0 (%d stabs)", g, s)
+	}
+}
+
+func TestPlanSystemAPI(t *testing.T) {
+	plan, err := PlanProgram(Simon(9, 5), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := plan.NewSystem()
+	if sys.NumPatches() != 9 {
+		t.Fatalf("system has %d patches, want 9", sys.NumPatches())
+	}
+	if sys.Blocked(0) {
+		t.Error("fresh system must not block channels")
+	}
+}
+
+func TestStandaloneUnit(t *testing.T) {
+	u := NewStandaloneUnit(5, 2)
+	res, err := u.Step([]Coord{{Row: 5, Col: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistanceX < 5 || res.DistanceZ < 5 {
+		t.Errorf("unit distances %d/%d, want restored to 5", res.DistanceX, res.DistanceZ)
+	}
+	if !res.Enlarged {
+		t.Error("restoring an interior defect requires enlargement")
+	}
+}
