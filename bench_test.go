@@ -401,6 +401,78 @@ func BenchmarkDEMBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkMCEngine measures Monte-Carlo engine throughput on a d=7
+// memory experiment at increasing worker counts. Failure counts are
+// bit-identical across the variants (deterministic per-shard RNG
+// streams); only shots/second changes. On multi-core hardware the
+// Workers=4 variant should deliver ≥2× the sequential throughput.
+func BenchmarkMCEngine(b *testing.B) {
+	spec := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, 7)
+	c, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := noise.Uniform(2e-3)
+	const shots = 20000
+	variants := []struct {
+		name    string
+		workers int
+	}{
+		{"Workers=1", 1},
+		{"Workers=4", 4},
+		{"Workers=NumCPU", 0},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var failures int
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunMemoryOpts(c, model, nil, sim.RunOptions{
+					Rounds:  6,
+					Basis:   lattice.ZCheck,
+					Factory: decoder.UnionFindFactory(),
+					Shots:   shots,
+					Workers: v.workers,
+					Seed:    1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				failures = res.Failures
+			}
+			b.ReportMetric(float64(shots*b.N)/b.Elapsed().Seconds(), "shots/sec")
+			b.ReportMetric(float64(failures), "failures")
+		})
+	}
+}
+
+// BenchmarkMCEngineAdaptive measures the early-stopping win: the same
+// experiment with a 10% target RSE against the full fixed budget.
+func BenchmarkMCEngineAdaptive(b *testing.B) {
+	spec := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, 5)
+	c, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := noise.Uniform(5e-3)
+	var spent float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunMemoryOpts(c, model, nil, sim.RunOptions{
+			Rounds:    4,
+			Basis:     lattice.ZCheck,
+			Factory:   decoder.UnionFindFactory(),
+			Shots:     200000,
+			TargetRSE: 0.1,
+			Seed:      1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		spent = float64(res.Shots)
+	}
+	b.ReportMetric(spent, "shots-spent")
+	b.ReportMetric(200000, "shots-budget")
+}
+
 // BenchmarkDecodeShot measures steady-state per-shot decode cost.
 func BenchmarkDecodeShot(b *testing.B) {
 	dem, err := buildBenchDEM()

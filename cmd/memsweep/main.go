@@ -1,10 +1,15 @@
 // Command memsweep sweeps memory-experiment logical error rates over code
 // distance and physical error rate — the raw data behind threshold plots
-// and the Λ-model calibration.
+// and the Λ-model calibration. Points run on the concurrent Monte-Carlo
+// engine: shots are sharded across a worker pool with deterministic
+// per-shard RNG streams (results are bit-identical for any -workers
+// value), and -target-rse stops each point as soon as its failure rate is
+// known to the requested precision.
 //
 // Usage:
 //
 //	memsweep -d 3,5,7 -p 2e-3,4e-3,6e-3 -rounds 6 -shots 20000
+//	memsweep -d 3,5,7 -p 2e-3 -target-rse 0.1 -max-shots 2000000 -workers 8
 package main
 
 import (
@@ -25,9 +30,12 @@ func main() {
 	dArg := flag.String("d", "3,5,7", "comma-separated code distances")
 	pArg := flag.String("p", "2e-3,4e-3,6e-3", "comma-separated physical error rates")
 	rounds := flag.Int("rounds", 6, "QEC rounds")
-	shots := flag.Int("shots", 20000, "shots per point")
+	shots := flag.Int("shots", 20000, "shots per point (exact budget unless -target-rse is set)")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	dec := flag.String("decoder", "uf", "decoder: uf, greedy, exact")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs; never changes results)")
+	targetRSE := flag.Float64("target-rse", 0, "stop each point at this relative standard error (0 = fixed budget)")
+	maxShots := flag.Int("max-shots", 0, "shot cap when -target-rse is set (0 = -shots)")
 	flag.Parse()
 
 	ds, err := parseInts(*dArg)
@@ -49,18 +57,38 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown decoder %q", *dec))
 	}
+	budget := *shots
+	if *targetRSE > 0 && *maxShots > 0 {
+		budget = *maxShots
+	}
 
-	fmt.Printf("%-8s %-10s %-14s %-14s %-14s %-10s\n", "d", "p", "λZ/cycle", "λX/cycle", "λ/cycle", "failures")
+	fmt.Printf("%-8s %-10s %-14s %-14s %-14s %-16s %-12s\n",
+		"d", "p", "λZ/cycle", "λX/cycle", "λ/cycle", "failures", "shots")
 	for _, d := range ds {
 		for _, p := range ps {
 			c := code.FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, d))
-			z, x, combined, err := sim.RunMemoryBoth(c, noise.Uniform(p), *rounds, *shots, factory, *seed)
+			z, x, combined, err := sim.RunMemoryBothOpts(c, noise.Uniform(p), sim.RunOptions{
+				Rounds:    *rounds,
+				Factory:   factory,
+				Shots:     budget,
+				Workers:   *workers,
+				TargetRSE: *targetRSE,
+				Seed:      *seed,
+			})
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("%-8d %-10.1e %-14.3e %-14.3e %-14.3e %d+%d/%d\n",
-				d, p, z.PerRound, x.PerRound, combined, z.Failures, x.Failures, *shots)
+			stopped := ""
+			if z.EarlyStopped || x.EarlyStopped {
+				stopped = "*"
+			}
+			fmt.Printf("%-8d %-10.1e %-14.3e %-14.3e %-14.3e %-16s %d+%d%s\n",
+				d, p, z.PerRound, x.PerRound, combined,
+				fmt.Sprintf("%d+%d", z.Failures, x.Failures), z.Shots, x.Shots, stopped)
 		}
+	}
+	if *targetRSE > 0 {
+		fmt.Println("\n(* = point stopped early at the target RSE)")
 	}
 }
 

@@ -1,0 +1,3 @@
+module surfdeformer
+
+go 1.22

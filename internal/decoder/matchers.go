@@ -86,7 +86,7 @@ func NewGreedy(g *Graph) *Greedy { return &Greedy{g} }
 // GreedyFactory adapts the decoder to the sim.DecoderFactory interface.
 func GreedyFactory() sim.DecoderFactory {
 	return func(dem *sim.DEM) (sim.Decoder, error) {
-		return NewGreedy(NewGraph(dem)), nil
+		return NewGreedy(SharedGraph(dem)), nil
 	}
 }
 
@@ -173,7 +173,7 @@ func NewExact(g *Graph, maxDefects int) *Exact { return &Exact{g, maxDefects} }
 // ExactFactory adapts the decoder to the sim.DecoderFactory interface.
 func ExactFactory(maxDefects int) sim.DecoderFactory {
 	return func(dem *sim.DEM) (sim.Decoder, error) {
-		return NewExact(NewGraph(dem), maxDefects), nil
+		return NewExact(SharedGraph(dem), maxDefects), nil
 	}
 }
 

@@ -1,6 +1,8 @@
 package decoder
 
 import (
+	"sort"
+
 	"surfdeformer/internal/sim"
 )
 
@@ -51,7 +53,7 @@ func NewUnionFind(g *Graph) *UnionFind {
 // UnionFindFactory adapts the decoder to the sim.DecoderFactory interface.
 func UnionFindFactory() sim.DecoderFactory {
 	return func(dem *sim.DEM) (sim.Decoder, error) {
-		g := NewGraph(dem)
+		g := SharedGraph(dem)
 		if err := g.Validate(); err != nil {
 			return nil, err
 		}
@@ -154,6 +156,11 @@ func (u *UnionFind) DecodeToEdges(flagged []int32) []int32 {
 			}
 			frontier = append(frontier, frontierEdge{ei, sides})
 		}
+		// Process the frontier in edge order: `seen` is a map and its
+		// iteration order would otherwise leak into the union/absorb
+		// sequence, making corrections — and therefore Monte-Carlo failure
+		// counts — nondeterministic between identical runs.
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i].ei < frontier[j].ei })
 		for _, fe := range frontier {
 			if u.growth[fe.ei] == 0 {
 				u.edges = append(u.edges, fe.ei)

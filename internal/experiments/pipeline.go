@@ -3,11 +3,14 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math/rand"
 
+	"surfdeformer/internal/decoder"
 	"surfdeformer/internal/defect"
 	"surfdeformer/internal/deform"
 	"surfdeformer/internal/detect"
 	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/mc"
 	"surfdeformer/internal/noise"
 	"surfdeformer/internal/sim"
 )
@@ -182,4 +185,148 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// ---------------------------------------------------------------------------
+// Configuration sweeps on the Monte-Carlo engine
+// ---------------------------------------------------------------------------
+
+// SweepPoint is one (distance, defect count, policy) configuration of a
+// defect-adaptive memory sweep — the workload shape of both Surf-Deformer's
+// evaluation and the adaptive-surface-code studies it compares against.
+type SweepPoint struct {
+	D          int
+	NumDefects int
+	Policy     deform.Policy
+}
+
+// streamIndex maps the point's content to a distinct RNG stream index, so
+// a point's fault pattern and shots do not depend on its grid position.
+func (p SweepPoint) streamIndex() int {
+	return p.D*1_000_000 + p.NumDefects*1_000 + int(p.Policy)
+}
+
+// SweepEngine tunes the Monte-Carlo engine for a sweep.
+type SweepEngine struct {
+	// Workers sizes the per-point worker pool (0 = all CPUs). Results are
+	// bit-identical for any value.
+	Workers int
+	// TargetRSE, when positive, stops each point early at this relative
+	// standard error, capped at MaxShots.
+	TargetRSE float64
+	// MaxShots caps the adaptive budget (0 = the Options shot budget).
+	MaxShots int
+}
+
+// SweepRow is one measured sweep configuration.
+type SweepRow struct {
+	SweepPoint
+	// Severed marks fault patterns the policy could not remove without
+	// disconnecting the patch; such points report the random limit.
+	Severed bool
+	// DistanceAfter is the code distance remaining after defect removal.
+	DistanceAfter int
+	PerRound      float64
+	Shots         int
+	Failures      int
+	CILow, CIHigh float64
+	EarlyStopped  bool
+}
+
+// DefaultSweepGrid builds the sweep grid: every policy at every distance
+// and defect count of the study scale.
+func DefaultSweepGrid(opt Options) []SweepPoint {
+	ds := []int{5, 7, 9}
+	counts := []int{0, 1, 2, 4}
+	if opt.Quick {
+		ds = []int{5}
+		counts = []int{0, 2}
+	}
+	policies := []deform.Policy{deform.PolicySurfDeformer, deform.PolicyASC}
+	var grid []SweepPoint
+	for _, d := range ds {
+		for _, k := range counts {
+			for _, p := range policies {
+				grid = append(grid, SweepPoint{D: d, NumDefects: k, Policy: p})
+			}
+		}
+	}
+	return grid
+}
+
+// MemorySweep measures the post-removal logical error rate of every grid
+// point on the Monte-Carlo engine. Per-point fault patterns and run seeds
+// derive from (Options.Seed, point content) alone, so a point's result is
+// deterministic regardless of grid order, subsetting, worker count, or
+// early stopping; the shared DEM cache deduplicates the repeated
+// configurations a grid produces (the zero-defect baselines of every
+// policy, identical deformed codes, the nominal decode models).
+func MemorySweep(opt Options, grid []SweepPoint, eng SweepEngine) ([]SweepRow, error) {
+	shots := eng.MaxShots
+	if shots <= 0 {
+		shots = opt.Shots
+	}
+	nominal := noise.Uniform(noise.DefaultPhysical)
+	rows := make([]SweepRow, 0, len(grid))
+	for _, pt := range grid {
+		row := SweepRow{SweepPoint: pt}
+		rng := rand.New(rand.NewSource(mc.ShardSeed(opt.Seed, pt.streamIndex())))
+		spec := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, pt.D)
+		if pt.NumDefects > 0 {
+			min, max := spec.Bounds()
+			defects := defect.StaticFaults(min, max, pt.NumDefects, rng)
+			if err := deform.ApplyDefects(spec, defects, pt.Policy); err != nil {
+				row.Severed = true
+				row.PerRound = 0.5
+				rows = append(rows, row)
+				continue
+			}
+		}
+		c, err := spec.Build()
+		if err != nil {
+			row.Severed = true
+			row.PerRound = 0.5
+			rows = append(rows, row)
+			continue
+		}
+		row.DistanceAfter = c.Distance()
+		res, err := sim.RunMemoryOpts(c, nominal, nil, sim.RunOptions{
+			Rounds:    opt.Rounds,
+			Basis:     lattice.ZCheck,
+			Factory:   decoder.UnionFindFactory(),
+			Shots:     shots,
+			Workers:   eng.Workers,
+			TargetRSE: eng.TargetRSE,
+			Seed:      mc.ShardSeed(opt.Seed, pt.streamIndex()) + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.PerRound = res.PerRound
+		row.Shots = res.Shots
+		row.Failures = res.Failures
+		row.CILow, row.CIHigh = res.CILow, res.CIHigh
+		row.EarlyStopped = res.EarlyStopped
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSweep prints the sweep table.
+func RenderSweep(w io.Writer, rows []SweepRow) {
+	fmt.Fprintf(w, "%-4s %-10s %-16s %-8s %-14s %-24s %-10s\n",
+		"d", "#defects", "policy", "d-after", "λ/cycle", "95% CI (per shot)", "shots")
+	for _, r := range rows {
+		if r.Severed {
+			fmt.Fprintf(w, "%-4d %-10d %-16s %-8s %-14s %-24s %-10s\n",
+				r.D, r.NumDefects, r.Policy, "-", "severed", "-", "-")
+			continue
+		}
+		stopped := ""
+		if r.EarlyStopped {
+			stopped = "*"
+		}
+		fmt.Fprintf(w, "%-4d %-10d %-16s %-8d %-14.3e [%.3e, %.3e]  %d%s\n",
+			r.D, r.NumDefects, r.Policy, r.DistanceAfter, r.PerRound, r.CILow, r.CIHigh, r.Shots, stopped)
+	}
 }

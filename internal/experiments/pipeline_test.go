@@ -36,3 +36,73 @@ func TestDetectionPipeline(t *testing.T) {
 		t.Error("render missing content")
 	}
 }
+
+func TestMemorySweep(t *testing.T) {
+	opt := QuickOptions()
+	grid := DefaultSweepGrid(opt)
+	if len(grid) == 0 {
+		t.Fatal("empty sweep grid")
+	}
+	rows, err := MemorySweep(opt, grid, SweepEngine{TargetRSE: 0.25, MaxShots: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(grid) {
+		t.Fatalf("got %d rows for %d grid points", len(rows), len(grid))
+	}
+	for _, r := range rows {
+		if r.Severed {
+			continue
+		}
+		if r.NumDefects == 0 && r.DistanceAfter != r.D {
+			t.Errorf("defect-free point d=%d reports distance %d", r.D, r.DistanceAfter)
+		}
+		if r.PerRound < 0 || r.PerRound > 0.5 {
+			t.Errorf("per-round rate %v out of range", r.PerRound)
+		}
+	}
+	var buf bytes.Buffer
+	RenderSweep(&buf, rows)
+	if !strings.Contains(buf.String(), "surf-deformer") {
+		t.Error("render missing policy names")
+	}
+}
+
+// The sweep is a pure function of (options, grid): repeating it — with a
+// different engine worker count — reproduces every count exactly.
+func TestMemorySweepDeterministic(t *testing.T) {
+	opt := QuickOptions()
+	grid := DefaultSweepGrid(opt)
+	a, err := MemorySweep(opt, grid, SweepEngine{Workers: 1, MaxShots: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MemorySweep(opt, grid, SweepEngine{Workers: 4, MaxShots: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Failures != b[i].Failures || a[i].Shots != b[i].Shots || a[i].Severed != b[i].Severed {
+			t.Errorf("point %d: workers=1 gives (%d/%d), workers=4 gives (%d/%d)",
+				i, a[i].Failures, a[i].Shots, b[i].Failures, b[i].Shots)
+		}
+	}
+
+	// A point's result is a function of its content, not its grid
+	// position: a reversed grid reproduces every row.
+	rev := make([]SweepPoint, len(grid))
+	for i, pt := range grid {
+		rev[len(grid)-1-i] = pt
+	}
+	c, err := MemorySweep(opt, rev, SweepEngine{MaxShots: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		j := len(a) - 1 - i
+		if a[i].SweepPoint != c[j].SweepPoint || a[i].Failures != c[j].Failures || a[i].Severed != c[j].Severed {
+			t.Errorf("point %+v: forward gives %d failures, reversed gives %d",
+				a[i].SweepPoint, a[i].Failures, c[j].Failures)
+		}
+	}
+}

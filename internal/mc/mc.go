@@ -1,0 +1,202 @@
+// Package mc is the concurrent Monte-Carlo execution engine behind every
+// memory experiment in the repository.
+//
+// The engine shards a shot budget into fixed-size shards, each with its own
+// RNG stream derived from the user seed via SplitMix64 (ShardSeed), and
+// fans the shards out over a worker pool. Each worker owns a private
+// sampler + decoder built once by the caller's WorkerFactory, so no state
+// is shared on the per-shot hot path. Because shard streams depend only on
+// (seed, shard index) and shard aggregates are committed in shard order,
+// the result is bit-identical for any worker count — Workers is purely a
+// throughput knob.
+//
+// Adaptive early stopping: with TargetRSE > 0 the engine stops once the
+// relative standard error of the failure-rate estimate reaches the target
+// (≈ 1/sqrt(failures), so ~100 failures for 10%). The stopping decision is
+// evaluated on the in-shard-order prefix of committed shards; speculative
+// shards completed beyond the deterministic cutoff are discarded, keeping
+// early-stopped results bit-identical across worker counts too. At low
+// logical error rates this saves orders of magnitude of shots versus a
+// fixed budget sized for the worst configuration in a sweep.
+//
+// The engine is deliberately generic — one callback that runs a shot and
+// reports failure — so package sim can layer DEM construction, caching and
+// decoder wiring on top without an import cycle.
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// DefaultShardSize is the number of shots per shard. It is a fixed
+// constant, not a function of worker count: shard boundaries define the
+// RNG streams, so changing it changes sampled results (like changing the
+// seed), while changing Workers never does. 1024 shots amortize shard
+// dispatch overhead while keeping early-stopping granularity fine.
+const DefaultShardSize = 1024
+
+// ShotFunc runs one Monte-Carlo shot with the given RNG and reports
+// whether the shot was a logical failure. Implementations may keep
+// per-worker scratch state but must draw all randomness from rng.
+type ShotFunc func(rng *rand.Rand) bool
+
+// WorkerFactory builds the per-worker shot closure. It is called once per
+// worker, concurrently; each call must return a closure with its own
+// mutable state (sampler scratch, decoder cluster arrays, …).
+type WorkerFactory func() (ShotFunc, error)
+
+// Config parameterizes one engine run.
+type Config struct {
+	// Workers is the pool size; <= 0 means runtime.NumCPU(). The value
+	// never affects results, only wall-clock time.
+	Workers int
+	// MaxShots is the shot budget: exact when TargetRSE == 0, a cap
+	// otherwise. Required.
+	MaxShots int
+	// TargetRSE, when positive, enables adaptive early stopping at this
+	// relative standard error of the failure rate (e.g. 0.1 for 10%).
+	TargetRSE float64
+	// ShardSize overrides DefaultShardSize (for tests).
+	ShardSize int
+	// Seed selects the deterministic RNG stream family.
+	Seed int64
+}
+
+// Result is the aggregate of one engine run. All fields except Workers are
+// bit-identical for any worker count at a fixed (Config minus Workers).
+type Result struct {
+	Shots    int // shots actually committed
+	Failures int
+	Rate     float64 // Failures / Shots
+	RSE      float64 // achieved relative standard error (+Inf at 0 failures)
+	// CILow and CIHigh bound Rate with a 95% Wilson score interval.
+	CILow, CIHigh float64
+	Shards        int // shards committed
+	Workers       int // pool size actually used
+	EarlyStopped  bool
+}
+
+type shardResult struct {
+	shard, shots, failures int
+}
+
+// Run executes the Monte-Carlo experiment described by cfg, building one
+// shot closure per worker via newWorker.
+func Run(cfg Config, newWorker WorkerFactory) (*Result, error) {
+	if newWorker == nil {
+		return nil, errors.New("mc: nil worker factory")
+	}
+	if cfg.MaxShots <= 0 {
+		return nil, fmt.Errorf("mc: MaxShots must be positive, got %d", cfg.MaxShots)
+	}
+	shardSize := cfg.ShardSize
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	numShards := (cfg.MaxShots + shardSize - 1) / shardSize
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > numShards {
+		workers = numShards
+	}
+
+	jobs := make(chan int)
+	results := make(chan shardResult, workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+
+	// Dispatcher: hand out shard indices in order until done or cancelled.
+	go func() {
+		defer close(jobs)
+		for i := 0; i < numShards; i++ {
+			select {
+			case jobs <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			shot, err := newWorker()
+			if err != nil {
+				errc <- err
+				cancel()
+				return
+			}
+			for shard := range jobs {
+				n := shardSize
+				if rem := cfg.MaxShots - shard*shardSize; rem < n {
+					n = rem
+				}
+				rng := rand.New(rand.NewSource(ShardSeed(cfg.Seed, shard)))
+				failures := 0
+				for i := 0; i < n; i++ {
+					if shot(rng) {
+						failures++
+					}
+				}
+				select {
+				case results <- shardResult{shard, n, failures}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	// Aggregator: commit shard aggregates strictly in shard order so the
+	// early-stopping cutoff — the first prefix meeting TargetRSE — is a
+	// deterministic function of the shard streams alone. Shards completed
+	// past the cutoff are speculative work and are discarded.
+	res := &Result{Workers: workers}
+	pending := make(map[int]shardResult)
+	next := 0
+	for r := range results {
+		pending[r.shard] = r
+		for {
+			pr, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if res.EarlyStopped {
+				continue
+			}
+			res.Shots += pr.shots
+			res.Failures += pr.failures
+			res.Shards++
+			// Meeting the target on the final shard saves nothing; only
+			// flag a stop while budget actually remains.
+			if cfg.TargetRSE > 0 && res.Shots < cfg.MaxShots &&
+				RSE(res.Failures, res.Shots) <= cfg.TargetRSE {
+				res.EarlyStopped = true
+				cancel()
+			}
+		}
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	res.Rate = float64(res.Failures) / float64(res.Shots)
+	res.RSE = RSE(res.Failures, res.Shots)
+	res.CILow, res.CIHigh = WilsonInterval(res.Failures, res.Shots, DefaultZ)
+	return res, nil
+}

@@ -1,0 +1,30 @@
+package mc
+
+// splitMix64 is the SplitMix64 generator (Steele, Lea & Flood, "Fast
+// splittable pseudorandom number generators", OOPSLA 2014). It is the
+// stream-derivation primitive of the engine: one 64-bit multiply-xorshift
+// mix per output, full 2^64 period, and — crucially — the ability to derive
+// statistically independent child streams from (seed, index) pairs without
+// any sequential dependency between shards.
+type splitMix64 uint64
+
+func (s *splitMix64) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// ShardSeed derives the RNG seed of one shard from the user seed. The
+// derivation depends only on (seed, shard) — never on worker count or
+// scheduling order — which is what makes engine results bit-identical for
+// any parallelism. The user seed is hashed first so that adjacent seeds
+// (the seed/seed+1 convention used by RunMemoryBoth) yield uncorrelated
+// shard families.
+func ShardSeed(seed int64, shard int) int64 {
+	s := splitMix64(uint64(seed))
+	base := s.next()
+	t := splitMix64(base + uint64(shard+1)*0x9E3779B97F4A7C15)
+	return int64(t.next())
+}

@@ -1,0 +1,47 @@
+package mc
+
+import "testing"
+
+// Reference output of SplitMix64 from state 0 (Vigna's splitmix64.c, the
+// de-facto test vectors shared by the xoshiro seeding literature).
+func TestSplitMix64KnownVectors(t *testing.T) {
+	s := splitMix64(0)
+	want := []uint64{
+		0xE220A8397B1DCDAF,
+		0x6E789E6AA1B965F4,
+		0x06C45D188009454F,
+	}
+	for i, w := range want {
+		if got := s.next(); got != w {
+			t.Fatalf("splitmix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestShardSeedStableAndDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for shard := 0; shard < 4096; shard++ {
+		s := ShardSeed(42, shard)
+		if again := ShardSeed(42, shard); again != s {
+			t.Fatalf("ShardSeed(42, %d) not stable: %d vs %d", shard, s, again)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("shards %d and %d collide on seed %d", prev, shard, s)
+		}
+		seen[s] = shard
+	}
+}
+
+// Adjacent user seeds are the RunMemoryBoth convention (seed, seed+1); the
+// families they spawn must not overlap.
+func TestShardSeedAdjacentUserSeeds(t *testing.T) {
+	a := map[int64]bool{}
+	for shard := 0; shard < 1024; shard++ {
+		a[ShardSeed(7, shard)] = true
+	}
+	for shard := 0; shard < 1024; shard++ {
+		if a[ShardSeed(8, shard)] {
+			t.Fatalf("seed families 7 and 8 share shard seed at shard %d", shard)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package mc
+
+import "math"
+
+// DefaultZ is the two-sided 95% normal quantile used for confidence
+// intervals.
+const DefaultZ = 1.959963984540054
+
+// RSE returns the relative standard error of the binomial failure-rate
+// estimate p̂ = failures/shots:
+//
+//	RSE = SE(p̂)/p̂ = sqrt(p̂(1-p̂)/n)/p̂ = sqrt((1-p̂)/failures)
+//
+// For rare failures this is ≈ 1/sqrt(failures), so a 10% target needs
+// ~100 observed failures regardless of how small the rate is — the
+// quantity the adaptive early-stopping rule drives to its target. With no
+// failures observed the estimate carries no relative precision and RSE is
+// +Inf.
+func RSE(failures, shots int) float64 {
+	if shots <= 0 || failures <= 0 {
+		return math.Inf(1)
+	}
+	p := float64(failures) / float64(shots)
+	return math.Sqrt((1 - p) / float64(failures))
+}
+
+// ShotsForRSE returns the expected number of shots needed to reach the
+// target RSE at failure rate p — the planning inverse of RSE, used to
+// size MaxShots budgets.
+func ShotsForRSE(p, target float64) int {
+	if p <= 0 || p >= 1 || target <= 0 {
+		return 0
+	}
+	return int(math.Ceil((1 - p) / (target * target * p)))
+}
+
+// WilsonInterval returns the Wilson score confidence interval for a
+// binomial proportion at normal quantile z (use DefaultZ for 95%). Unlike
+// the Wald interval it stays inside [0, 1] and behaves sensibly at zero
+// failures, the regime low logical-error-rate experiments live in.
+func WilsonInterval(failures, shots int, z float64) (lo, hi float64) {
+	if shots <= 0 {
+		return 0, 1
+	}
+	n := float64(shots)
+	p := float64(failures) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	// Pin the degenerate endpoints exactly (center-half carries float
+	// residue of order 1e-18 at p ∈ {0, 1}).
+	if lo < 0 || failures == 0 {
+		lo = 0
+	}
+	if hi > 1 || failures == shots {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,65 @@
+package mc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRSE(t *testing.T) {
+	// p = 0.01 from 100 failures in 10000 shots: sqrt(0.99/100).
+	got := RSE(100, 10000)
+	want := math.Sqrt(0.99 / 100)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RSE(100, 10000) = %v, want %v", got, want)
+	}
+	if !math.IsInf(RSE(0, 1000), 1) {
+		t.Error("RSE with zero failures must be +Inf")
+	}
+	if !math.IsInf(RSE(5, 0), 1) {
+		t.Error("RSE with zero shots must be +Inf")
+	}
+}
+
+func TestShotsForRSEInverse(t *testing.T) {
+	p, target := 2e-3, 0.1
+	n := ShotsForRSE(p, target)
+	if n <= 0 {
+		t.Fatalf("ShotsForRSE(%v, %v) = %d", p, target, n)
+	}
+	// Running exactly n shots at rate p should land at the target RSE.
+	failures := int(math.Round(p * float64(n)))
+	if got := RSE(failures, n); got > target*1.05 {
+		t.Errorf("RSE at planned budget = %v, want <= ~%v", got, target)
+	}
+	if ShotsForRSE(0, 0.1) != 0 || ShotsForRSE(0.5, 0) != 0 {
+		t.Error("degenerate inputs must return 0")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(50, 1000, DefaultZ)
+	p := 0.05
+	if !(lo < p && p < hi) {
+		t.Errorf("interval [%v, %v] must bracket the point estimate %v", lo, hi, p)
+	}
+	if hi-lo > 0.03 {
+		t.Errorf("interval [%v, %v] implausibly wide for n=1000", lo, hi)
+	}
+
+	// Zero failures: lower bound pinned at 0, upper near the rule of three.
+	lo, hi = WilsonInterval(0, 100, DefaultZ)
+	if lo != 0 {
+		t.Errorf("zero-failure lower bound = %v, want 0", lo)
+	}
+	if hi < 0.02 || hi > 0.06 {
+		t.Errorf("zero-failure upper bound = %v, want ≈ 0.037", hi)
+	}
+
+	// All failures: upper bound pinned at 1.
+	if _, hi = WilsonInterval(100, 100, DefaultZ); hi != 1 {
+		t.Errorf("all-failure upper bound = %v, want 1", hi)
+	}
+	if lo, hi = WilsonInterval(0, 0, DefaultZ); lo != 0 || hi != 1 {
+		t.Errorf("no-data interval = [%v, %v], want [0, 1]", lo, hi)
+	}
+}

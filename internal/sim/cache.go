@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"surfdeformer/internal/code"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/noise"
+)
+
+// DEMCache memoizes BuildDEM results keyed by (code fingerprint, noise
+// model fingerprint, rounds, basis). Sweep pipelines hit the same handful
+// of configurations thousands of times — per-policy baselines, the nominal
+// decode-side model of every mismatched run, repeated (d, p) grid points —
+// and DEM construction dominates their setup cost. Keys are full
+// serializations, not hashes, so distinct configurations can never
+// collide. Identical configurations return the identical *DEM pointer,
+// which downstream decoder-graph caches key on.
+//
+// The cache is safe for concurrent use. When it grows past its entry
+// limit it is cleared wholesale: sweeps revisit a small working set, so a
+// full reset costs one rebuild per live configuration and keeps the
+// implementation free of LRU bookkeeping.
+type DEMCache struct {
+	mu      sync.Mutex
+	entries map[string]*DEM
+	limit   int
+	hits    int
+	misses  int
+}
+
+// NewDEMCache returns an empty cache bounded at the given number of
+// entries (<= 0 selects a default of 256).
+func NewDEMCache(limit int) *DEMCache {
+	if limit <= 0 {
+		limit = 256
+	}
+	return &DEMCache{entries: make(map[string]*DEM), limit: limit}
+}
+
+var sharedDEMCache = NewDEMCache(0)
+
+// SharedDEMCache returns the process-wide cache used by the Monte-Carlo
+// engine paths (RunMemoryOpts and everything layered on it).
+func SharedDEMCache() *DEMCache { return sharedDEMCache }
+
+// BuildDEM returns the cached DEM for the configuration, building and
+// inserting it on first use.
+func (dc *DEMCache) BuildDEM(c *code.Code, model *noise.Model, rounds int, basis lattice.CheckType) (*DEM, error) {
+	key := demCacheKey(c, model, rounds, basis)
+	dc.mu.Lock()
+	if dem, ok := dc.entries[key]; ok {
+		dc.hits++
+		dc.mu.Unlock()
+		return dem, nil
+	}
+	dc.mu.Unlock()
+	dem, err := BuildDEM(c, model, rounds, basis)
+	if err != nil {
+		return nil, err
+	}
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if existing, ok := dc.entries[key]; ok {
+		// Lost a build race: adopt the first pointer so pointer-keyed
+		// consumers (the decoder graph cache) stay coherent.
+		dc.hits++
+		return existing, nil
+	}
+	if len(dc.entries) >= dc.limit {
+		dc.entries = make(map[string]*DEM)
+	}
+	dc.entries[key] = dem
+	dc.misses++
+	return dem, nil
+}
+
+// Stats reports cache hits and misses (for tests and diagnostics).
+func (dc *DEMCache) Stats() (hits, misses int) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.hits, dc.misses
+}
+
+// demCacheKey serializes everything BuildDEM's output depends on: the
+// structural content of the code (qubits, stabilizers, gauges, logicals)
+// and of the noise model (rates plus the defective set).
+func demCacheKey(c *code.Code, model *noise.Model, rounds int, basis lattice.CheckType) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "r%d|b%d|", rounds, basis)
+	writeCodeFingerprint(&sb, c)
+	sb.WriteByte('|')
+	writeModelFingerprint(&sb, model)
+	return sb.String()
+}
+
+func writeCodeFingerprint(sb *strings.Builder, c *code.Code) {
+	sb.WriteString("D:")
+	for _, q := range c.DataQubits() {
+		fmt.Fprintf(sb, "%d.%d,", q.Row, q.Col)
+	}
+	sb.WriteString("S:")
+	for _, q := range c.SyndromeQubits() {
+		fmt.Fprintf(sb, "%d.%d,", q.Row, q.Col)
+	}
+	sb.WriteString("stabs:")
+	for _, s := range c.Stabs() {
+		fmt.Fprintf(sb, "{%s@%d.%d/%v/%v}", s.Op.String(), s.Ancilla.Row, s.Ancilla.Col, s.Direct, s.MemberIDs)
+	}
+	sb.WriteString("gauges:")
+	for _, g := range c.Gauges() {
+		fmt.Fprintf(sb, "{%s@%d.%d/%v}", g.Op.String(), g.Ancilla.Row, g.Ancilla.Col, g.Direct)
+	}
+	fmt.Fprintf(sb, "LX:%s,LZ:%s", c.LogicalX().String(), c.LogicalZ().String())
+}
+
+func writeModelFingerprint(sb *strings.Builder, m *noise.Model) {
+	fmt.Fprintf(sb, "p1:%g,p2:%g,pm:%g,pc:%g,dr:%g,def:", m.P1, m.P2, m.PM, m.PCorrelated, m.DefectRate)
+	var defs []lattice.Coord
+	for q := range m.Defective {
+		defs = append(defs, q)
+	}
+	lattice.SortCoords(defs)
+	for _, q := range defs {
+		fmt.Fprintf(sb, "%d.%d,", q.Row, q.Col)
+	}
+}

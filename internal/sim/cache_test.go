@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+
+	"surfdeformer/internal/code"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/noise"
+)
+
+func TestDEMCacheHitsIdenticalConfig(t *testing.T) {
+	dc := NewDEMCache(0)
+	c := freshCode(t, 3)
+	model := noise.Uniform(1e-3)
+	a, err := dc.BuildDEM(c, model, 4, lattice.ZCheck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dc.BuildDEM(c, model, 4, lattice.ZCheck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical configuration must return the identical *DEM")
+	}
+	if hits, misses := dc.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+}
+
+// Structurally identical codes hit even when they are distinct pointers —
+// the case sweep pipelines produce by rebuilding specs per configuration.
+func TestDEMCacheStructuralKey(t *testing.T) {
+	dc := NewDEMCache(0)
+	model := noise.Uniform(1e-3)
+	a, err := dc.BuildDEM(freshCode(t, 3), model, 4, lattice.ZCheck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dc.BuildDEM(freshCode(t, 3), model, 4, lattice.ZCheck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("structurally identical codes must share a cache entry")
+	}
+	// A second, structurally identical model must hit as well.
+	if _, err := dc.BuildDEM(freshCode(t, 3), noise.Uniform(1e-3), 4, lattice.ZCheck); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := dc.Stats(); hits != 2 {
+		t.Errorf("hits = %d, want 2", hits)
+	}
+}
+
+func TestDEMCacheMissesOnAnyDifference(t *testing.T) {
+	dc := NewDEMCache(0)
+	c := freshCode(t, 3)
+	model := noise.Uniform(1e-3)
+	base, err := dc.BuildDEM(c, model, 4, lattice.ZCheck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name   string
+		c      *code.Code
+		m      *noise.Model
+		rounds int
+		basis  lattice.CheckType
+	}{
+		{"rounds", c, model, 5, lattice.ZCheck},
+		{"basis", c, model, 4, lattice.XCheck},
+		{"rate", c, noise.Uniform(2e-3), 4, lattice.ZCheck},
+		{"defects", c, model.WithDefects([]lattice.Coord{{Row: 1, Col: 1}}, 0.5), 4, lattice.ZCheck},
+		{"correlated", c, model.WithCorrelated(1e-4), 4, lattice.ZCheck},
+		{"code", freshCode(t, 5), model, 4, lattice.ZCheck},
+	}
+	for _, v := range variants {
+		dem, err := dc.BuildDEM(v.c, v.m, v.rounds, v.basis)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if dem == base {
+			t.Errorf("variant %q must not share the base entry", v.name)
+		}
+	}
+	if hits, misses := dc.Stats(); hits != 0 || misses != 7 {
+		t.Errorf("stats = (%d hits, %d misses), want (0, 7)", hits, misses)
+	}
+}
+
+func TestDEMCacheEviction(t *testing.T) {
+	dc := NewDEMCache(2)
+	c := freshCode(t, 3)
+	for rounds := 2; rounds <= 5; rounds++ {
+		if _, err := dc.BuildDEM(c, noise.Uniform(1e-3), rounds, lattice.ZCheck); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dc.mu.Lock()
+	n := len(dc.entries)
+	dc.mu.Unlock()
+	if n > 2 {
+		t.Errorf("cache holds %d entries, limit is 2", n)
+	}
+}

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
 	"surfdeformer/internal/code"
 	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/mc"
 	"surfdeformer/internal/noise"
 )
 
@@ -28,84 +30,129 @@ type MemoryResult struct {
 	// PerRound converts the shot failure rate into a per-round logical
 	// error rate via p_shot = (1 - (1-2λ)^R)/2.
 	PerRound float64
+	// CILow and CIHigh bound LogicalErrorRate with a 95% Wilson score
+	// interval; RSE is its achieved relative standard error (+Inf when no
+	// failures were observed).
+	CILow, CIHigh float64
+	RSE           float64
+	// EarlyStopped reports that the adaptive stopping rule ended the run
+	// before the shot budget was exhausted.
+	EarlyStopped bool
 	// Detectors and Mechanisms describe the DEM size (diagnostics).
 	Detectors  int
 	Mechanisms int
 }
 
-// RunMemory performs a memory experiment: build the DEM for the code under
-// the noise model, sample shots, decode each, and count logical failures.
-func RunMemory(c *code.Code, model *noise.Model, rounds, shots int, basis lattice.CheckType, factory DecoderFactory, seed int64) (*MemoryResult, error) {
-	dem, err := BuildDEM(c, model, rounds, basis)
+// RunOptions configures the Monte-Carlo engine path of a memory
+// experiment. The zero value of the tuning knobs is always valid: Workers
+// <= 0 uses every CPU, TargetRSE == 0 runs the exact Shots budget, and a
+// nil Cache uses the shared process-wide DEM cache.
+type RunOptions struct {
+	Rounds  int
+	Basis   lattice.CheckType
+	Factory DecoderFactory
+	// Shots is the budget: exact when TargetRSE == 0, a cap otherwise.
+	Shots int
+	// Workers sizes the engine pool; results are bit-identical for any
+	// value (see package mc).
+	Workers int
+	// TargetRSE enables adaptive early stopping at this relative standard
+	// error of the failure rate (0 disables).
+	TargetRSE float64
+	Seed      int64
+	// Cache overrides the shared DEM cache (tests); DisableCache forces a
+	// fresh build, the pre-engine behavior.
+	Cache        *DEMCache
+	DisableCache bool
+}
+
+// RunMemoryOpts performs a memory experiment on the concurrent engine:
+// shots are drawn from sampleModel while the decoder is built from
+// decodeModel. Passing decodeModel == nil decodes with the sampling model
+// (the matched, defect-aware case); distinct models form the honest model
+// of an untreated dynamic defect — the hardware error rates spike but the
+// decoder keeps its calibrated nominal priors. Both models share the same
+// circuit, so the detector layout is identical.
+func RunMemoryOpts(c *code.Code, sampleModel, decodeModel *noise.Model, o RunOptions) (*MemoryResult, error) {
+	if o.Factory == nil {
+		return nil, fmt.Errorf("sim: RunOptions.Factory is required")
+	}
+	build := func(m *noise.Model) (*DEM, error) {
+		if o.DisableCache {
+			return BuildDEM(c, m, o.Rounds, o.Basis)
+		}
+		cache := o.Cache
+		if cache == nil {
+			cache = sharedDEMCache
+		}
+		return cache.BuildDEM(c, m, o.Rounds, o.Basis)
+	}
+	sampleDEM, err := build(sampleModel)
 	if err != nil {
 		return nil, err
 	}
-	dec, err := factory(dem)
-	if err != nil {
-		return nil, err
-	}
-	sampler := NewSampler(dem)
-	rng := rand.New(rand.NewSource(seed))
-	failures := 0
-	for s := 0; s < shots; s++ {
-		flagged, obs := sampler.Shot(rng)
-		if dec.DecodeToObs(flagged) != obs {
-			failures++
+	decodeDEM := sampleDEM
+	if decodeModel != nil && decodeModel != sampleModel {
+		decodeDEM, err = build(decodeModel)
+		if err != nil {
+			return nil, err
+		}
+		if decodeDEM.NumDets != sampleDEM.NumDets {
+			return nil, errDetectorMismatch
 		}
 	}
-	res := &MemoryResult{
-		Shots:      shots,
-		Failures:   failures,
-		Rounds:     rounds,
-		Detectors:  dem.NumDets,
-		Mechanisms: len(dem.Mechs),
+	agg, err := mc.Run(mc.Config{
+		Workers:   o.Workers,
+		MaxShots:  o.Shots,
+		TargetRSE: o.TargetRSE,
+		Seed:      o.Seed,
+	}, func() (mc.ShotFunc, error) {
+		dec, err := o.Factory(decodeDEM)
+		if err != nil {
+			return nil, err
+		}
+		sampler := NewSampler(sampleDEM)
+		return func(rng *rand.Rand) bool {
+			flagged, obs := sampler.Shot(rng)
+			return dec.DecodeToObs(flagged) != obs
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.LogicalErrorRate = float64(failures) / float64(shots)
-	res.PerRound = PerRoundRate(res.LogicalErrorRate, rounds)
+	res := &MemoryResult{
+		Shots:            agg.Shots,
+		Failures:         agg.Failures,
+		Rounds:           o.Rounds,
+		LogicalErrorRate: agg.Rate,
+		CILow:            agg.CILow,
+		CIHigh:           agg.CIHigh,
+		RSE:              agg.RSE,
+		EarlyStopped:     agg.EarlyStopped,
+		Detectors:        sampleDEM.NumDets,
+		Mechanisms:       len(sampleDEM.Mechs),
+	}
+	res.PerRound = PerRoundRate(res.LogicalErrorRate, o.Rounds)
 	return res, nil
 }
 
+// RunMemory performs a memory experiment: build the DEM for the code under
+// the noise model, sample shots across the engine's worker pool, decode
+// each, and count logical failures. It is a thin wrapper over
+// RunMemoryOpts with a fixed shot budget.
+func RunMemory(c *code.Code, model *noise.Model, rounds, shots int, basis lattice.CheckType, factory DecoderFactory, seed int64) (*MemoryResult, error) {
+	return RunMemoryOpts(c, model, nil, RunOptions{
+		Rounds: rounds, Basis: basis, Factory: factory, Shots: shots, Seed: seed,
+	})
+}
+
 // RunMemoryMismatched performs a memory experiment in which shots are drawn
-// from sampleModel while the decoder is built from decodeModel. This is the
-// honest model of an untreated dynamic defect: the hardware error rates
-// spike (sampleModel carries the 50% defect region) but the decoder keeps
-// using its calibrated nominal priors. Both models share the same circuit,
-// so the detector layout is identical.
+// from sampleModel while the decoder is built from decodeModel — the
+// untreated-defect configuration. It is a thin wrapper over RunMemoryOpts.
 func RunMemoryMismatched(c *code.Code, sampleModel, decodeModel *noise.Model, rounds, shots int, basis lattice.CheckType, factory DecoderFactory, seed int64) (*MemoryResult, error) {
-	sampleDEM, err := BuildDEM(c, sampleModel, rounds, basis)
-	if err != nil {
-		return nil, err
-	}
-	decodeDEM, err := BuildDEM(c, decodeModel, rounds, basis)
-	if err != nil {
-		return nil, err
-	}
-	if decodeDEM.NumDets != sampleDEM.NumDets {
-		return nil, errDetectorMismatch
-	}
-	dec, err := factory(decodeDEM)
-	if err != nil {
-		return nil, err
-	}
-	sampler := NewSampler(sampleDEM)
-	rng := rand.New(rand.NewSource(seed))
-	failures := 0
-	for s := 0; s < shots; s++ {
-		flagged, obs := sampler.Shot(rng)
-		if dec.DecodeToObs(flagged) != obs {
-			failures++
-		}
-	}
-	res := &MemoryResult{
-		Shots:      shots,
-		Failures:   failures,
-		Rounds:     rounds,
-		Detectors:  sampleDEM.NumDets,
-		Mechanisms: len(sampleDEM.Mechs),
-	}
-	res.LogicalErrorRate = float64(failures) / float64(shots)
-	res.PerRound = PerRoundRate(res.LogicalErrorRate, rounds)
-	return res, nil
+	return RunMemoryOpts(c, sampleModel, decodeModel, RunOptions{
+		Rounds: rounds, Basis: basis, Factory: factory, Shots: shots, Seed: seed,
+	})
 }
 
 var errDetectorMismatch = errMismatch{}
@@ -119,11 +166,22 @@ func (errMismatch) Error() string {
 // RunMemoryBoth runs memory-Z and memory-X and returns the combined
 // per-round logical error rate (the union rate of either logical failing).
 func RunMemoryBoth(c *code.Code, model *noise.Model, rounds, shots int, factory DecoderFactory, seed int64) (z, x *MemoryResult, combined float64, err error) {
-	z, err = RunMemory(c, model, rounds, shots, lattice.ZCheck, factory, seed)
+	return RunMemoryBothOpts(c, model, RunOptions{
+		Rounds: rounds, Factory: factory, Shots: shots, Seed: seed,
+	})
+}
+
+// RunMemoryBothOpts is RunMemoryBoth on explicit engine options; o.Basis
+// is ignored (both bases run, X at Seed+1).
+func RunMemoryBothOpts(c *code.Code, model *noise.Model, o RunOptions) (z, x *MemoryResult, combined float64, err error) {
+	o.Basis = lattice.ZCheck
+	z, err = RunMemoryOpts(c, model, nil, o)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	x, err = RunMemory(c, model, rounds, shots, lattice.XCheck, factory, seed+1)
+	o.Basis = lattice.XCheck
+	o.Seed++
+	x, err = RunMemoryOpts(c, model, nil, o)
 	if err != nil {
 		return nil, nil, 0, err
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 	"math/rand"
+	"slices"
 )
 
 // Sampler draws shots from a DEM. Each mechanism fires independently with
@@ -85,16 +86,8 @@ func (s *Sampler) Shot(rng *rand.Rand) (flagged []int32, obs bool) {
 			s.accum[d] = 0
 		}
 	}
-	sortInt32(flagged)
+	slices.Sort(flagged)
 	return flagged, obs
-}
-
-func sortInt32(a []int32) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }
 
 // ExpectedFirings returns the mean number of mechanism firings per shot —

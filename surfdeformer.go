@@ -158,10 +158,22 @@ type MemoryOptions struct {
 	PhysicalErrorRate float64
 	// Rounds of syndrome extraction (default 8).
 	Rounds int
-	// Shots of Monte Carlo (default 10000).
+	// Shots of Monte Carlo (default 10000). When TargetRSE is 0 this is
+	// the exact per-basis budget.
 	Shots int
 	// Seed for reproducibility.
 	Seed int64
+	// Workers sizes the Monte-Carlo engine's pool (0 = all CPUs). The
+	// result is bit-identical for any value; it only changes wall-clock
+	// time.
+	Workers int
+	// TargetRSE, when positive, stops each basis early once the failure
+	// rate is known to this relative standard error (e.g. 0.1), up to
+	// MaxShots.
+	TargetRSE float64
+	// MaxShots caps the adaptive budget when TargetRSE is set (default
+	// Shots).
+	MaxShots int
 	// Defective marks hot qubits erroring at DefectRate; if DecoderAware
 	// is false the decoder keeps nominal priors (an untreated dynamic
 	// defect).
@@ -174,10 +186,17 @@ type MemoryOptions struct {
 
 // MemoryResult reports a memory experiment.
 type MemoryResult struct {
-	Shots            int
+	Shots            int // shots actually spent across both bases
 	Failures         int
 	LogicalErrorRate float64 // per shot
 	PerRound         float64 // per QEC cycle
+	// CILow and CIHigh bound LogicalErrorRate by combining the per-basis
+	// 95% Wilson intervals; both bases must cover simultaneously, so the
+	// joint coverage of the combined interval is ≈ 90%.
+	CILow, CIHigh float64
+	// EarlyStopped reports that at least one basis hit its TargetRSE
+	// before exhausting the shot budget.
+	EarlyStopped bool
 }
 
 // MemoryExperiment measures the logical error rate of the patch in both
@@ -200,31 +219,46 @@ func (p *Patch) MemoryExperiment(o MemoryOptions) (*MemoryResult, error) {
 	if len(o.Defective) > 0 {
 		model = nominal.WithDefects(o.Defective, o.DefectRate)
 	}
-	factory := decoder.UnionFindFactory()
+	shots := o.Shots
+	if o.TargetRSE > 0 && o.MaxShots > 0 {
+		shots = o.MaxShots
+	}
+	runOpts := sim.RunOptions{
+		Rounds:    o.Rounds,
+		Factory:   decoder.UnionFindFactory(),
+		Shots:     shots,
+		Workers:   o.Workers,
+		TargetRSE: o.TargetRSE,
+	}
+	// Untreated defects decode with nominal priors; otherwise decode with
+	// the sampling model itself (nil decode model = matched).
+	var decodeModel *noise.Model
+	if len(o.Defective) > 0 && !o.DecoderAware {
+		decodeModel = nominal
+	}
 	var zRes, xRes *sim.MemoryResult
 	var err error
-	if len(o.Defective) > 0 && !o.DecoderAware {
-		zRes, err = sim.RunMemoryMismatched(p.code, model, nominal, o.Rounds, o.Shots, lattice.ZCheck, factory, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		xRes, err = sim.RunMemoryMismatched(p.code, model, nominal, o.Rounds, o.Shots, lattice.XCheck, factory, o.Seed+1)
-	} else {
-		zRes, err = sim.RunMemory(p.code, model, o.Rounds, o.Shots, lattice.ZCheck, factory, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		xRes, err = sim.RunMemory(p.code, model, o.Rounds, o.Shots, lattice.XCheck, factory, o.Seed+1)
+	runOpts.Basis = lattice.ZCheck
+	runOpts.Seed = o.Seed
+	zRes, err = sim.RunMemoryOpts(p.code, model, decodeModel, runOpts)
+	if err != nil {
+		return nil, err
 	}
+	runOpts.Basis = lattice.XCheck
+	runOpts.Seed = o.Seed + 1
+	xRes, err = sim.RunMemoryOpts(p.code, model, decodeModel, runOpts)
 	if err != nil {
 		return nil, err
 	}
 	combinedShot := 1 - (1-zRes.LogicalErrorRate)*(1-xRes.LogicalErrorRate)
 	return &MemoryResult{
-		Shots:            o.Shots,
+		Shots:            zRes.Shots + xRes.Shots,
 		Failures:         zRes.Failures + xRes.Failures,
 		LogicalErrorRate: combinedShot,
 		PerRound:         1 - (1-zRes.PerRound)*(1-xRes.PerRound),
+		CILow:            1 - (1-zRes.CILow)*(1-xRes.CILow),
+		CIHigh:           1 - (1-zRes.CIHigh)*(1-xRes.CIHigh),
+		EarlyStopped:     zRes.EarlyStopped || xRes.EarlyStopped,
 	}, nil
 }
 
