@@ -12,6 +12,7 @@ package surfdeformer
 import (
 	"io"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"surfdeformer/internal/decoder"
@@ -319,7 +320,8 @@ func BenchmarkAblationDecoder(b *testing.B) {
 	shots := make([]shot, 400)
 	for i := range shots {
 		f, o := sampler.Shot(rng)
-		shots[i] = shot{f, o}
+		// Shot returns sampler-owned scratch; clone to keep it.
+		shots[i] = shot{slices.Clone(f), o}
 	}
 	var ufFail, grFail, exFail float64
 	b.ResetTimer()
@@ -473,7 +475,9 @@ func BenchmarkMCEngineAdaptive(b *testing.B) {
 	b.ReportMetric(200000, "shots-budget")
 }
 
-// BenchmarkDecodeShot measures steady-state per-shot decode cost.
+// BenchmarkDecodeShot measures steady-state per-shot decode cost. It must
+// report 0 allocs/op — the CI alloc-regression gate greps for it, and
+// TestDecodeZeroAllocs/TestShotZeroAllocs enforce the same contract.
 func BenchmarkDecodeShot(b *testing.B) {
 	dem, err := buildBenchDEM()
 	if err != nil {
@@ -482,9 +486,27 @@ func BenchmarkDecodeShot(b *testing.B) {
 	uf := decoder.NewUnionFind(decoder.NewGraph(dem))
 	sampler := sim.NewSampler(dem)
 	rng := rand.New(rand.NewSource(4))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		flagged, _ := sampler.Shot(rng)
 		uf.DecodeToObs(flagged)
+	}
+}
+
+// BenchmarkSamplerShot isolates steady-state sampling cost (no decode).
+// Like BenchmarkDecodeShot it must report 0 allocs/op.
+func BenchmarkSamplerShot(b *testing.B) {
+	dem, err := buildBenchDEM()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sampler := sim.NewSampler(dem)
+	rng := rand.New(rand.NewSource(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flagged, _ := sampler.Shot(rng)
+		_ = flagged
 	}
 }

@@ -1,0 +1,232 @@
+// Command bench measures the Monte-Carlo hot path — Sampler.Shot feeding
+// UnionFind.DecodeToObs — and writes the results to BENCH_hotpath.json so
+// the repository carries a tracked performance baseline across PRs.
+//
+// For each code distance it builds a memory-experiment DEM, then times a
+// single-threaded sample+decode loop (the scalar path every engine worker
+// multiplies) and reports shots/sec, ns/shot, and allocs/shot measured via
+// runtime.MemStats deltas. The engine section repeats the d points through
+// mc.RunBatch to capture scheduling overhead.
+//
+// Usage:
+//
+//	bench -out BENCH_hotpath.json                 # refresh the "current" run
+//	bench -out BENCH_hotpath.json -as-baseline    # record the baseline slot
+//
+// The output file holds two runs: "baseline" (the state to beat, preserved
+// across refreshes) and "current". Refreshing only replaces "current";
+// -as-baseline replaces "baseline" instead. Compare ns/shot point-by-point.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"surfdeformer/internal/cliutil"
+	"surfdeformer/internal/code"
+	"surfdeformer/internal/decoder"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/noise"
+	"surfdeformer/internal/sim"
+)
+
+// Point is one measured configuration.
+type Point struct {
+	D         int     `json:"d"`
+	P         float64 `json:"p"`
+	Rounds    int     `json:"rounds"`
+	Shots     int     `json:"shots"`
+	ShotsSec  float64 `json:"shots_per_sec"`
+	NsShot    float64 `json:"ns_per_shot"`
+	AllocShot float64 `json:"allocs_per_shot"`
+}
+
+// EnginePoint is one engine-level measurement (sharded batch path).
+type EnginePoint struct {
+	D        int     `json:"d"`
+	Shots    int     `json:"shots"`
+	ShotsSec float64 `json:"shots_per_sec"`
+	NsShot   float64 `json:"ns_per_shot"`
+}
+
+// Run is one full harness invocation.
+type Run struct {
+	Label  string        `json:"label"`
+	Date   string        `json:"date"`
+	CPU    int           `json:"num_cpu"`
+	Points []Point       `json:"points"`
+	Engine []EnginePoint `json:"engine,omitempty"`
+}
+
+// File is the on-disk schema of BENCH_hotpath.json.
+type File struct {
+	Schema   string `json:"schema"`
+	Baseline *Run   `json:"baseline,omitempty"`
+	Current  *Run   `json:"current,omitempty"`
+}
+
+const schema = "surfdeformer-bench-hotpath/v1"
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "output file (empty = stdout only)")
+	dArg := flag.String("d", "5,9,13", "comma-separated code distances")
+	p := flag.Float64("p", 1e-3, "physical error rate")
+	rounds := flag.Int("rounds", 0, "QEC rounds (0 = d rounds per point)")
+	shots := flag.Int("shots", 20000, "timed shots per point")
+	warmup := flag.Int("warmup", 1000, "untimed warmup shots per point")
+	label := flag.String("label", "", "run label recorded in the file")
+	asBaseline := flag.Bool("as-baseline", false, "write the baseline slot instead of current")
+	engine := flag.Bool("engine", true, "also measure the mc engine batch path")
+	flag.Parse()
+
+	ds, err := cliutil.ParseInts(*dArg)
+	if err != nil {
+		fatal(err)
+	}
+	run := &Run{
+		Label: *label,
+		Date:  time.Now().UTC().Format("2006-01-02"),
+		CPU:   runtime.NumCPU(),
+	}
+	for _, d := range ds {
+		r := *rounds
+		if r <= 0 {
+			r = d
+		}
+		pt, err := measurePoint(d, *p, r, *shots, *warmup)
+		if err != nil {
+			fatal(err)
+		}
+		run.Points = append(run.Points, pt)
+		fmt.Printf("d=%-3d p=%.0e rounds=%-3d  %12.0f shots/sec  %9.0f ns/shot  %7.2f allocs/shot\n",
+			pt.D, pt.P, pt.Rounds, pt.ShotsSec, pt.NsShot, pt.AllocShot)
+		if *engine {
+			ep, err := measureEngine(d, *p, r, *shots)
+			if err != nil {
+				fatal(err)
+			}
+			run.Engine = append(run.Engine, ep)
+			fmt.Printf("d=%-3d engine (workers=all)   %12.0f shots/sec  %9.0f ns/shot\n",
+				ep.D, ep.ShotsSec, ep.NsShot)
+		}
+	}
+	if *out == "" {
+		return
+	}
+	f := &File{Schema: schema}
+	// Distinguish "no previous file" from a read failure: overwriting on
+	// a transient read error would silently destroy the tracked baseline.
+	if prev, err := os.ReadFile(*out); err == nil {
+		if jerr := json.Unmarshal(prev, f); jerr != nil {
+			fatal(fmt.Errorf("existing %s is not a bench file: %v", *out, jerr))
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		fatal(fmt.Errorf("reading existing %s: %v", *out, err))
+	}
+	f.Schema = schema
+	if *asBaseline {
+		f.Baseline = run
+	} else {
+		f.Current = run
+	}
+	blob, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	if f.Baseline != nil && f.Current != nil {
+		for _, cur := range f.Current.Points {
+			for _, base := range f.Baseline.Points {
+				if base.D == cur.D && base.P == cur.P {
+					fmt.Printf("d=%-3d speedup vs baseline: %.2fx (%.0f -> %.0f ns/shot)\n",
+						cur.D, base.NsShot/cur.NsShot, base.NsShot, cur.NsShot)
+				}
+			}
+		}
+	}
+}
+
+// measurePoint times the scalar sample+decode loop for one configuration.
+func measurePoint(d int, p float64, rounds, shots, warmup int) (Point, error) {
+	c := code.FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, d))
+	dem, err := sim.BuildDEM(c, noise.Uniform(p), rounds, lattice.ZCheck)
+	if err != nil {
+		return Point{}, err
+	}
+	g := decoder.SharedGraph(dem)
+	if err := g.Validate(); err != nil {
+		return Point{}, err
+	}
+	uf := decoder.NewUnionFind(g)
+	sampler := sim.NewSampler(dem)
+	rng := rand.New(rand.NewSource(1))
+	sink := false
+	for i := 0; i < warmup; i++ {
+		flagged, obs := sampler.Shot(rng)
+		sink = sink != (uf.DecodeToObs(flagged) != obs)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < shots; i++ {
+		flagged, obs := sampler.Shot(rng)
+		sink = sink != (uf.DecodeToObs(flagged) != obs)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	_ = sink
+	ns := float64(elapsed.Nanoseconds()) / float64(shots)
+	return Point{
+		D: d, P: p, Rounds: rounds, Shots: shots,
+		ShotsSec:  float64(shots) / elapsed.Seconds(),
+		NsShot:    ns,
+		AllocShot: float64(m1.Mallocs-m0.Mallocs) / float64(shots),
+	}, nil
+}
+
+// measureEngine times the same configuration through the mc engine so the
+// number includes sharding, commit, and scheduling overhead.
+func measureEngine(d int, p float64, rounds, shots int) (EnginePoint, error) {
+	c := code.FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, d))
+	model := noise.Uniform(p)
+	opts := sim.RunOptions{
+		Rounds:  rounds,
+		Basis:   lattice.ZCheck,
+		Factory: decoder.UnionFindFactory(),
+		Shots:   shots,
+		Seed:    1,
+	}
+	// Warm the DEM/decoder-graph caches so the timed run measures shots,
+	// not one-time model construction.
+	warm := opts
+	warm.Shots = 64
+	if _, err := sim.RunMemoryOpts(c, model, nil, warm); err != nil {
+		return EnginePoint{}, err
+	}
+	start := time.Now()
+	res, err := sim.RunMemoryOpts(c, model, nil, opts)
+	if err != nil {
+		return EnginePoint{}, err
+	}
+	elapsed := time.Since(start)
+	return EnginePoint{
+		D: d, Shots: res.Shots,
+		ShotsSec: float64(res.Shots) / elapsed.Seconds(),
+		NsShot:   float64(elapsed.Nanoseconds()) / float64(res.Shots),
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+	os.Exit(1)
+}

@@ -10,15 +10,17 @@
 //
 //	memsweep -d 3,5,7 -p 2e-3,4e-3,6e-3 -rounds 6 -shots 20000
 //	memsweep -d 3,5,7 -p 2e-3 -target-rse 0.1 -max-shots 2000000 -workers 8
+//	memsweep -d 5,7 -p 2e-3 -shots 50000 -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"runtime"
+	"runtime/pprof"
 
+	"surfdeformer/internal/cliutil"
 	"surfdeformer/internal/code"
 	"surfdeformer/internal/decoder"
 	"surfdeformer/internal/lattice"
@@ -26,7 +28,17 @@ import (
 	"surfdeformer/internal/sim"
 )
 
+// main is a thin exit-code shim: all work happens in run so that its
+// deferred cleanups — CPU-profile flush, heap-profile write — execute on
+// every path, including errors (os.Exit would skip them).
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "memsweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	dArg := flag.String("d", "3,5,7", "comma-separated code distances")
 	pArg := flag.String("p", "2e-3,4e-3,6e-3", "comma-separated physical error rates")
 	rounds := flag.Int("rounds", 6, "QEC rounds")
@@ -36,15 +48,42 @@ func main() {
 	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs; never changes results)")
 	targetRSE := flag.Float64("target-rse", 0, "stop each point at this relative standard error (0 = fixed budget)")
 	maxShots := flag.Int("max-shots", 0, "shot cap when -target-rse is set (0 = -shots)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at sweep end to this file")
 	flag.Parse()
 
-	ds, err := parseInts(*dArg)
-	if err != nil {
-		fatal(err)
+	if *cpuProfile != "" {
+		f, cerr := os.Create(*cpuProfile)
+		if cerr != nil {
+			return cerr
+		}
+		defer f.Close()
+		if cerr := pprof.StartCPUProfile(f); cerr != nil {
+			return cerr
+		}
+		defer pprof.StopCPUProfile()
 	}
-	ps, err := parseFloats(*pArg)
+	if *memProfile != "" {
+		defer func() {
+			f, merr := os.Create(*memProfile)
+			if merr == nil {
+				defer f.Close()
+				runtime.GC() // settle heap so the profile shows retained allocations
+				merr = pprof.WriteHeapProfile(f)
+			}
+			if merr != nil && err == nil {
+				err = merr
+			}
+		}()
+	}
+
+	ds, err := cliutil.ParseInts(*dArg)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	ps, err := cliutil.ParseFloats(*pArg)
+	if err != nil {
+		return err
 	}
 	var factory sim.DecoderFactory
 	switch *dec {
@@ -55,7 +94,7 @@ func main() {
 	case "exact":
 		factory = decoder.ExactFactory(14)
 	default:
-		fatal(fmt.Errorf("unknown decoder %q", *dec))
+		return fmt.Errorf("unknown decoder %q", *dec)
 	}
 	budget := *shots
 	if *targetRSE > 0 && *maxShots > 0 {
@@ -76,7 +115,7 @@ func main() {
 				Seed:      *seed,
 			})
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			stopped := ""
 			if z.EarlyStopped || x.EarlyStopped {
@@ -90,33 +129,5 @@ func main() {
 	if *targetRSE > 0 {
 		fmt.Println("\n(* = point stopped early at the target RSE)")
 	}
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parseFloats(s string) ([]float64, error) {
-	var out []float64
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "memsweep: %v\n", err)
-	os.Exit(1)
+	return nil
 }

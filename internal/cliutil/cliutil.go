@@ -1,0 +1,34 @@
+// Package cliutil holds small flag-parsing helpers shared by the
+// command-line tools so list syntax stays consistent across binaries.
+package cliutil
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ParseInts parses a comma-separated integer list ("3,5,7").
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseFloats parses a comma-separated float list ("2e-3,4e-3").
+func ParseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

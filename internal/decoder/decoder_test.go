@@ -2,6 +2,7 @@ package decoder
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
 	"surfdeformer/internal/code"
@@ -131,7 +132,8 @@ func TestExactBeatsOrMatchesGreedy(t *testing.T) {
 	var data []shotData
 	for i := 0; i < shots; i++ {
 		flagged, obs := sampler.Shot(rng)
-		data = append(data, shotData{flagged, obs})
+		// Shot returns sampler-owned scratch; clone to keep it.
+		data = append(data, shotData{slices.Clone(flagged), obs})
 	}
 	for name, dec := range decoders {
 		for _, sd := range data {

@@ -31,8 +31,12 @@ type Edge struct {
 type Graph struct {
 	NumDets int
 	Edges   []Edge
-	// adjacency: per detector, edge indices
-	adj [][]int32
+	// CSR adjacency: the edge indices incident to detector d are
+	// adjList[adjOff[d]:adjOff[d+1]]. One flat backing array keeps the
+	// per-shot frontier scan cache-friendly and allocation-free; built
+	// once by buildAdj after the edge list is final.
+	adjOff  []int32
+	adjList []int32
 	// Decomposed counts mechanisms with more than two detectors that were
 	// split into edge chains; FreeLogicalP accumulates the probability mass
 	// of mechanisms that flip the observable without touching any detector
@@ -103,7 +107,6 @@ func NewGraph(dem *sim.DEM) *Graph {
 		}
 		return keys[i].v < keys[j].v
 	})
-	g.adj = make([][]int32, g.NumDets)
 	for _, k := range keys {
 		e := acc[k]
 		p := e.P
@@ -114,20 +117,43 @@ func NewGraph(dem *sim.DEM) *Graph {
 			p = 0.4999
 		}
 		e.Weight = math.Log((1 - p) / p)
-		idx := int32(len(g.Edges))
 		g.Edges = append(g.Edges, *e)
-		if e.U != Boundary {
-			g.adj[e.U] = append(g.adj[e.U], idx)
-		}
-		if e.V != Boundary {
-			g.adj[e.V] = append(g.adj[e.V], idx)
-		}
 	}
+	g.buildAdj()
 	return g
 }
 
+// buildAdj (re)builds the CSR adjacency index from Edges. Rows list edge
+// indices in ascending order because the fill pass walks Edges in order.
+func (g *Graph) buildAdj() {
+	g.adjOff = make([]int32, g.NumDets+1)
+	for _, e := range g.Edges {
+		if e.U != Boundary {
+			g.adjOff[e.U+1]++
+		}
+		if e.V != Boundary {
+			g.adjOff[e.V+1]++
+		}
+	}
+	for i := 0; i < g.NumDets; i++ {
+		g.adjOff[i+1] += g.adjOff[i]
+	}
+	g.adjList = make([]int32, g.adjOff[g.NumDets])
+	cur := make([]int32, g.NumDets)
+	for i, e := range g.Edges {
+		if e.U != Boundary {
+			g.adjList[g.adjOff[e.U]+cur[e.U]] = int32(i)
+			cur[e.U]++
+		}
+		if e.V != Boundary {
+			g.adjList[g.adjOff[e.V]+cur[e.V]] = int32(i)
+			cur[e.V]++
+		}
+	}
+}
+
 // Adj returns the edge indices incident to detector d.
-func (g *Graph) Adj(d int32) []int32 { return g.adj[d] }
+func (g *Graph) Adj(d int32) []int32 { return g.adjList[g.adjOff[d]:g.adjOff[d+1]] }
 
 // Validate performs structural checks used by tests.
 func (g *Graph) Validate() error {

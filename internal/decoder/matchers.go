@@ -33,7 +33,7 @@ func (g *Graph) dijkstra(src int32) (dists []pathInfo, boundary pathInfo) {
 		}
 		done[item.node] = true
 		d := dists[item.node]
-		for _, ei := range g.adj[item.node] {
+		for _, ei := range g.Adj(item.node) {
 			e := g.Edges[ei]
 			other := e.U
 			if other == item.node {

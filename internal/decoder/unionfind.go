@@ -1,7 +1,7 @@
 package decoder
 
 import (
-	"sort"
+	"slices"
 
 	"surfdeformer/internal/sim"
 )
@@ -13,9 +13,14 @@ import (
 // cluster's grown forest then produces a correction whose observable parity
 // is the decoder's prediction.
 //
-// The implementation favours clarity and per-shot locality: all state it
-// touches during a shot is recorded and reset afterwards, so a single
-// decoder instance amortizes allocation across millions of shots.
+// The implementation is allocation-free at steady state: every map the
+// algorithm conceptually needs (active roots, frontier multiplicities,
+// peeling visitation, parent edges, per-node incidence) is a flat array
+// stamped with a monotonically increasing epoch, so nothing is cleared
+// between shots — a stale entry is simply one whose stamp is not the
+// current epoch. All scratch slices are preallocated at their worst-case
+// bound in NewUnionFind, so a single decoder instance performs zero heap
+// allocations per shot from the very first call.
 type UnionFind struct {
 	g *Graph
 
@@ -29,20 +34,67 @@ type UnionFind struct {
 
 	touched []int32 // nodes absorbed this shot
 	edges   []int32 // edge indices with non-zero growth this shot
+
+	// epoch versions the stamped scratch below. It advances once per
+	// growth iteration and once per peel, so a stamp matches only entries
+	// written in the current pass; stale entries need no clearing.
+	epoch      uint64
+	rootSeen   []uint64 // per node: root deduped this growth iteration
+	activeRoot []uint64 // per node: root is odd and boundary-free this iteration
+	edgeSeen   []uint64 // per edge: on the frontier this iteration
+	edgeSides  []uint8  // active sides of a frontier edge (valid per edgeSeen)
+	visited    []uint64 // per node: reached by this shot's peeling BFS
+	parentEdge []int32  // BFS tree edge into a node (valid per visited)
+	incStamp   []uint64 // per node: incidence row built this peel
+	incOff     []int32  // CSR row start into incList (valid per incStamp)
+	incCur     []int32  // CSR fill cursor; row end after the fill pass
+	incList    []int32  // backing array for per-shot incidence rows
+
+	frontier []int64 // packed int64(ei)<<2|sides keys, sorted per iteration
+	order    []int32 // peeling BFS order; doubles as the BFS queue
+	corr     []int32 // correction scratch returned by DecodeToEdges
+
+	// Truncations counts shots whose syndrome the decoder failed to
+	// annihilate: after peeling, a cluster root still carried a flag, so
+	// the returned correction is partial. This can only happen on
+	// pathological graphs (a flagged detector with no incident edges, or
+	// the growth-iteration guard tripping) and is surfaced here instead
+	// of being silently swallowed.
+	Truncations int
 }
 
-// NewUnionFind builds a union-find decoder over the graph.
+// NewUnionFind builds a union-find decoder over the graph. All scratch is
+// preallocated at worst-case bounds so decoding never allocates.
 func NewUnionFind(g *Graph) *UnionFind {
 	n := g.NumDets
+	m := len(g.Edges)
 	u := &UnionFind{
 		g:        g,
 		parent:   make([]int32, n),
 		parity:   make([]int8, n),
 		bound:    make([]bool, n),
-		growth:   make([]float64, len(g.Edges)),
-		grown:    make([]bool, len(g.Edges)),
+		growth:   make([]float64, m),
+		grown:    make([]bool, m),
 		absorbed: make([]bool, n),
 		flag:     make([]bool, n),
+
+		touched: make([]int32, 0, n),
+		edges:   make([]int32, 0, m),
+
+		rootSeen:   make([]uint64, n),
+		activeRoot: make([]uint64, n),
+		edgeSeen:   make([]uint64, m),
+		edgeSides:  make([]uint8, m),
+		visited:    make([]uint64, n),
+		parentEdge: make([]int32, n),
+		incStamp:   make([]uint64, n),
+		incOff:     make([]int32, n),
+		incCur:     make([]int32, n),
+		incList:    make([]int32, 2*m),
+
+		frontier: make([]int64, 0, m),
+		order:    make([]int32, 0, n),
+		corr:     make([]int32, 0, n),
 	}
 	for i := range u.parent {
 		u.parent[i] = int32(i)
@@ -61,7 +113,14 @@ func UnionFindFactory() sim.DecoderFactory {
 	}
 }
 
-var _ sim.Decoder = (*UnionFind)(nil)
+var (
+	_ sim.Decoder           = (*UnionFind)(nil)
+	_ sim.TruncationCounter = (*UnionFind)(nil)
+)
+
+// TruncationCount implements sim.TruncationCounter: the number of decoded
+// shots whose syndrome could not be fully annihilated (see Truncations).
+func (u *UnionFind) TruncationCount() int { return u.Truncations }
 
 func (u *UnionFind) find(x int32) int32 {
 	for u.parent[x] != x {
@@ -101,8 +160,13 @@ func (u *UnionFind) DecodeToObs(flagged []int32) bool {
 }
 
 // DecodeToEdges decodes one shot and returns the correction edge set. The
-// correction always annihilates the syndrome: its edge-set boundary equals
-// the flagged set modulo the virtual boundary node.
+// correction annihilates the syndrome — its edge-set boundary equals the
+// flagged set modulo the virtual boundary node — except on pathological
+// graphs, where the truncation is counted in Truncations instead of being
+// silently dropped.
+//
+// The returned slice is owned by the decoder and valid only until the next
+// Decode* call; clone it to retain it.
 func (u *UnionFind) DecodeToEdges(flagged []int32) []int32 {
 	if len(flagged) == 0 {
 		return nil
@@ -113,62 +177,29 @@ func (u *UnionFind) DecodeToEdges(flagged []int32) []int32 {
 		u.parity[d] = 1
 	}
 
-	for iter := 0; ; iter++ {
-		roots := u.activeRoots()
-		if len(roots) == 0 || iter > 4*len(u.g.Edges) {
+	maxIter := 4 * len(u.g.Edges)
+	for iter := 0; iter <= maxIter; iter++ {
+		if u.markActive() == 0 {
 			break
 		}
-		isActive := map[int32]bool{}
-		for _, r := range roots {
-			isActive[r] = true
-		}
-		// Gather the frontier: non-grown edges incident to active clusters,
-		// with the number of active sides (an edge grown from both sides
-		// completes twice as fast).
-		type frontierEdge struct {
-			ei    int32
-			sides float64
-		}
-		seen := map[int32]float64{}
-		for _, n := range u.touched {
-			if !isActive[u.find(n)] {
-				continue
-			}
-			for _, ei := range u.g.adj[n] {
-				if u.grown[ei] {
-					continue
-				}
-				seen[ei]++
-			}
-		}
-		if len(seen) == 0 {
+		minStep := u.gatherFrontier()
+		if len(u.frontier) == 0 {
 			break
 		}
-		var frontier []frontierEdge
-		minStep := -1.0
-		for ei, sides := range seen {
-			if sides > 2 {
-				sides = 2
+		// Process the frontier in ascending edge order: the packed keys
+		// sort by edge index first, so the union/absorb sequence — and
+		// therefore Monte-Carlo failure counts — is deterministic.
+		slices.Sort(u.frontier)
+		for _, key := range u.frontier {
+			ei := int32(key >> 2)
+			sides := float64(key & 3)
+			if u.growth[ei] == 0 {
+				u.edges = append(u.edges, ei)
 			}
-			rem := (u.g.Edges[ei].Weight - u.growth[ei]) / sides
-			if minStep < 0 || rem < minStep {
-				minStep = rem
-			}
-			frontier = append(frontier, frontierEdge{ei, sides})
-		}
-		// Process the frontier in edge order: `seen` is a map and its
-		// iteration order would otherwise leak into the union/absorb
-		// sequence, making corrections — and therefore Monte-Carlo failure
-		// counts — nondeterministic between identical runs.
-		sort.Slice(frontier, func(i, j int) bool { return frontier[i].ei < frontier[j].ei })
-		for _, fe := range frontier {
-			if u.growth[fe.ei] == 0 {
-				u.edges = append(u.edges, fe.ei)
-			}
-			u.growth[fe.ei] += minStep * fe.sides
-			if u.growth[fe.ei] >= u.g.Edges[fe.ei].Weight-1e-12 && !u.grown[fe.ei] {
-				u.grown[fe.ei] = true
-				e := u.g.Edges[fe.ei]
+			u.growth[ei] += minStep * sides
+			if u.growth[ei] >= u.g.Edges[ei].Weight-1e-12 && !u.grown[ei] {
+				u.grown[ei] = true
+				e := u.g.Edges[ei]
 				if e.V == Boundary {
 					u.absorb(e.U)
 					u.bound[u.find(e.U)] = true
@@ -180,106 +211,189 @@ func (u *UnionFind) DecodeToEdges(flagged []int32) []int32 {
 			}
 		}
 	}
-	return u.peel(flagged)
+	if u.peel(flagged) > 0 {
+		u.Truncations++
+	}
+	return u.corr
 }
 
-// activeRoots returns the roots of odd, boundary-free clusters.
-func (u *UnionFind) activeRoots() []int32 {
-	seen := map[int32]bool{}
-	var roots []int32
+// markActive stamps the roots of odd, boundary-free clusters with a fresh
+// epoch and returns how many there are.
+func (u *UnionFind) markActive() int {
+	u.epoch++
+	e := u.epoch
+	active := 0
 	for _, n := range u.touched {
 		r := u.find(n)
-		if seen[r] {
+		if u.rootSeen[r] == e {
 			continue
 		}
-		seen[r] = true
+		u.rootSeen[r] = e
 		if u.parity[r] == 1 && !u.bound[r] {
-			roots = append(roots, r)
+			u.activeRoot[r] = e
+			active++
 		}
 	}
-	return roots
+	return active
 }
 
-// peel extracts a correction from the grown forest: BFS builds a spanning
-// forest rooted at boundary attachments (where present) or at arbitrary
-// cluster nodes, then leaves are peeled inward, emitting an edge whenever
-// the leaf carries a flag.
-func (u *UnionFind) peel(flagged []int32) []int32 {
-	incident := map[int32][]int32{}
+// gatherFrontier collects the non-grown edges incident to active clusters
+// into u.frontier as packed int64(ei)<<2|sides keys, where sides is the
+// number of active sides (an edge grown from both sides completes twice as
+// fast, capped at 2). It returns the uniform growth step: the smallest
+// remaining weight over the frontier at the per-edge growth rate.
+func (u *UnionFind) gatherFrontier() float64 {
+	e := u.epoch
+	u.frontier = u.frontier[:0]
+	for _, n := range u.touched {
+		if u.activeRoot[u.find(n)] != e {
+			continue
+		}
+		for _, ei := range u.g.Adj(n) {
+			if u.grown[ei] {
+				continue
+			}
+			if u.edgeSeen[ei] != e {
+				u.edgeSeen[ei] = e
+				u.edgeSides[ei] = 1
+				u.frontier = append(u.frontier, int64(ei))
+			} else {
+				u.edgeSides[ei]++
+			}
+		}
+	}
+	minStep := -1.0
+	for i, key := range u.frontier {
+		ei := int32(key)
+		sides := u.edgeSides[ei]
+		if sides > 2 {
+			sides = 2
+		}
+		rem := (u.g.Edges[ei].Weight - u.growth[ei]) / float64(sides)
+		if minStep < 0 || rem < minStep {
+			minStep = rem
+		}
+		u.frontier[i] = int64(ei)<<2 | int64(sides)
+	}
+	return minStep
+}
+
+// peel extracts a correction from the grown forest into u.corr: BFS builds
+// a spanning forest rooted at boundary attachments (where present) or at
+// arbitrary cluster nodes, then leaves are peeled inward, emitting an edge
+// whenever the leaf carries a flag. It returns the number of leftover
+// flags — cluster roots still flagged after peeling, i.e. syndrome mass
+// the correction failed to annihilate.
+func (u *UnionFind) peel(flagged []int32) int {
+	u.epoch++
+	e := u.epoch
+	u.corr = u.corr[:0]
+
+	// Per-shot incidence over grown edges as a CSR index into u.incList.
+	// Every endpoint of a grown edge is in u.touched (absorb runs when an
+	// edge completes), so offsets can be assigned by walking touched.
 	for _, ei := range u.edges {
 		if !u.grown[ei] {
 			continue
 		}
-		e := u.g.Edges[ei]
-		incident[e.U] = append(incident[e.U], ei)
-		if e.V != Boundary {
-			incident[e.V] = append(incident[e.V], ei)
+		ed := u.g.Edges[ei]
+		u.bumpDeg(ed.U, e)
+		if ed.V != Boundary {
+			u.bumpDeg(ed.V, e)
 		}
 	}
-	visited := map[int32]bool{}
-	parentEdge := map[int32]int32{}
-	var order []int32
-	bfs := func(seeds []int32) {
-		queue := seeds
-		for len(queue) > 0 {
-			n := queue[0]
-			queue = queue[1:]
-			order = append(order, n)
-			for _, ei := range incident[n] {
-				e := u.g.Edges[ei]
-				other := e.U
+	off := int32(0)
+	for _, n := range u.touched {
+		if u.incStamp[n] != e {
+			continue
+		}
+		deg := u.incCur[n]
+		u.incOff[n] = off
+		u.incCur[n] = off
+		off += deg
+	}
+	for _, ei := range u.edges {
+		if !u.grown[ei] {
+			continue
+		}
+		ed := u.g.Edges[ei]
+		u.incList[u.incCur[ed.U]] = ei
+		u.incCur[ed.U]++
+		if ed.V != Boundary {
+			u.incList[u.incCur[ed.V]] = ei
+			u.incCur[ed.V]++
+		}
+	}
+
+	u.order = u.order[:0]
+	head := 0
+	bfs := func() {
+		for head < len(u.order) {
+			n := u.order[head]
+			head++
+			if u.incStamp[n] != e {
+				continue // no grown incident edges (isolated cluster root)
+			}
+			for _, ei := range u.incList[u.incOff[n]:u.incCur[n]] {
+				ed := u.g.Edges[ei]
+				other := ed.U
 				if other == n {
-					other = e.V
+					other = ed.V
 				}
-				if other == Boundary || visited[other] {
+				if other == Boundary || u.visited[other] == e {
 					continue
 				}
-				visited[other] = true
-				parentEdge[other] = ei
-				queue = append(queue, other)
+				u.visited[other] = e
+				u.parentEdge[other] = ei
+				u.order = append(u.order, other)
 			}
 		}
 	}
 	// Components with boundary attachments are rooted at the boundary:
 	// exhaust their BFS first so leftover flags drain into the boundary.
-	var seeds []int32
 	for _, ei := range u.edges {
-		e := u.g.Edges[ei]
-		if u.grown[ei] && e.V == Boundary && !visited[e.U] {
-			visited[e.U] = true
-			parentEdge[e.U] = ei
-			seeds = append(seeds, e.U)
+		ed := u.g.Edges[ei]
+		if u.grown[ei] && ed.V == Boundary && u.visited[ed.U] != e {
+			u.visited[ed.U] = e
+			u.parentEdge[ed.U] = ei
+			u.order = append(u.order, ed.U)
 		}
 	}
-	bfs(seeds)
+	bfs()
 	// Remaining components (even parity): one root each, explored fully
 	// before the next root is opened so the forest structure is real.
 	for _, n := range u.touched {
-		if !visited[n] {
-			visited[n] = true
-			parentEdge[n] = -1
-			bfs([]int32{n})
+		if u.visited[n] != e {
+			u.visited[n] = e
+			u.parentEdge[n] = -1
+			u.order = append(u.order, n)
+			bfs()
 		}
 	}
+
 	for _, d := range flagged {
 		u.flag[d] = true
 	}
-	var correction []int32
-	for i := len(order) - 1; i >= 0; i-- {
-		n := order[i]
+	leftover := 0
+	for i := len(u.order) - 1; i >= 0; i-- {
+		n := u.order[i]
 		if !u.flag[n] {
 			continue
 		}
-		ei := parentEdge[n]
+		ei := u.parentEdge[n]
 		if ei < 0 {
-			continue // cluster root with leftover flag: even-parity cluster
+			// A flagged forest root: its cluster's syndrome parity could
+			// not be drained (odd parity with no boundary), so part of
+			// the syndrome survives the correction.
+			leftover++
+			continue
 		}
-		correction = append(correction, ei)
+		u.corr = append(u.corr, ei)
 		u.flag[n] = false
-		e := u.g.Edges[ei]
-		other := e.U
+		ed := u.g.Edges[ei]
+		other := ed.U
 		if other == n {
-			other = e.V
+			other = ed.V
 		}
 		if other != Boundary {
 			u.flag[other] = !u.flag[other]
@@ -291,7 +405,17 @@ func (u *UnionFind) peel(flagged []int32) []int32 {
 	for _, n := range u.touched {
 		u.flag[n] = false
 	}
-	return correction
+	return leftover
+}
+
+// bumpDeg counts one incidence for node n under epoch e, initializing the
+// node's counter on first touch this peel.
+func (u *UnionFind) bumpDeg(n int32, e uint64) {
+	if u.incStamp[n] != e {
+		u.incStamp[n] = e
+		u.incCur[n] = 0
+	}
+	u.incCur[n]++
 }
 
 func (u *UnionFind) reset() {

@@ -19,9 +19,12 @@
 // logical error rates this saves orders of magnitude of shots versus a
 // fixed budget sized for the worst configuration in a sweep.
 //
-// The engine is deliberately generic — one callback that runs a shot and
-// reports failure — so package sim can layer DEM construction, caching and
-// decoder wiring on top without an import cycle.
+// The engine is deliberately generic — one callback that runs a shot (or a
+// batch of shots) and reports failures — so package sim can layer DEM
+// construction, caching and decoder wiring on top without an import cycle.
+// The batched path (RunBatch/ShotBatchFunc) hands a worker one whole shard
+// per call, amortizing per-shot closure-call overhead; Run wraps a
+// single-shot closure onto it, and both paths are bit-identical.
 package mc
 
 import (
@@ -48,6 +51,19 @@ type ShotFunc func(rng *rand.Rand) bool
 // worker, concurrently; each call must return a closure with its own
 // mutable state (sampler scratch, decoder cluster arrays, …).
 type WorkerFactory func() (ShotFunc, error)
+
+// ShotBatchFunc runs n consecutive shots with the given RNG and returns
+// the number of logical failures. It is the batched counterpart of
+// ShotFunc: the engine hands a worker one whole scheduling quantum (a
+// shard) per call, so per-shot function-call and commit overhead
+// amortizes across the batch. Implementations must draw exactly the same
+// randomness, in the same order, as n sequential single-shot runs would —
+// that is what keeps the batched and per-shot paths bit-identical.
+type ShotBatchFunc func(rng *rand.Rand, n int) (failures int)
+
+// BatchWorkerFactory builds the per-worker batch closure. It is called
+// once per worker, concurrently, like WorkerFactory.
+type BatchWorkerFactory func() (ShotBatchFunc, error)
 
 // Config parameterizes one engine run.
 type Config struct {
@@ -85,8 +101,36 @@ type shardResult struct {
 }
 
 // Run executes the Monte-Carlo experiment described by cfg, building one
-// shot closure per worker via newWorker.
+// shot closure per worker via newWorker. It is a thin wrapper over
+// RunBatch: each worker's single-shot closure is looped over the shard by
+// the engine, so results are bit-identical to the batched path.
 func Run(cfg Config, newWorker WorkerFactory) (*Result, error) {
+	if newWorker == nil {
+		return nil, errors.New("mc: nil worker factory")
+	}
+	return RunBatch(cfg, func() (ShotBatchFunc, error) {
+		shot, err := newWorker()
+		if err != nil {
+			return nil, err
+		}
+		return func(rng *rand.Rand, n int) int {
+			failures := 0
+			for i := 0; i < n; i++ {
+				if shot(rng) {
+					failures++
+				}
+			}
+			return failures
+		}, nil
+	})
+}
+
+// RunBatch executes the Monte-Carlo experiment described by cfg on the
+// batched worker path: each worker processes one shard (the scheduling
+// quantum) per ShotBatchFunc call and commits a single per-batch failure
+// count. Shard RNG streams and in-order commit are identical to Run, so
+// results are bit-identical across the two paths and across worker counts.
+func RunBatch(cfg Config, newWorker BatchWorkerFactory) (*Result, error) {
 	if newWorker == nil {
 		return nil, errors.New("mc: nil worker factory")
 	}
@@ -130,7 +174,7 @@ func Run(cfg Config, newWorker WorkerFactory) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			shot, err := newWorker()
+			batch, err := newWorker()
 			if err != nil {
 				errc <- err
 				cancel()
@@ -142,12 +186,7 @@ func Run(cfg Config, newWorker WorkerFactory) (*Result, error) {
 					n = rem
 				}
 				rng := rand.New(rand.NewSource(ShardSeed(cfg.Seed, shard)))
-				failures := 0
-				for i := 0; i < n; i++ {
-					if shot(rng) {
-						failures++
-					}
-				}
+				failures := batch(rng, n)
 				select {
 				case results <- shardResult{shard, n, failures}:
 				case <-stop:

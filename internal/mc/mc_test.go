@@ -208,3 +208,89 @@ func TestMoreWorkersThanShards(t *testing.T) {
 		t.Errorf("Shots = %d, want 2000", res.Shots)
 	}
 }
+
+// bernoulliBatchWorker is bernoulliWorker on the batched path, drawing
+// randomness identically to n sequential single-shot runs.
+func bernoulliBatchWorker(p float64) BatchWorkerFactory {
+	return func() (ShotBatchFunc, error) {
+		return func(rng *rand.Rand, n int) int {
+			failures := 0
+			for i := 0; i < n; i++ {
+				if rng.Float64() < p {
+					failures++
+				}
+			}
+			return failures
+		}, nil
+	}
+}
+
+// TestBatchMatchesPerShot pins the batched path against the per-shot
+// wrapper: every aggregate must be bit-identical for any worker count,
+// with and without early stopping.
+func TestBatchMatchesPerShot(t *testing.T) {
+	for _, cfg := range []Config{
+		{MaxShots: 50_000, ShardSize: 512, Seed: 11},
+		{MaxShots: 200_000, ShardSize: 512, Seed: 11, TargetRSE: 0.08},
+		{MaxShots: 4_099, ShardSize: 1000, Seed: 5}, // ragged final shard
+	} {
+		for _, workers := range []int{1, 3, 8} {
+			c := cfg
+			c.Workers = workers
+			perShot, err := Run(c, bernoulliWorker(0.03))
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := RunBatch(c, bernoulliBatchWorker(0.03))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if perShot.Shots != batched.Shots || perShot.Failures != batched.Failures ||
+				perShot.Shards != batched.Shards || perShot.EarlyStopped != batched.EarlyStopped {
+				t.Errorf("cfg %+v workers=%d: per-shot (shots=%d fails=%d shards=%d early=%v) vs batched (%d %d %d %v)",
+					cfg, workers, perShot.Shots, perShot.Failures, perShot.Shards, perShot.EarlyStopped,
+					batched.Shots, batched.Failures, batched.Shards, batched.EarlyStopped)
+			}
+		}
+	}
+}
+
+// TestBatchSizesCoverBudget checks the scheduling quantum: every batch is
+// a whole shard (the final one possibly ragged) and the batch sizes sum
+// to the budget exactly.
+func TestBatchSizesCoverBudget(t *testing.T) {
+	const budget, shard = 4_099, 1000
+	var total atomic.Int64
+	var ragged atomic.Int64
+	res, err := RunBatch(Config{Workers: 2, MaxShots: budget, ShardSize: shard, Seed: 3},
+		func() (ShotBatchFunc, error) {
+			return func(rng *rand.Rand, n int) int {
+				if n != shard {
+					ragged.Add(1)
+					if n != budget%shard {
+						t.Errorf("batch size %d is neither a full shard nor the ragged remainder", n)
+					}
+				}
+				total.Add(int64(n))
+				return 0
+			}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != budget {
+		t.Errorf("Shots = %d, want %d", res.Shots, budget)
+	}
+	if got := total.Load(); got != budget {
+		t.Errorf("batch sizes sum to %d, want %d", got, budget)
+	}
+	if got := ragged.Load(); got != 1 {
+		t.Errorf("saw %d ragged batches, want exactly 1", got)
+	}
+}
+
+func TestBatchNilFactory(t *testing.T) {
+	if _, err := RunBatch(Config{MaxShots: 100}, nil); err == nil {
+		t.Error("nil batch factory must be rejected")
+	}
+}

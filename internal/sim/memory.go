@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"surfdeformer/internal/code"
 	"surfdeformer/internal/lattice"
@@ -19,6 +20,15 @@ type Decoder interface {
 
 // DecoderFactory builds a decoder for a DEM.
 type DecoderFactory func(*DEM) (Decoder, error)
+
+// TruncationCounter is optionally implemented by decoders that detect
+// syndromes they failed to annihilate (partial corrections). The counter
+// is cumulative over the decoder instance's lifetime; the engine
+// aggregates per-worker deltas into MemoryResult.Truncations so degraded
+// decoding surfaces in sweep results instead of being silently swallowed.
+type TruncationCounter interface {
+	TruncationCount() int
+}
 
 // MemoryResult summarizes a Monte-Carlo memory experiment.
 type MemoryResult struct {
@@ -41,6 +51,13 @@ type MemoryResult struct {
 	// Detectors and Mechanisms describe the DEM size (diagnostics).
 	Detectors  int
 	Mechanisms int
+	// Truncations counts shots whose syndrome the decoder reported it
+	// could not fully annihilate (see TruncationCounter). Always 0 on
+	// well-formed decoding graphs. Diagnostic only: unlike the
+	// deterministic aggregates above it may include speculative shards
+	// discarded by early stopping, so it is not bit-stable across worker
+	// counts — but any nonzero value means decoding was degraded.
+	Truncations int
 }
 
 // RunOptions configures the Monte-Carlo engine path of a memory
@@ -101,20 +118,39 @@ func RunMemoryOpts(c *code.Code, sampleModel, decodeModel *noise.Model, o RunOpt
 			return nil, errDetectorMismatch
 		}
 	}
-	agg, err := mc.Run(mc.Config{
+	var truncations atomic.Int64
+	agg, err := mc.RunBatch(mc.Config{
 		Workers:   o.Workers,
 		MaxShots:  o.Shots,
 		TargetRSE: o.TargetRSE,
 		Seed:      o.Seed,
-	}, func() (mc.ShotFunc, error) {
+	}, func() (mc.ShotBatchFunc, error) {
 		dec, err := o.Factory(decodeDEM)
 		if err != nil {
 			return nil, err
 		}
+		tc, _ := dec.(TruncationCounter)
+		lastTrunc := 0
 		sampler := NewSampler(sampleDEM)
-		return func(rng *rand.Rand) bool {
-			flagged, obs := sampler.Shot(rng)
-			return dec.DecodeToObs(flagged) != obs
+		// Batched hot loop: one closure call per shard. Shot's returned
+		// slice is sampler-owned scratch consumed immediately by the
+		// decoder, so the whole loop is allocation-free at steady state;
+		// the truncation delta is read once per batch, off the hot loop.
+		return func(rng *rand.Rand, n int) int {
+			failures := 0
+			for i := 0; i < n; i++ {
+				flagged, obs := sampler.Shot(rng)
+				if dec.DecodeToObs(flagged) != obs {
+					failures++
+				}
+			}
+			if tc != nil {
+				if now := tc.TruncationCount(); now != lastTrunc {
+					truncations.Add(int64(now - lastTrunc))
+					lastTrunc = now
+				}
+			}
+			return failures
 		}, nil
 	})
 	if err != nil {
@@ -131,6 +167,7 @@ func RunMemoryOpts(c *code.Code, sampleModel, decodeModel *noise.Model, o RunOpt
 		EarlyStopped:     agg.EarlyStopped,
 		Detectors:        sampleDEM.NumDets,
 		Mechanisms:       len(sampleDEM.Mechs),
+		Truncations:      int(truncations.Load()),
 	}
 	res.PerRound = PerRoundRate(res.LogicalErrorRate, o.Rounds)
 	return res, nil

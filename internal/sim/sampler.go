@@ -12,13 +12,17 @@ import (
 // per shot is proportional to the number of candidate firings rather than
 // the mechanism count.
 type Sampler struct {
-	dem   *DEM
-	pmax  float64
-	logQ  float64 // log(1 - pmax)
-	accum []int   // detector hit parity scratch
+	dem     *DEM
+	pmax    float64
+	logQ    float64 // log(1 - pmax)
+	accum   []int   // detector hit parity scratch
+	fired   []int   // fired mechanism scratch, reused across shots
+	flagged []int32 // flagged detector scratch, reused across shots
 }
 
-// NewSampler prepares a sampler for the DEM.
+// NewSampler prepares a sampler for the DEM. Scratch is preallocated at
+// worst-case bounds (every mechanism fires, every detector flags) so Shot
+// never allocates.
 func NewSampler(dem *DEM) *Sampler {
 	pmax := 0.0
 	for _, m := range dem.Mechs {
@@ -30,21 +34,27 @@ func NewSampler(dem *DEM) *Sampler {
 		pmax = 1 - 1e-12
 	}
 	return &Sampler{
-		dem:   dem,
-		pmax:  pmax,
-		logQ:  math.Log1p(-pmax),
-		accum: make([]int, dem.NumDets),
+		dem:     dem,
+		pmax:    pmax,
+		logQ:    math.Log1p(-pmax),
+		accum:   make([]int, dem.NumDets),
+		fired:   make([]int, 0, len(dem.Mechs)),
+		flagged: make([]int32, 0, dem.NumDets),
 	}
 }
 
 // Shot samples one experiment: the flagged detectors (sorted ascending) and
 // whether the logical observable flipped.
+//
+// The returned slice is scratch owned by the sampler and is valid only
+// until the next Shot call; clone it to retain it across shots.
 func (s *Sampler) Shot(rng *rand.Rand) (flagged []int32, obs bool) {
 	if s.pmax <= 0 {
 		return nil, false
 	}
 	mechs := s.dem.Mechs
-	var fired []int
+	fired := s.fired[:0]
+	s.flagged = s.flagged[:0]
 	i := 0
 	for {
 		// Geometric skip: next candidate index under rate pmax.
@@ -75,7 +85,7 @@ func (s *Sampler) Shot(rng *rand.Rand) (flagged []int32, obs bool) {
 	for _, mi := range fired {
 		for _, d := range s.dem.Mechs[mi].Dets {
 			if s.accum[d] == 1 {
-				flagged = append(flagged, d)
+				s.flagged = append(s.flagged, d)
 				s.accum[d] = 2 // mark emitted
 			}
 		}
@@ -86,8 +96,9 @@ func (s *Sampler) Shot(rng *rand.Rand) (flagged []int32, obs bool) {
 			s.accum[d] = 0
 		}
 	}
-	slices.Sort(flagged)
-	return flagged, obs
+	s.fired = fired
+	slices.Sort(s.flagged)
+	return s.flagged, obs
 }
 
 // ExpectedFirings returns the mean number of mechanism firings per shot —
