@@ -1,16 +1,23 @@
 // Command memsweep sweeps memory-experiment logical error rates over code
 // distance and physical error rate — the raw data behind threshold plots
-// and the Λ-model calibration. Points run on the concurrent Monte-Carlo
-// engine: shots are sharded across a worker pool with deterministic
-// per-shard RNG streams (results are bit-identical for any -workers
-// value), and -target-rse stops each point as soon as its failure rate is
-// known to the requested precision.
+// and the Λ-model calibration. The sweep is parallel at two levels and
+// resumable: -point-workers runs whole (d, p) points concurrently while
+// -workers shards shots inside each point (neither changes results — every
+// stream derives from the seed and the point's content), -target-rse stops
+// each point as soon as its failure rate is known to the requested
+// precision, and -store/-resume persist completed points to a JSONL result
+// store so an interrupted sweep re-invoked with -resume computes only the
+// missing points and prints a table byte-identical to an uninterrupted
+// run. See EXPERIMENTS.md ("Resuming an interrupted sweep") and
+// DESIGN.md §7 for the store format and determinism contract.
 //
 // Usage:
 //
 //	memsweep -d 3,5,7 -p 2e-3,4e-3,6e-3 -rounds 6 -shots 20000
 //	memsweep -d 3,5,7 -p 2e-3 -target-rse 0.1 -max-shots 2000000 -workers 8
-//	memsweep -d 5,7 -p 2e-3 -shots 50000 -cpuprofile cpu.prof -memprofile mem.prof
+//	memsweep -d 3,5,7,9 -p 2e-3,4e-3 -point-workers 4 -store sweep.jsonl -resume
+//	memsweep -store sweep.jsonl -store-ls
+//	memsweep -store sweep.jsonl -store-gc
 package main
 
 import (
@@ -24,13 +31,19 @@ import (
 	"surfdeformer/internal/code"
 	"surfdeformer/internal/decoder"
 	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/mc"
 	"surfdeformer/internal/noise"
 	"surfdeformer/internal/sim"
+	"surfdeformer/internal/store"
 )
 
+// pointSalt keeps memsweep's per-point seed streams disjoint from engine
+// shard streams and from the experiments package's stream kinds.
+const pointSalt = int64(-20)
+
 // main is a thin exit-code shim: all work happens in run so that its
-// deferred cleanups — CPU-profile flush, heap-profile write — execute on
-// every path, including errors (os.Exit would skip them).
+// deferred cleanups — CPU-profile flush, heap-profile write, store close —
+// execute on every path, including errors (os.Exit would skip them).
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "memsweep: %v\n", err)
@@ -45,9 +58,14 @@ func run() (err error) {
 	shots := flag.Int("shots", 20000, "shots per point (exact budget unless -target-rse is set)")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	dec := flag.String("decoder", "uf", "decoder: uf, greedy, exact")
-	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = all CPUs; never changes results)")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker pool size within a point (0 = all CPUs; never changes results)")
+	pointWorkers := flag.Int("point-workers", 1, "(d, p) points run concurrently (never changes results)")
 	targetRSE := flag.Float64("target-rse", 0, "stop each point at this relative standard error (0 = fixed budget)")
 	maxShots := flag.Int("max-shots", 0, "shot cap when -target-rse is set (0 = -shots)")
+	storePath := flag.String("store", "", "persist per-point results to this JSONL store")
+	resume := flag.Bool("resume", false, "serve points already complete in -store instead of recomputing")
+	storeLS := flag.Bool("store-ls", false, "list the contents of -store and exit")
+	storeGC := flag.Bool("store-gc", false, "compact -store (merge segments, drop corrupt lines) and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at sweep end to this file")
 	flag.Parse()
@@ -77,6 +95,18 @@ func run() (err error) {
 		}()
 	}
 
+	var st *store.Store
+	if *storePath != "" {
+		st, err = cliutil.OpenStore("memsweep", *storePath)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+	}
+	if *storeLS || *storeGC {
+		return cliutil.StoreMaintenance("memsweep", st, os.Stdout, *storeLS, *storeGC)
+	}
+
 	ds, err := cliutil.ParseInts(*dArg)
 	if err != nil {
 		return err
@@ -101,33 +131,91 @@ func run() (err error) {
 		budget = *maxShots
 	}
 
-	fmt.Printf("%-8s %-10s %-14s %-14s %-14s %-16s %-12s\n",
-		"d", "p", "λZ/cycle", "λX/cycle", "λ/cycle", "failures", "shots")
+	type point struct {
+		d int
+		p float64
+	}
+	type result struct {
+		z, x     *sim.MemoryResult
+		combined float64
+		stored   bool
+	}
+	var grid []point
 	for _, d := range ds {
 		for _, p := range ps {
-			c := code.FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, d))
-			z, x, combined, err := sim.RunMemoryBothOpts(c, noise.Uniform(p), sim.RunOptions{
-				Rounds:    *rounds,
-				Factory:   factory,
-				Shots:     budget,
-				Workers:   *workers,
-				TargetRSE: *targetRSE,
-				Seed:      *seed,
-			})
-			if err != nil {
-				return err
-			}
-			stopped := ""
-			if z.EarlyStopped || x.EarlyStopped {
-				stopped = "*"
-			}
-			fmt.Printf("%-8d %-10.1e %-14.3e %-14.3e %-14.3e %-16s %d+%d%s\n",
-				d, p, z.PerRound, x.PerRound, combined,
-				fmt.Sprintf("%d+%d", z.Failures, x.Failures), z.Shots, x.Shots, stopped)
+			grid = append(grid, point{d, p})
 		}
+	}
+	results := make([]result, len(grid))
+	err = mc.ForEach(*pointWorkers, len(grid), func(i int) error {
+		pt := grid[i]
+		c := code.FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, pt.d))
+		z, x, combined, stored, rerr := sim.RunMemoryBothStored(c, noise.Uniform(pt.p), sim.RunOptions{
+			Rounds:    *rounds,
+			Factory:   factory,
+			Shots:     budget,
+			Workers:   *workers,
+			TargetRSE: *targetRSE,
+			Seed:      mc.DeriveSeed(*seed, pointSalt, int64(pt.d), rateStream(pt.p)),
+		}, sim.StoreOptions{
+			Store:  st,
+			Resume: *resume,
+			Kind:   "memsweep",
+			Config: memsweepConfig{D: pt.d, P: pt.p, Rounds: *rounds,
+				Decoder: *dec, Seed: *seed, TargetRSE: *targetRSE},
+		})
+		if rerr != nil {
+			return rerr
+		}
+		results[i] = result{z, x, combined, stored}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-8s %-10s %-14s %-14s %-14s %-16s %-12s\n",
+		"d", "p", "λZ/cycle", "λX/cycle", "λ/cycle", "failures", "shots")
+	computed, skipped := 0, 0
+	for i, pt := range grid {
+		r := results[i]
+		if r.stored {
+			skipped++
+		} else {
+			computed++
+		}
+		stopped := ""
+		if r.z.EarlyStopped || r.x.EarlyStopped {
+			stopped = "*"
+		}
+		fmt.Printf("%-8d %-10.1e %-14.3e %-14.3e %-14.3e %-16s %d+%d%s\n",
+			pt.d, pt.p, r.z.PerRound, r.x.PerRound, r.combined,
+			fmt.Sprintf("%d+%d", r.z.Failures, r.x.Failures), r.z.Shots, r.x.Shots, stopped)
 	}
 	if *targetRSE > 0 {
 		fmt.Println("\n(* = point stopped early at the target RSE)")
 	}
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "memsweep: computed %d point(s), skipped %d (store %s)\n",
+			computed, skipped, *storePath)
+	}
 	return nil
+}
+
+// memsweepConfig is the store identity of one (d, p) point. The shot
+// budget is absent by design — it accumulates across sessions (DESIGN.md
+// §7).
+type memsweepConfig struct {
+	D         int     `json:"d"`
+	P         float64 `json:"p"`
+	Rounds    int     `json:"rounds"`
+	Decoder   string  `json:"decoder"`
+	Seed      int64   `json:"seed"`
+	TargetRSE float64 `json:"target_rse,omitempty"`
+}
+
+// rateStream maps a physical rate to a stream index (content-derived, so
+// a point's streams do not depend on its grid position).
+func rateStream(p float64) int64 {
+	return int64(p * 1e12)
 }

@@ -6,10 +6,14 @@
 //	surfdeform [flags] <experiment>
 //
 // Experiments: table1, table2, fig11a, fig11b, fig11c, fig12, fig13a,
-// fig13b, fig14a, fig14b, calibrate, all.
+// fig13b, fig14a, fig14b, sweep, pipeline, calibrate, all.
 //
 // Flags tune the Monte-Carlo budget; -quick shrinks every sweep to smoke-
-// test scale.
+// test scale. Grid experiments run their points concurrently with
+// -point-workers and persist/resume per-point results with -store and
+// -resume (results are bit-identical for any worker count and any resume
+// order; see DESIGN.md §7). -store-ls and -store-gc inspect and compact a
+// store without running anything.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"surfdeformer/internal/cliutil"
 	"surfdeformer/internal/decoder"
 	"surfdeformer/internal/estimator"
 	"surfdeformer/internal/experiments"
@@ -33,6 +38,12 @@ func main() {
 	flag.BoolVar(&opt.Quick, "quick", false, "shrink sweeps to smoke-test scale")
 	formatArg := flag.String("format", "text", "output format: text, csv, json")
 	flag.BoolVar(&opt.FitLosses, "fitlosses", false, "fit per-event distance losses from the deformation engine instead of defaults")
+	flag.IntVar(&opt.PointWorkers, "point-workers", 1, "grid points run concurrently (never changes results)")
+	storePath := flag.String("store", "", "persist per-point results to this JSONL store")
+	flag.BoolVar(&opt.Resume, "resume", false, "serve points already complete in -store instead of recomputing")
+	storeLS := flag.Bool("store-ls", false, "list the contents of -store and exit")
+	storeGC := flag.Bool("store-gc", false, "compact -store (merge segments, drop corrupt lines) and exit")
+	targetRSE := flag.Float64("target-rse", 0, "adaptive early stopping for sweep/calibrate points (0 = fixed budget)")
 	flag.Parse()
 	format, err := report.ParseFormat(*formatArg)
 	if err != nil {
@@ -43,22 +54,45 @@ func main() {
 		q := experiments.QuickOptions()
 		q.Seed = opt.Seed
 		q.FitLosses = opt.FitLosses
+		q.PointWorkers = opt.PointWorkers
+		q.Resume = opt.Resume
 		opt = q
+	}
+	if *storePath != "" {
+		st, err := cliutil.OpenStore("surfdeform", *storePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "surfdeform: %v\n", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		opt.Store = st
+	}
+	if *storeLS || *storeGC {
+		if err := cliutil.StoreMaintenance("surfdeform", opt.Store, os.Stdout, *storeLS, *storeGC); err != nil {
+			fmt.Fprintf(os.Stderr, "surfdeform: %v\n", err)
+			os.Exit(2)
+		}
+		return
 	}
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
+	opt.Stats = &experiments.RunStats{}
 	name := flag.Arg(0)
 	start := time.Now()
-	if err := run(name, opt, format); err != nil {
+	if err := run(name, opt, format, *targetRSE); err != nil {
 		fmt.Fprintf(os.Stderr, "surfdeform: %v\n", err)
 		os.Exit(1)
+	}
+	if opt.Store != nil {
+		fmt.Fprintf(os.Stderr, "[%s computed %d point(s), skipped %d (store %s)]\n",
+			name, opt.Stats.Computed(), opt.Stats.Skipped(), *storePath)
 	}
 	fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
 }
 
-func run(name string, opt experiments.Options, format report.Format) error {
+func run(name string, opt experiments.Options, format report.Format, targetRSE float64) error {
 	w := os.Stdout
 	structured := func(t *report.Table) error { return t.Write(w, format) }
 	textOnly := format == report.Text
@@ -155,6 +189,17 @@ func run(name string, opt experiments.Options, format report.Format) error {
 		} else if err := structured(experiments.Fig14bTable(rows)); err != nil {
 			return err
 		}
+	case "sweep":
+		rows, err := experiments.MemorySweep(opt, experiments.DefaultSweepGrid(opt),
+			experiments.SweepEngine{TargetRSE: targetRSE})
+		if err != nil {
+			return err
+		}
+		if textOnly {
+			experiments.RenderSweep(w, rows)
+		} else if err := structured(experiments.SweepTable(rows)); err != nil {
+			return err
+		}
 	case "pipeline":
 		res, err := experiments.DetectionPipeline(opt)
 		if err != nil {
@@ -166,9 +211,21 @@ func run(name string, opt experiments.Options, format report.Format) error {
 			return err
 		}
 	case "calibrate":
-		model, pts, err := estimator.Calibrate(
+		model, pts, err := estimator.CalibrateOpts(
 			[]float64{3e-3, 4e-3, 6e-3}, []int{3, 5, 7},
-			opt.Rounds, opt.Shots, decoder.UnionFindFactory(), opt.Seed)
+			estimator.CalibrateOptions{
+				Rounds: opt.Rounds, Shots: opt.Shots, TargetRSE: targetRSE,
+				PointWorkers: opt.PointWorkers,
+				Factory:      decoder.UnionFindFactory(), Decoder: "uf",
+				Seed: opt.Seed, Store: opt.Store, Resume: opt.Resume,
+				OnPoint: func(fromStore bool) {
+					if fromStore {
+						opt.Stats.AddSkipped()
+					} else {
+						opt.Stats.AddComputed()
+					}
+				},
+			})
 		if err != nil {
 			return err
 		}
@@ -182,7 +239,7 @@ func run(name string, opt experiments.Options, format report.Format) error {
 		for _, n := range []string{"table1", "table2", "fig11a", "fig11b", "fig11c",
 			"fig12", "fig13a", "fig13b", "fig14a", "fig14b"} {
 			fmt.Fprintf(w, "\n=== %s ===\n", n)
-			if err := run(n, opt, format); err != nil {
+			if err := run(n, opt, format, targetRSE); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
 		}
@@ -207,6 +264,7 @@ experiments:
   fig13b    chiplet yield under static faults
   fig14a    robustness to correlated two-qubit errors
   fig14b    robustness to imprecise defect detection
+  sweep     (d, #defects, policy) post-removal error-rate grid
   pipeline  integrated detection→deformation loop (extension study)
   calibrate refit the Λ extrapolation model from simulations
   all       everything above`)

@@ -1,0 +1,62 @@
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"surfdeformer/internal/store"
+)
+
+// OpenStore opens (or creates) the result store at path, reporting any
+// tolerated corrupt lines to stderr prefixed with the program name. Both
+// CLIs share this so the corruption warning reads the same everywhere.
+func OpenStore(prog, path string) (*store.Store, error) {
+	st, err := store.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if n := st.Corrupted(); n > 0 {
+		fmt.Fprintf(os.Stderr, "%s: store %s: tolerated %d corrupt line(s)\n", prog, path, n)
+	}
+	return st, nil
+}
+
+// StoreMaintenance runs the -store-ls/-store-gc maintenance modes shared
+// by the CLIs: gc compacts the store in place, ls prints one line per
+// merged point to w. It returns an error when neither mode has a store to
+// act on.
+func StoreMaintenance(prog string, st *store.Store, w io.Writer, ls, gc bool) error {
+	if st == nil {
+		return fmt.Errorf("-store-ls/-store-gc require -store")
+	}
+	if gc {
+		if err := st.GC(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s: store compacted to %d point(s)\n", prog, st.Len())
+	}
+	if ls {
+		ListStore(st, w)
+		fmt.Fprintf(os.Stderr, "%s: %d point(s) in %s\n", prog, st.Len(), st.Path())
+	}
+	return nil
+}
+
+// ListStore prints one line per stored point: merged counts, the rate
+// with its recomputed 95% Wilson interval, and segment bookkeeping.
+// Trial-style points (no Monte-Carlo counts) render with dashes.
+func ListStore(st *store.Store, w io.Writer) {
+	fmt.Fprintf(w, "%-34s %-10s %-4s %-10s %-10s %-12s %-26s %-8s\n",
+		"key", "kind", "seg", "shots", "failures", "rate", "95% CI", "complete")
+	for _, key := range st.Keys() {
+		pt, _ := st.Get(key)
+		if pt.Shots > 0 {
+			fmt.Fprintf(w, "%-34s %-10s %-4d %-10d %-10d %-12.3e [%.3e, %.3e]  %v\n",
+				key, pt.Kind, pt.Segments, pt.Shots, pt.Failures, pt.Rate, pt.CILow, pt.CIHigh, pt.Complete)
+		} else {
+			fmt.Fprintf(w, "%-34s %-10s %-4d %-10s %-10s %-12s %-26s %v\n",
+				key, pt.Kind, pt.Segments, "-", "-", "-", "-", pt.Complete)
+		}
+	}
+}

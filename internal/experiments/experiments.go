@@ -3,6 +3,18 @@
 // assert the paper's qualitative claims, and renders the same table/series
 // the paper reports.
 //
+// Every evaluation grid is a set of independent points, and the package
+// treats them that way: each point derives all of its randomness from
+// (Options.Seed, point content) via mc.DeriveSeed — never from a shared
+// generator — so results are bit-identical regardless of grid order,
+// subsetting, Options.PointWorkers, or resume order. Grids fan out over a
+// point-level worker pool (mc.ForEach) and, when Options.Store is set,
+// commit each completed point to the persistent result store keyed by a
+// canonical hash of its configuration; Options.Resume then serves completed
+// points from the store instead of recomputing them, and memory-type points
+// whose stored shots fall short of the requested budget compute only the
+// remainder under fresh segment streams (see DESIGN.md §7).
+//
 // Absolute numbers depend on decoder and scale (see DESIGN.md §1 and
 // EXPERIMENTS.md); the shapes — who wins, by what factor, where crossovers
 // sit — are the reproduction target.
@@ -11,7 +23,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"surfdeformer/internal/decoder"
 	"surfdeformer/internal/defect"
@@ -22,6 +33,7 @@ import (
 	"surfdeformer/internal/noise"
 	"surfdeformer/internal/program"
 	"surfdeformer/internal/sim"
+	"surfdeformer/internal/store"
 )
 
 // Options tunes experiment cost. Quick settings are used by unit tests and
@@ -36,6 +48,18 @@ type Options struct {
 	// retry-risk estimator from the real deformation engine (FitLoss)
 	// instead of the recorded defaults. Slower but self-contained.
 	FitLosses bool
+
+	// PointWorkers sizes the grid-point worker pool (<= 1 runs points
+	// serially). Results are bit-identical for any value: every point is
+	// seeded from its own content, never from execution order.
+	PointWorkers int
+	// Store, when non-nil, persists each completed point to the
+	// content-addressed result store; Resume additionally serves points the
+	// store already holds instead of recomputing them.
+	Store  *store.Store
+	Resume bool
+	// Stats, when non-nil, counts computed versus store-served points.
+	Stats *RunStats
 }
 
 // Defaults returns CLI-scale options.
@@ -47,8 +71,6 @@ func Defaults() Options {
 func QuickOptions() Options {
 	return Options{Shots: 1500, Trials: 20, Rounds: 4, Seed: 1, Quick: true}
 }
-
-func (o Options) rng() *rand.Rand { return rand.New(rand.NewSource(o.Seed)) }
 
 // ---------------------------------------------------------------------------
 // Table I: instruction sets
@@ -92,6 +114,16 @@ type Fig11aRow struct {
 	RemovedLE   float64 // per-cycle, defects removed by Surf-Deformer
 }
 
+// fig11aConfig is the store identity of one (d, k) point.
+type fig11aConfig struct {
+	D       int   `json:"d"`
+	K       int   `json:"k"`
+	Samples int   `json:"samples"`
+	Shots   int   `json:"shots"`
+	Rounds  int   `json:"rounds"`
+	Seed    int64 `json:"seed"`
+}
+
 // Fig11a measures the logical error rate of codes with defective qubits
 // left untreated (decoder uninformed) versus removed by the Surf-Deformer
 // defect-removal subroutine. Each point averages a few fault patterns;
@@ -106,63 +138,87 @@ func Fig11a(opt Options) ([]Fig11aRow, error) {
 		counts = []int{1, 3}
 		samples = 2
 	}
-	rng := opt.rng()
-	var rows []Fig11aRow
+	type point struct{ d, k int }
+	var grid []point
 	for _, d := range ds {
 		for _, k := range counts {
-			var uSum, rSum float64
-			uN, rN := 0, 0
-			for s := 0; s < samples; s++ {
-				base := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
-				min, max := base.Bounds()
-				defects := defect.StaticFaults(min, max, k, rng)
-				nominal := noise.Uniform(noise.DefaultPhysical)
-				defModel := nominal.WithDefects(defects, noise.DefaultDefectRate)
-
-				// Untreated: full code, hot qubits, uninformed decoder.
-				untreated, err := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d).Build()
-				if err != nil {
-					return nil, err
-				}
-				resU, err := sim.RunMemoryMismatched(untreated, defModel, nominal,
-					opt.Rounds, opt.Shots, lattice.ZCheck, decoder.UnionFindFactory(),
-					opt.Seed+int64(100*k+s))
-				if err != nil {
-					return nil, err
-				}
-				uSum += resU.PerRound
-				uN++
-
-				// Removed: Algorithm 1, nominal noise on surviving qubits.
-				spec := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
-				if err := deform.ApplyDefects(spec, defects, deform.PolicySurfDeformer); err != nil {
-					continue
-				}
-				removedCode, err := spec.Build()
-				if err != nil {
-					continue // severed pattern
-				}
-				resR, err := sim.RunMemory(removedCode, nominal, opt.Rounds, opt.Shots,
-					lattice.ZCheck, decoder.UnionFindFactory(), opt.Seed+int64(100*k+s)+1)
-				if err != nil {
-					return nil, err
-				}
-				rSum += resR.PerRound
-				rN++
-			}
-			row := Fig11aRow{D: d, NumDefects: k}
-			if uN > 0 {
-				row.UntreatedLE = uSum / float64(uN)
-			}
-			if rN > 0 {
-				row.RemovedLE = rSum / float64(rN)
-			} else {
-				row.RemovedLE = 0.5 // every pattern severed the patch
-			}
-			rows = append(rows, row)
+			grid = append(grid, point{d, k})
 		}
 	}
+	rows := make([]Fig11aRow, len(grid))
+	err := opt.forEachPoint(len(grid), func(i int) error {
+		pt := grid[i]
+		cfg := fig11aConfig{D: pt.d, K: pt.k, Samples: samples, Shots: opt.Shots, Rounds: opt.Rounds, Seed: opt.Seed}
+		row, err := cachedRow(opt, "fig11a", cfg, func() (Fig11aRow, error) {
+			return fig11aPoint(opt, pt.d, pt.k, samples)
+		})
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return rows, nil
+}
+
+// fig11aPoint measures one (d, k) configuration. All randomness — fault
+// patterns and Monte-Carlo streams — derives from (Seed, d, k, sample).
+func fig11aPoint(opt Options, d, k, samples int) (Fig11aRow, error) {
+	rng := opt.pointRNG(kindFig11a, int64(d), int64(k))
+	var uSum, rSum float64
+	uN, rN := 0, 0
+	for s := 0; s < samples; s++ {
+		base := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
+		min, max := base.Bounds()
+		defects := defect.StaticFaults(min, max, k, rng)
+		nominal := noise.Uniform(noise.DefaultPhysical)
+		defModel := nominal.WithDefects(defects, noise.DefaultDefectRate)
+
+		// Untreated: full code, hot qubits, uninformed decoder.
+		untreated, err := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d).Build()
+		if err != nil {
+			return Fig11aRow{}, err
+		}
+		resU, err := sim.RunMemoryMismatched(untreated, defModel, nominal,
+			opt.Rounds, opt.Shots, lattice.ZCheck, decoder.UnionFindFactory(),
+			opt.pointSeed(kindFig11a, int64(d), int64(k), int64(s), 0))
+		if err != nil {
+			return Fig11aRow{}, err
+		}
+		uSum += resU.PerRound
+		uN++
+
+		// Removed: Algorithm 1, nominal noise on surviving qubits.
+		spec := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
+		if err := deform.ApplyDefects(spec, defects, deform.PolicySurfDeformer); err != nil {
+			continue
+		}
+		removedCode, err := spec.Build()
+		if err != nil {
+			continue // severed pattern
+		}
+		resR, err := sim.RunMemory(removedCode, nominal, opt.Rounds, opt.Shots,
+			lattice.ZCheck, decoder.UnionFindFactory(),
+			opt.pointSeed(kindFig11a, int64(d), int64(k), int64(s), 1))
+		if err != nil {
+			return Fig11aRow{}, err
+		}
+		rSum += resR.PerRound
+		rN++
+	}
+	row := Fig11aRow{D: d, NumDefects: k}
+	if uN > 0 {
+		row.UntreatedLE = uSum / float64(uN)
+	}
+	if rN > 0 {
+		row.RemovedLE = rSum / float64(rN)
+	} else {
+		row.RemovedLE = 0.5 // every pattern severed the patch
+	}
+	return row, nil
 }
 
 // RenderFig11a prints the series.
@@ -196,21 +252,31 @@ func Fig11b(opt Options) ([]Fig11bRow, error) {
 		counts = []int{4, 10}
 		samples = 3
 	}
-	rng := opt.rng()
-	var rows []Fig11bRow
+	type point struct{ d, k int }
+	var grid []point
 	for _, d := range ds {
 		for _, k := range counts {
-			ascSum, surfSum := 0.0, 0.0
-			for s := 0; s < samples; s++ {
-				base := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
-				min, max := base.Bounds()
-				defects := defect.StaticFaults(min, max, k, rng)
-				ascSum += float64(removalDistance(defects, d, deform.PolicyASC))
-				surfSum += float64(removalDistance(defects, d, deform.PolicySurfDeformer))
-			}
-			rows = append(rows, Fig11bRow{D: d, NumDefects: k,
-				ASCMean: ascSum / float64(samples), SurfMean: surfSum / float64(samples)})
+			grid = append(grid, point{d, k})
 		}
+	}
+	rows := make([]Fig11bRow, len(grid))
+	err := opt.forEachPoint(len(grid), func(i int) error {
+		pt := grid[i]
+		rng := opt.pointRNG(kindFig11b, int64(pt.d), int64(pt.k))
+		ascSum, surfSum := 0.0, 0.0
+		for s := 0; s < samples; s++ {
+			base := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, pt.d)
+			min, max := base.Bounds()
+			defects := defect.StaticFaults(min, max, pt.k, rng)
+			ascSum += float64(removalDistance(defects, pt.d, deform.PolicyASC))
+			surfSum += float64(removalDistance(defects, pt.d, deform.PolicySurfDeformer))
+		}
+		rows[i] = Fig11bRow{D: pt.d, NumDefects: pt.k,
+			ASCMean: ascSum / float64(samples), SurfMean: surfSum / float64(samples)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -267,7 +333,7 @@ func estimators(opt Options) (*defect.Model, *estimator.LambdaModel, map[layout.
 		if opt.Quick {
 			d, samples = 9, 4
 		}
-		rng := rand.New(rand.NewSource(opt.Seed + 7919))
+		rng := opt.pointRNG(kindFit)
 		return dm, estimator.DefaultLambda(), estimator.FittedFrameworks(d, budget, samples, dm, rng)
 	}
 	return dm, estimator.DefaultLambda(), estimator.DefaultFrameworks()

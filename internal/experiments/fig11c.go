@@ -21,6 +21,15 @@ type Fig11cRow struct {
 	Stalls     int
 }
 
+// fig11cConfig is the store identity of one (task set, rate, scheme) point.
+type fig11cConfig struct {
+	TaskSet int     `json:"task_set"`
+	Rate    float64 `json:"rate"`
+	Scheme  string  `json:"scheme"`
+	Samples int     `json:"samples"`
+	Seed    int64   `json:"seed"`
+}
+
 // Fig11c measures communication throughput on the Surf-Deformer layout
 // versus Q3DE's fixed layout across defect rates, for three task sets of
 // increasing serialization, against the no-defect lattice-surgery optimum.
@@ -31,6 +40,11 @@ type Fig11cRow struct {
 // its channels for the defect duration (here: the whole task-set window);
 // under Surf-Deformer a patch only blocks when more events strike it than
 // the Δd reserve absorbs.
+//
+// Grid points run on the point-level pool. A task set's operation list is
+// derived from (Seed, set) alone so every (rate, scheme) point of a set
+// routes the identical workload; each point's strike sampling derives from
+// its own content.
 func Fig11c(opt Options) ([]Fig11cRow, error) {
 	nQubits := 100
 	gridSide := 10
@@ -50,47 +64,71 @@ func Fig11c(opt Options) ([]Fig11cRow, error) {
 	// for the whole set, so strikes accumulate).
 	const exposureSeconds = 2.0
 
-	rng := opt.rng()
-	var rows []Fig11cRow
+	type point struct {
+		set    int
+		rate   float64
+		scheme layout.Scheme
+	}
+	var grid []point
 	for setIdx := 0; setIdx < 3; setIdx++ {
-		ops := taskSet(setIdx, gridSide, rng)
 		for _, rate := range rates {
 			for _, scheme := range []layout.Scheme{layout.SurfDeformer, layout.Q3DE} {
-				thSum := 0.0
-				stalls := 0
-				for s := 0; s < samples; s++ {
-					grid := route.NewGrid(gridSide, gridSide)
-					// Strikes per patch over the window.
-					lambda := rate * float64(patchQubits) * exposureSeconds
-					for cell := 0; cell < nQubits; cell++ {
-						strikes := samplePoisson(lambda, rng)
-						if strikes == 0 {
-							continue
-						}
-						switch scheme {
-						case layout.Q3DE:
-							grid.SetBlocked(cell, true)
-						case layout.SurfDeformer:
-							if strikes > deltaD/defectSize {
-								grid.SetBlocked(cell, true)
-							}
-						}
-					}
-					res := grid.RunTasks(ops, 600, rng)
-					thSum += res.Throughput
-					if res.Stalled {
-						stalls++
-					}
-				}
-				rows = append(rows, Fig11cRow{
-					TaskSet:    setIdx + 1,
-					DefectRate: rate,
-					Scheme:     scheme,
-					Throughput: thSum / float64(samples),
-					Stalls:     stalls,
-				})
+				grid = append(grid, point{set: setIdx, rate: rate, scheme: scheme})
 			}
 		}
+	}
+	rows := make([]Fig11cRow, len(grid))
+	err := opt.forEachPoint(len(grid), func(i int) error {
+		pt := grid[i]
+		cfg := fig11cConfig{TaskSet: pt.set + 1, Rate: pt.rate, Scheme: pt.scheme.String(),
+			Samples: samples, Seed: opt.Seed}
+		row, err := cachedRow(opt, "fig11c", cfg, func() (Fig11cRow, error) {
+			ops := taskSet(pt.set, gridSide, opt.pointRNG(kindFig11c, int64(pt.set)))
+			// The stream derives from the rate VALUE so a point's result
+			// survives reordering or subsetting the rates grid.
+			rng := opt.pointRNG(kindFig11c, int64(pt.set), int64(math.Round(pt.rate*1e9)), int64(pt.scheme))
+			thSum := 0.0
+			stalls := 0
+			for s := 0; s < samples; s++ {
+				grid := route.NewGrid(gridSide, gridSide)
+				// Strikes per patch over the window.
+				lambda := pt.rate * float64(patchQubits) * exposureSeconds
+				for cell := 0; cell < nQubits; cell++ {
+					strikes := samplePoisson(lambda, rng)
+					if strikes == 0 {
+						continue
+					}
+					switch pt.scheme {
+					case layout.Q3DE:
+						grid.SetBlocked(cell, true)
+					case layout.SurfDeformer:
+						if strikes > deltaD/defectSize {
+							grid.SetBlocked(cell, true)
+						}
+					}
+				}
+				res := grid.RunTasks(ops, 600, rng)
+				thSum += res.Throughput
+				if res.Stalled {
+					stalls++
+				}
+			}
+			return Fig11cRow{
+				TaskSet:    pt.set + 1,
+				DefectRate: pt.rate,
+				Scheme:     pt.scheme,
+				Throughput: thSum / float64(samples),
+				Stalls:     stalls,
+			}, nil
+		})
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -9,6 +9,7 @@ import (
 	"surfdeformer/internal/estimator"
 	"surfdeformer/internal/lattice"
 	"surfdeformer/internal/layout"
+	"surfdeformer/internal/mc"
 	"surfdeformer/internal/program"
 )
 
@@ -26,10 +27,29 @@ type Fig12Row struct {
 	Reached bool
 }
 
+// fig12Config is the store identity of one (benchmark, scheme) point.
+type fig12Config struct {
+	Benchmark string `json:"benchmark"`
+	Scheme    string `json:"scheme"`
+	Trials    int    `json:"trials"`
+	Seed      int64  `json:"seed"`
+	FitLosses bool   `json:"fit_losses,omitempty"`
+}
+
+// fig12Payload is the stored result of one point; the identity fields
+// (benchmark, scheme) come from the grid point itself.
+type fig12Payload struct {
+	D       int     `json:"d"`
+	Qubits  int     `json:"qubits"`
+	Risk    float64 `json:"risk"`
+	Reached bool    `json:"reached"`
+}
+
 // Fig12 searches, per scheme, the minimal code distance meeting a 1% retry
 // risk and reports the physical qubits of the resulting layout. Lattice
 // surgery (no mitigation) and Q3DE* (2d spacing) are included per the
-// paper's revised comparison.
+// paper's revised comparison. (benchmark, scheme) points run on the
+// point-level pool, each on its own derived defect-timeline stream.
 func Fig12(opt Options) ([]Fig12Row, error) {
 	dm, lm, fws := estimators(opt)
 	benches := []*program.Program{
@@ -42,22 +62,37 @@ func Fig12(opt Options) ([]Fig12Row, error) {
 		benches = benches[:1]
 	}
 	schemes := []layout.Scheme{layout.LatticeSurgery, layout.Q3DEStar, layout.ASCS, layout.SurfDeformer}
-	rng := opt.rng()
 	deltaDFor := func(d int) int { return layout.ChooseDeltaD(dm, d, layout.DefaultAlphaBlock) }
 	maxD := 61
-	var rows []Fig12Row
+	type point struct {
+		prog   *program.Program
+		scheme layout.Scheme
+	}
+	var grid []point
 	for _, prog := range benches {
 		for _, scheme := range schemes {
-			est, ok := estimator.MinimalDistance(prog, fws[scheme], 0.01, deltaDFor, dm, lm, opt.Trials, maxD, rng)
-			rows = append(rows, Fig12Row{
-				Program: prog,
-				Scheme:  scheme,
-				D:       est.D,
-				Qubits:  est.PhysicalQubits,
-				Risk:    est.RetryRisk,
-				Reached: ok,
-			})
+			grid = append(grid, point{prog, scheme})
 		}
+	}
+	rows := make([]Fig12Row, len(grid))
+	err := opt.forEachPoint(len(grid), func(i int) error {
+		pt := grid[i]
+		cfg := fig12Config{Benchmark: pt.prog.Name, Scheme: pt.scheme.String(),
+			Trials: opt.Trials, Seed: opt.Seed, FitLosses: opt.FitLosses}
+		pay, err := cachedRow(opt, "fig12", cfg, func() (fig12Payload, error) {
+			rng := opt.pointRNG(kindFig12, mc.StringSeed(pt.prog.Name), int64(pt.scheme))
+			est, ok := estimator.MinimalDistance(pt.prog, fws[pt.scheme], 0.01, deltaDFor, dm, lm, opt.Trials, maxD, rng)
+			return fig12Payload{D: est.D, Qubits: est.PhysicalQubits, Risk: est.RetryRisk, Reached: ok}, nil
+		})
+		if err != nil {
+			return err
+		}
+		rows[i] = Fig12Row{Program: pt.prog, Scheme: pt.scheme,
+			D: pay.D, Qubits: pay.Qubits, Risk: pay.Risk, Reached: pay.Reached}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -83,8 +118,24 @@ type Fig13aRow struct {
 	Risk   float64
 }
 
+// fig13aConfig is the store identity of one (d, scheme) point.
+type fig13aConfig struct {
+	Benchmark string `json:"benchmark"`
+	Scheme    string `json:"scheme"`
+	D         int    `json:"d"`
+	Trials    int    `json:"trials"`
+	Seed      int64  `json:"seed"`
+	FitLosses bool   `json:"fit_losses,omitempty"`
+}
+
+type fig13aPayload struct {
+	Qubits int     `json:"qubits"`
+	Risk   float64 `json:"risk"`
+}
+
 // Fig13a sweeps the code distance and reports the (physical qubits, retry
-// risk) trade-off line of ASC-S versus Surf-Deformer.
+// risk) trade-off line of ASC-S versus Surf-Deformer, one pooled point per
+// (d, scheme).
 func Fig13a(opt Options) ([]Fig13aRow, error) {
 	dm, lm, fws := estimators(opt)
 	prog := program.Simon(900, 1500)
@@ -92,14 +143,35 @@ func Fig13a(opt Options) ([]Fig13aRow, error) {
 	if opt.Quick {
 		ds = []int{19, 23}
 	}
-	rng := opt.rng()
-	var rows []Fig13aRow
+	type point struct {
+		d      int
+		scheme layout.Scheme
+	}
+	var grid []point
 	for _, d := range ds {
-		deltaD := layout.ChooseDeltaD(dm, d, layout.DefaultAlphaBlock)
 		for _, scheme := range []layout.Scheme{layout.ASCS, layout.SurfDeformer} {
-			est := estimator.EstimateProgram(prog, fws[scheme], d, deltaD, dm, lm, opt.Trials, rng)
-			rows = append(rows, Fig13aRow{Scheme: scheme, D: d, Qubits: est.PhysicalQubits, Risk: est.RetryRisk})
+			grid = append(grid, point{d, scheme})
 		}
+	}
+	rows := make([]Fig13aRow, len(grid))
+	err := opt.forEachPoint(len(grid), func(i int) error {
+		pt := grid[i]
+		cfg := fig13aConfig{Benchmark: prog.Name, Scheme: pt.scheme.String(), D: pt.d,
+			Trials: opt.Trials, Seed: opt.Seed, FitLosses: opt.FitLosses}
+		pay, err := cachedRow(opt, "fig13a", cfg, func() (fig13aPayload, error) {
+			deltaD := layout.ChooseDeltaD(dm, pt.d, layout.DefaultAlphaBlock)
+			rng := opt.pointRNG(kindFig13a, int64(pt.d), int64(pt.scheme))
+			est := estimator.EstimateProgram(prog, fws[pt.scheme], pt.d, deltaD, dm, lm, opt.Trials, rng)
+			return fig13aPayload{Qubits: est.PhysicalQubits, Risk: est.RetryRisk}, nil
+		})
+		if err != nil {
+			return err
+		}
+		rows[i] = Fig13aRow{Scheme: pt.scheme, D: pt.d, Qubits: pay.Qubits, Risk: pay.Risk}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -126,7 +198,8 @@ type Fig13bRow struct {
 // Fig13b measures the yield of deforming an l-sized patch with k static
 // faulty qubits into a code of distance ≥ target: the fraction of fault
 // patterns for which the deformed patch still meets the target distance.
-// The paper uses l = 35 → target 27; Quick mode scales down.
+// The paper uses l = 35 → target 27; Quick mode scales down. Fault counts
+// run as pooled points, each with its own derived fault-pattern stream.
 func Fig13b(opt Options) ([]Fig13bRow, error) {
 	l, target := 35, 27
 	counts := []int{0, 10, 20, 30, 40}
@@ -139,9 +212,10 @@ func Fig13b(opt Options) ([]Fig13bRow, error) {
 	if samples < 3 {
 		samples = 3
 	}
-	rng := opt.rng()
-	var rows []Fig13bRow
-	for _, k := range counts {
+	rows := make([]Fig13bRow, len(counts))
+	err := opt.forEachPoint(len(counts), func(i int) error {
+		k := counts[i]
+		rng := opt.pointRNG(kindFig13b, int64(l), int64(k))
 		ascOK, surfOK := 0, 0
 		for s := 0; s < samples; s++ {
 			base := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, l)
@@ -154,11 +228,15 @@ func Fig13b(opt Options) ([]Fig13bRow, error) {
 				surfOK++
 			}
 		}
-		rows = append(rows, Fig13bRow{
+		rows[i] = Fig13bRow{
 			NumFaults: k,
 			ASCYield:  float64(ascOK) / float64(samples),
 			SurfYield: float64(surfOK) / float64(samples),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"surfdeformer/internal/decoder"
 	"surfdeformer/internal/defect"
@@ -25,9 +26,20 @@ type Fig14aRow struct {
 	RemovedLE   float64
 }
 
+// fig14aConfig is the store identity of one (p_correlated, k) point.
+type fig14aConfig struct {
+	PCorrelated float64 `json:"p_correlated"`
+	K           int     `json:"k"`
+	D           int     `json:"d"`
+	Shots       int     `json:"shots"`
+	Rounds      int     `json:"rounds"`
+	Seed        int64   `json:"seed"`
+}
+
 // Fig14a repeats the fig. 11a comparison under an additional correlated
 // two-qubit error channel of increasing strength: the deformed code must
-// retain its advantage over the untreated code.
+// retain its advantage over the untreated code. (p_correlated, k) points
+// run on the point-level pool with content-derived fault patterns.
 func Fig14a(opt Options) ([]Fig14aRow, error) {
 	d := 9
 	counts := []int{5, 15, 25}
@@ -37,44 +49,71 @@ func Fig14a(opt Options) ([]Fig14aRow, error) {
 		counts = []int{2, 4}
 		pcs = []float64{1e-3, 4e-3}
 	}
-	rng := opt.rng()
-	var rows []Fig14aRow
+	type point struct {
+		pc float64
+		k  int
+	}
+	var grid []point
 	for _, pc := range pcs {
 		for _, k := range counts {
-			base := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
-			min, max := base.Bounds()
-			defects := defect.StaticFaults(min, max, k, rng)
-			nominal := noise.Uniform(noise.DefaultPhysical).WithCorrelated(pc)
-			defModel := nominal.WithDefects(defects, noise.DefaultDefectRate)
-
-			untreated, err := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d).Build()
-			if err != nil {
-				return nil, err
-			}
-			resU, err := sim.RunMemoryMismatched(untreated, defModel, nominal,
-				opt.Rounds, opt.Shots, lattice.ZCheck, decoder.UnionFindFactory(), opt.Seed+int64(k))
-			if err != nil {
-				return nil, err
-			}
-
-			spec := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
-			if err := deform.ApplyDefects(spec, defects, deform.PolicySurfDeformer); err != nil {
-				return nil, err
-			}
-			removedLE := 0.5
-			if removedCode, err := spec.Build(); err == nil {
-				resR, err := sim.RunMemory(removedCode, nominal, opt.Rounds, opt.Shots,
-					lattice.ZCheck, decoder.UnionFindFactory(), opt.Seed+int64(k)+1)
-				if err != nil {
-					return nil, err
-				}
-				removedLE = resR.PerRound
-			}
-			rows = append(rows, Fig14aRow{PCorrelated: pc, NumDefects: k,
-				UntreatedLE: resU.PerRound, RemovedLE: removedLE})
+			grid = append(grid, point{pc, k})
 		}
 	}
+	rows := make([]Fig14aRow, len(grid))
+	err := opt.forEachPoint(len(grid), func(i int) error {
+		pt := grid[i]
+		cfg := fig14aConfig{PCorrelated: pt.pc, K: pt.k, D: d, Shots: opt.Shots, Rounds: opt.Rounds, Seed: opt.Seed}
+		row, err := cachedRow(opt, "fig14a", cfg, func() (Fig14aRow, error) {
+			return fig14aPoint(opt, d, pt.pc, pt.k)
+		})
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return rows, nil
+}
+
+func fig14aPoint(opt Options, d int, pc float64, k int) (Fig14aRow, error) {
+	pcPart := int64(math.Round(pc * 1e9)) // content-derived stream, not grid-positional
+	rng := opt.pointRNG(kindFig14a, pcPart, int64(k))
+	base := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
+	min, max := base.Bounds()
+	defects := defect.StaticFaults(min, max, k, rng)
+	nominal := noise.Uniform(noise.DefaultPhysical).WithCorrelated(pc)
+	defModel := nominal.WithDefects(defects, noise.DefaultDefectRate)
+
+	untreated, err := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d).Build()
+	if err != nil {
+		return Fig14aRow{}, err
+	}
+	resU, err := sim.RunMemoryMismatched(untreated, defModel, nominal,
+		opt.Rounds, opt.Shots, lattice.ZCheck, decoder.UnionFindFactory(),
+		opt.pointSeed(kindFig14a, pcPart, int64(k), 0))
+	if err != nil {
+		return Fig14aRow{}, err
+	}
+
+	spec := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
+	if err := deform.ApplyDefects(spec, defects, deform.PolicySurfDeformer); err != nil {
+		return Fig14aRow{}, err
+	}
+	removedLE := 0.5
+	if removedCode, err := spec.Build(); err == nil {
+		resR, err := sim.RunMemory(removedCode, nominal, opt.Rounds, opt.Shots,
+			lattice.ZCheck, decoder.UnionFindFactory(),
+			opt.pointSeed(kindFig14a, pcPart, int64(k), 1))
+		if err != nil {
+			return Fig14aRow{}, err
+		}
+		removedLE = resR.PerRound
+	}
+	return Fig14aRow{PCorrelated: pc, NumDefects: k,
+		UntreatedLE: resU.PerRound, RemovedLE: removedLE}, nil
 }
 
 // RenderFig14a prints the series.
@@ -97,10 +136,20 @@ type Fig14bRow struct {
 	ImpreciseLE float64
 }
 
+// fig14bConfig is the store identity of one defect-count point.
+type fig14bConfig struct {
+	K      int   `json:"k"`
+	D      int   `json:"d"`
+	Shots  int   `json:"shots"`
+	Rounds int   `json:"rounds"`
+	Seed   int64 `json:"seed"`
+}
+
 // Fig14b compares deformed codes built from precise defect reports against
 // reports distorted by 1% false positives and false negatives: qubits the
 // detector missed stay defective (and the decoder does not know), healthy
-// qubits falsely flagged get removed needlessly.
+// qubits falsely flagged get removed needlessly. Defect counts run as
+// pooled points.
 func Fig14b(opt Options) ([]Fig14bRow, error) {
 	d := 9
 	counts := []int{5, 15, 25}
@@ -109,47 +158,60 @@ func Fig14b(opt Options) ([]Fig14bRow, error) {
 		counts = []int{2, 4}
 	}
 	const fp, fn = 0.01, 0.01
-	rng := opt.rng()
 	nominal := noise.Uniform(noise.DefaultPhysical)
-	var rows []Fig14bRow
-	for _, k := range counts {
-		base := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
-		min, max := base.Bounds()
-		truth := defect.StaticFaults(min, max, k, rng)
-		defModel := nominal.WithDefects(truth, noise.DefaultDefectRate)
+	rows := make([]Fig14bRow, len(counts))
+	err := opt.forEachPoint(len(counts), func(i int) error {
+		k := counts[i]
+		cfg := fig14bConfig{K: k, D: d, Shots: opt.Shots, Rounds: opt.Rounds, Seed: opt.Seed}
+		row, err := cachedRow(opt, "fig14b", cfg, func() (Fig14bRow, error) {
+			rng := opt.pointRNG(kindFig14b, int64(k))
+			base := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
+			min, max := base.Bounds()
+			truth := defect.StaticFaults(min, max, k, rng)
+			defModel := nominal.WithDefects(truth, noise.DefaultDefectRate)
 
-		untreated, err := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d).Build()
-		if err != nil {
-			return nil, err
-		}
-		resU, err := sim.RunMemoryMismatched(untreated, defModel, nominal,
-			opt.Rounds, opt.Shots, lattice.ZCheck, decoder.UnionFindFactory(), opt.Seed+int64(k))
-		if err != nil {
-			return nil, err
-		}
+			untreated, err := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d).Build()
+			if err != nil {
+				return Fig14bRow{}, err
+			}
+			resU, err := sim.RunMemoryMismatched(untreated, defModel, nominal,
+				opt.Rounds, opt.Shots, lattice.ZCheck, decoder.UnionFindFactory(),
+				opt.pointSeed(kindFig14b, int64(k), 0))
+			if err != nil {
+				return Fig14bRow{}, err
+			}
 
-		// Precise removal.
-		preciseLE := removalRate(truth, truth, d, nominal, opt)
+			// Precise removal.
+			preciseLE := removalRate(truth, truth, d, nominal, opt, opt.pointSeed(kindFig14b, int64(k), 1))
 
-		// Imprecise removal: distort the report.
-		var healthy []lattice.Coord
-		isTrue := map[lattice.Coord]bool{}
-		for _, q := range truth {
-			isTrue[q] = true
-		}
-		for r := min.Row; r <= max.Row; r++ {
-			for c := min.Col; c <= max.Col; c++ {
-				q := lattice.Coord{Row: r, Col: c}
-				if (q.IsData() || q.IsCheck()) && !isTrue[q] {
-					healthy = append(healthy, q)
+			// Imprecise removal: distort the report.
+			var healthy []lattice.Coord
+			isTrue := map[lattice.Coord]bool{}
+			for _, q := range truth {
+				isTrue[q] = true
+			}
+			for r := min.Row; r <= max.Row; r++ {
+				for c := min.Col; c <= max.Col; c++ {
+					q := lattice.Coord{Row: r, Col: c}
+					if (q.IsData() || q.IsCheck()) && !isTrue[q] {
+						healthy = append(healthy, q)
+					}
 				}
 			}
-		}
-		report := detect.Oracle(truth, healthy, fp, fn, rng)
-		impreciseLE := removalRate(report, truth, d, nominal, opt)
+			report := detect.Oracle(truth, healthy, fp, fn, rng)
+			impreciseLE := removalRate(report, truth, d, nominal, opt, opt.pointSeed(kindFig14b, int64(k), 2))
 
-		rows = append(rows, Fig14bRow{NumDefects: k, UntreatedLE: resU.PerRound,
-			PreciseLE: preciseLE, ImpreciseLE: impreciseLE})
+			return Fig14bRow{NumDefects: k, UntreatedLE: resU.PerRound,
+				PreciseLE: preciseLE, ImpreciseLE: impreciseLE}, nil
+		})
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -157,7 +219,7 @@ func Fig14b(opt Options) ([]Fig14bRow, error) {
 // removalRate deforms the patch per the reported defects and measures the
 // per-cycle logical error rate under the TRUE defect model: reported qubits
 // leave the code, missed qubits remain hot with the decoder unaware.
-func removalRate(report, truth []lattice.Coord, d int, nominal *noise.Model, opt Options) float64 {
+func removalRate(report, truth []lattice.Coord, d int, nominal *noise.Model, opt Options, seed int64) float64 {
 	spec := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, d)
 	if err := deform.ApplyDefects(spec, report, deform.PolicySurfDeformer); err != nil {
 		return 0.5
@@ -178,7 +240,7 @@ func removalRate(report, truth []lattice.Coord, d int, nominal *noise.Model, opt
 		sampleModel = nominal.WithDefects(remaining, noise.DefaultDefectRate)
 	}
 	res, err := sim.RunMemoryMismatched(c, sampleModel, nominal, opt.Rounds, opt.Shots,
-		lattice.ZCheck, decoder.UnionFindFactory(), opt.Seed+int64(len(report)))
+		lattice.ZCheck, decoder.UnionFindFactory(), seed)
 	if err != nil {
 		return 0.5
 	}

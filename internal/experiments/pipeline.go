@@ -10,7 +10,6 @@ import (
 	"surfdeformer/internal/deform"
 	"surfdeformer/internal/detect"
 	"surfdeformer/internal/lattice"
-	"surfdeformer/internal/mc"
 	"surfdeformer/internal/noise"
 	"surfdeformer/internal/sim"
 )
@@ -49,7 +48,7 @@ func DetectionPipeline(opt Options) (*PipelineResult, error) {
 	if opt.Quick {
 		d, onset, tail, window = 5, 4, 12, 6
 	}
-	rng := opt.rng()
+	rng := opt.pointRNG(kindPipeline)
 	dm := defect.Paper()
 	nominal := noise.Uniform(noise.DefaultPhysical)
 
@@ -200,10 +199,23 @@ type SweepPoint struct {
 	Policy     deform.Policy
 }
 
-// streamIndex maps the point's content to a distinct RNG stream index, so
-// a point's fault pattern and shots do not depend on its grid position.
-func (p SweepPoint) streamIndex() int {
-	return p.D*1_000_000 + p.NumDefects*1_000 + int(p.Policy)
+// seedParts maps the point's content to a DeriveSeed path, so a point's
+// fault pattern and shots do not depend on its grid position.
+func (p SweepPoint) seedParts() []int64 {
+	return []int64{int64(p.D), int64(p.NumDefects), int64(p.Policy)}
+}
+
+// sweepConfig is the store identity of one sweep point: everything that
+// fixes its RNG stream family and physics. The shot budget is deliberately
+// absent — it is the accumulating dimension (see DESIGN.md §7).
+type sweepConfig struct {
+	D         int     `json:"d"`
+	K         int     `json:"k"`
+	Policy    string  `json:"policy"`
+	Rounds    int     `json:"rounds"`
+	Decoder   string  `json:"decoder"`
+	Seed      int64   `json:"seed"`
+	TargetRSE float64 `json:"target_rse,omitempty"`
 }
 
 // SweepEngine tunes the Monte-Carlo engine for a sweep.
@@ -255,22 +267,32 @@ func DefaultSweepGrid(opt Options) []SweepPoint {
 }
 
 // MemorySweep measures the post-removal logical error rate of every grid
-// point on the Monte-Carlo engine. Per-point fault patterns and run seeds
-// derive from (Options.Seed, point content) alone, so a point's result is
-// deterministic regardless of grid order, subsetting, worker count, or
-// early stopping; the shared DEM cache deduplicates the repeated
-// configurations a grid produces (the zero-defect baselines of every
-// policy, identical deformed codes, the nominal decode models).
+// point on the Monte-Carlo engine, fanning points out over the point-level
+// worker pool. Per-point fault patterns and run seeds derive from
+// (Options.Seed, point content) alone, so a point's result is
+// deterministic regardless of grid order, subsetting, worker count at
+// either level, or early stopping; the shared DEM cache deduplicates the
+// repeated configurations a grid produces (the zero-defect baselines of
+// every policy, identical deformed codes, the nominal decode models).
+//
+// With Options.Store set, each point's Monte-Carlo aggregate is committed
+// under the hash of sweepConfig; Options.Resume serves complete points
+// from the store and tops up partial ones with only the missing shots
+// (Wilson CIs recomputed from the merged counts). Severed points carry no
+// Monte-Carlo work and are always recomputed (they are pure functions of
+// the config, decided in microseconds).
 func MemorySweep(opt Options, grid []SweepPoint, eng SweepEngine) ([]SweepRow, error) {
 	shots := eng.MaxShots
 	if shots <= 0 {
 		shots = opt.Shots
 	}
 	nominal := noise.Uniform(noise.DefaultPhysical)
-	rows := make([]SweepRow, 0, len(grid))
-	for _, pt := range grid {
+	rows := make([]SweepRow, len(grid))
+	err := opt.forEachPoint(len(grid), func(i int) error {
+		pt := grid[i]
 		row := SweepRow{SweepPoint: pt}
-		rng := rand.New(rand.NewSource(mc.ShardSeed(opt.Seed, pt.streamIndex())))
+		faultSeed := opt.pointSeed(kindSweep, append(pt.seedParts(), 0)...)
+		rng := rand.New(rand.NewSource(faultSeed))
 		spec := deform.NewSquareSpec(lattice.Coord{Row: 0, Col: 0}, pt.D)
 		if pt.NumDefects > 0 {
 			min, max := spec.Bounds()
@@ -278,36 +300,53 @@ func MemorySweep(opt Options, grid []SweepPoint, eng SweepEngine) ([]SweepRow, e
 			if err := deform.ApplyDefects(spec, defects, pt.Policy); err != nil {
 				row.Severed = true
 				row.PerRound = 0.5
-				rows = append(rows, row)
-				continue
+				rows[i] = row
+				return nil
 			}
 		}
 		c, err := spec.Build()
 		if err != nil {
 			row.Severed = true
 			row.PerRound = 0.5
-			rows = append(rows, row)
-			continue
+			rows[i] = row
+			return nil
 		}
 		row.DistanceAfter = c.Distance()
-		res, err := sim.RunMemoryOpts(c, nominal, nil, sim.RunOptions{
+		res, fromStore, err := sim.RunMemoryStored(c, nominal, nil, sim.RunOptions{
 			Rounds:    opt.Rounds,
 			Basis:     lattice.ZCheck,
 			Factory:   decoder.UnionFindFactory(),
 			Shots:     shots,
 			Workers:   eng.Workers,
 			TargetRSE: eng.TargetRSE,
-			Seed:      mc.ShardSeed(opt.Seed, pt.streamIndex()) + 1,
+			Seed:      opt.pointSeed(kindSweep, append(pt.seedParts(), 1)...),
+		}, sim.StoreOptions{
+			Store:  opt.Store,
+			Resume: opt.Resume,
+			Kind:   "sweep",
+			Config: sweepConfig{
+				D: pt.D, K: pt.NumDefects, Policy: pt.Policy.String(),
+				Rounds: opt.Rounds, Decoder: "uf", Seed: opt.Seed, TargetRSE: eng.TargetRSE,
+			},
 		})
 		if err != nil {
-			return nil, err
+			return err
+		}
+		if fromStore {
+			opt.Stats.AddSkipped()
+		} else {
+			opt.Stats.AddComputed()
 		}
 		row.PerRound = res.PerRound
 		row.Shots = res.Shots
 		row.Failures = res.Failures
 		row.CILow, row.CIHigh = res.CILow, res.CIHigh
 		row.EarlyStopped = res.EarlyStopped
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

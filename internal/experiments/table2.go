@@ -6,6 +6,7 @@ import (
 
 	"surfdeformer/internal/estimator"
 	"surfdeformer/internal/layout"
+	"surfdeformer/internal/mc"
 	"surfdeformer/internal/program"
 )
 
@@ -23,9 +24,31 @@ type Table2Row struct {
 	DeltaD          int
 }
 
+// table2Config is the store identity of one (benchmark, d) row.
+type table2Config struct {
+	Benchmark string `json:"benchmark"`
+	D         int    `json:"d"`
+	Trials    int    `json:"trials"`
+	Seed      int64  `json:"seed"`
+	FitLosses bool   `json:"fit_losses,omitempty"`
+}
+
+// table2Payload is the stored result of one row minus its identity fields.
+type table2Payload struct {
+	DeltaD          int     `json:"delta_d"`
+	Q3DEQubits      int     `json:"q3de_qubits"`
+	Q3DEOverRuntime bool    `json:"q3de_over_runtime"`
+	ASCQubits       int     `json:"asc_qubits"`
+	ASCRetryRisk    float64 `json:"asc_retry_risk"`
+	SurfQubits      int     `json:"surf_qubits"`
+	SurfRetryRisk   float64 `json:"surf_retry_risk"`
+}
+
 // Table2 reproduces the end-to-end evaluation: for every benchmark program
 // and the paper's two distances per row, the physical qubit count and retry
-// risk of Q3DE, ASC-S and Surf-Deformer.
+// risk of Q3DE, ASC-S and Surf-Deformer. (benchmark, d) rows run on the
+// point-level pool; each row's three scheme estimates share one derived
+// defect-timeline stream so the schemes face comparable timelines.
 func Table2(opt Options) ([]Table2Row, error) {
 	dm, lm, fws := estimators(opt)
 	pairs := paperDistancePairs()
@@ -33,21 +56,32 @@ func Table2(opt Options) ([]Table2Row, error) {
 	if opt.Quick {
 		benches = benches[:2]
 	}
-	rng := opt.rng()
-	var rows []Table2Row
+	type point struct {
+		prog *program.Program
+		d    int
+	}
+	var grid []point
 	for _, prog := range benches {
 		ds, ok := pairs[prog.Name]
 		if !ok {
 			ds = [2]int{19, 21}
 		}
 		for _, d := range ds {
-			deltaD := layout.ChooseDeltaD(dm, d, layout.DefaultAlphaBlock)
-			q3de := estimator.EstimateProgram(prog, fws[layout.Q3DE], d, deltaD, dm, lm, opt.Trials, rng)
-			asc := estimator.EstimateProgram(prog, fws[layout.ASCS], d, deltaD, dm, lm, opt.Trials, rng)
-			surf := estimator.EstimateProgram(prog, fws[layout.SurfDeformer], d, deltaD, dm, lm, opt.Trials, rng)
-			rows = append(rows, Table2Row{
-				Program:         prog,
-				D:               d,
+			grid = append(grid, point{prog, d})
+		}
+	}
+	rows := make([]Table2Row, len(grid))
+	err := opt.forEachPoint(len(grid), func(i int) error {
+		pt := grid[i]
+		cfg := table2Config{Benchmark: pt.prog.Name, D: pt.d,
+			Trials: opt.Trials, Seed: opt.Seed, FitLosses: opt.FitLosses}
+		pay, err := cachedRow(opt, "table2", cfg, func() (table2Payload, error) {
+			rng := opt.pointRNG(kindTable2, mc.StringSeed(pt.prog.Name), int64(pt.d))
+			deltaD := layout.ChooseDeltaD(dm, pt.d, layout.DefaultAlphaBlock)
+			q3de := estimator.EstimateProgram(pt.prog, fws[layout.Q3DE], pt.d, deltaD, dm, lm, opt.Trials, rng)
+			asc := estimator.EstimateProgram(pt.prog, fws[layout.ASCS], pt.d, deltaD, dm, lm, opt.Trials, rng)
+			surf := estimator.EstimateProgram(pt.prog, fws[layout.SurfDeformer], pt.d, deltaD, dm, lm, opt.Trials, rng)
+			return table2Payload{
 				DeltaD:          deltaD,
 				Q3DEQubits:      q3de.PhysicalQubits,
 				Q3DEOverRuntime: q3de.OverRuntime,
@@ -55,8 +89,26 @@ func Table2(opt Options) ([]Table2Row, error) {
 				ASCRetryRisk:    asc.RetryRisk,
 				SurfQubits:      surf.PhysicalQubits,
 				SurfRetryRisk:   surf.RetryRisk,
-			})
+			}, nil
+		})
+		if err != nil {
+			return err
 		}
+		rows[i] = Table2Row{
+			Program:         pt.prog,
+			D:               pt.d,
+			DeltaD:          pay.DeltaD,
+			Q3DEQubits:      pay.Q3DEQubits,
+			Q3DEOverRuntime: pay.Q3DEOverRuntime,
+			ASCQubits:       pay.ASCQubits,
+			ASCRetryRisk:    pay.ASCRetryRisk,
+			SurfQubits:      pay.SurfQubits,
+			SurfRetryRisk:   pay.SurfRetryRisk,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -92,6 +92,17 @@ func Fig14bTable(rows []Fig14bRow) *report.Table {
 	return t
 }
 
+// SweepTable converts memory-sweep rows.
+func SweepTable(rows []SweepRow) *report.Table {
+	t := report.New("sweep", "d", "num_defects", "policy", "severed", "distance_after",
+		"per_round", "shots", "failures", "ci_low", "ci_high", "early_stopped")
+	for _, r := range rows {
+		t.Add(r.D, r.NumDefects, r.Policy.String(), r.Severed, r.DistanceAfter,
+			r.PerRound, r.Shots, r.Failures, r.CILow, r.CIHigh, r.EarlyStopped)
+	}
+	return t
+}
+
 // PipelineTable converts the detection-pipeline summary.
 func PipelineTable(r *PipelineResult) *report.Table {
 	t := report.New("pipeline", "trials", "detected", "latency_rounds", "recall", "precision", "distance_after")

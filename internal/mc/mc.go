@@ -25,6 +25,17 @@
 // The batched path (RunBatch/ShotBatchFunc) hands a worker one whole shard
 // per call, amortizing per-shot closure-call overhead; Run wraps a
 // single-shot closure onto it, and both paths are bit-identical.
+//
+// Parallelism exists at two levels, both governed by the same determinism
+// contract. Within a point, Run/RunBatch shard the shot budget; across
+// points, ForEach fans independent grid configurations out over a second
+// pool. Every stream at either level is derived from the user seed by the
+// SplitMix64 chain (DeriveSeed/ShardSeed/StringSeed), a pure function of
+// (seed, content path): no stream ever depends on worker count, scheduling
+// order, grid position, or which subset of points a resumed session still
+// has to compute. That invariant is what lets the persistent result store
+// (package store) merge rows from different sessions and worker counts into
+// one statistically coherent aggregate.
 package mc
 
 import (

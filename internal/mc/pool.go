@@ -1,0 +1,77 @@
+package mc
+
+import "sync"
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of workers goroutines
+// and returns the first error encountered (by lowest index). It is the
+// point-level counterpart of the shard pool inside Run/RunBatch: grid
+// sweeps hand each independent configuration point to ForEach, and each
+// point derives all of its randomness from (seed, point content) via
+// DeriveSeed, so results are bit-identical for any worker count and any
+// subset/resume order — parallelism is purely a throughput knob.
+//
+// fn must write its result only to caller-owned storage indexed by i (a
+// pre-sized slice slot); ForEach itself imposes no ordering on completions.
+// After an error, remaining indices may be skipped.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     int
+		mu       sync.Mutex
+		firstErr error
+		errIdx   int
+	)
+	takeJob := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := takeJob()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

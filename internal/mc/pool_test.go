@@ -1,0 +1,65 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 97
+		hits := make([]atomic.Int32, n)
+		if err := ForEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	wantA, wantB := errors.New("boom-3"), errors.New("boom-7")
+	err := ForEach(4, 16, func(i int) error {
+		switch i {
+		case 3:
+			return wantA
+		case 7:
+			return wantB
+		}
+		return nil
+	})
+	if err != wantA {
+		t.Fatalf("got %v, want lowest-index error %v", err, wantA)
+	}
+}
+
+func TestForEachStopsDispatchAfterError(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(1, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 4 {
+			return fmt.Errorf("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got != 5 {
+		t.Fatalf("serial pool ran %d jobs after error at index 4", got)
+	}
+}

@@ -45,3 +45,49 @@ func TestShardSeedAdjacentUserSeeds(t *testing.T) {
 		}
 	}
 }
+
+// ShardSeed is documented as the single-element case of the DeriveSeed
+// chain; the persistent store's segment seeds rely on the negative-salt
+// escape hatch never colliding with it.
+func TestDeriveSeedShardCompat(t *testing.T) {
+	for shard := 0; shard < 256; shard++ {
+		if DeriveSeed(42, int64(shard)) != ShardSeed(42, shard) {
+			t.Fatalf("DeriveSeed(42, %d) diverges from ShardSeed", shard)
+		}
+	}
+}
+
+func TestDeriveSeedPathSensitivity(t *testing.T) {
+	seen := map[int64]string{}
+	add := func(label string, s int64) {
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("paths %s and %s collide on seed %d", prev, label, s)
+		}
+		seen[s] = label
+	}
+	add("root", DeriveSeed(9))
+	add("a,b", DeriveSeed(9, 3, 5))
+	add("b,a", DeriveSeed(9, 5, 3)) // order matters
+	add("a", DeriveSeed(9, 3))      // prefixes differ from extensions
+	add("a,b,c", DeriveSeed(9, 3, 5, 0))
+	add("neg", DeriveSeed(9, -7, 3)) // negative salts are their own family
+	if DeriveSeed(9, 3, 5) != DeriveSeed(9, 3, 5) {
+		t.Fatal("DeriveSeed not stable")
+	}
+}
+
+func TestStringSeedStableAndDistinct(t *testing.T) {
+	if StringSeed("surf-deformer") != StringSeed("surf-deformer") {
+		t.Fatal("StringSeed not stable")
+	}
+	names := []string{"", "uf", "greedy", "exact", "simon-400-1000", "simon-900-1500",
+		"rca-225-500", "rca-729-100", "qft-25-160", "qft-100-20", "grover-9-80", "grover-16-2"}
+	seen := map[int64]string{}
+	for _, n := range names {
+		s := StringSeed(n)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("%q and %q collide", prev, n)
+		}
+		seen[s] = n
+	}
+}

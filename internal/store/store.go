@@ -1,0 +1,413 @@
+// Package store is the persistent, content-addressed result store behind
+// the experiment pipeline: an append-only JSONL file in which every line is
+// one committed segment of one Monte-Carlo point, keyed by a canonical hash
+// of the point's full configuration (lattice/defect generator parameters,
+// policy, noise, decoder, rounds, adaptive target, seed).
+//
+// The store exists so sweeps can resume and grow across sessions. Appends
+// are the only write operation, so an interrupted run never corrupts
+// earlier rows — at worst the final line is truncated, and Open tolerates
+// (and counts) unparsable lines instead of failing. Segments of the same
+// key accumulate: a session that needs more shots than the store holds
+// computes only the remainder under a fresh segment-derived RNG stream and
+// appends it, and Get merges all segments into one aggregate with the
+// Wilson confidence interval recomputed from the merged counts.
+//
+// Two invariants make merged rows statistically coherent (see DESIGN.md §7):
+// the configuration hash covers everything that fixes a point's RNG stream
+// family and physics, and every segment's stream is derived from the point
+// seed by a pure SplitMix64 chain (package mc), so rows written by
+// different sessions, worker counts, or resume orders are the same rows a
+// single uninterrupted run would have written.
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"surfdeformer/internal/mc"
+)
+
+// Row is one JSONL line: a committed segment of one point. Seq numbers the
+// segments of a key; segment 0 is the stream an uninterrupted storeless run
+// would use, so serving a completed point from the store reproduces that
+// run byte-for-byte.
+type Row struct {
+	Key  string `json:"key"`
+	Kind string `json:"kind,omitempty"`
+	Seq  int    `json:"seq"`
+	// Shots and Failures are this segment's committed Monte-Carlo counts
+	// (zero for trial-style rows whose whole result lives in Payload).
+	Shots    int `json:"shots,omitempty"`
+	Failures int `json:"failures,omitempty"`
+	// Complete marks the point as fully served at its configured budget or
+	// adaptive target; resume skips complete points without re-deriving
+	// budgets.
+	Complete bool `json:"complete,omitempty"`
+	// Config is the canonical point configuration (informational — the Key
+	// already commits to it; kept so store-ls output is self-describing).
+	Config json.RawMessage `json:"config,omitempty"`
+	// Payload carries experiment-specific results needed to replay the
+	// point without recomputation (per-basis counts, flags, rendered
+	// fields). For multi-segment keys the merge keeps the highest-Seq
+	// payload.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Point is the merged view of all segments of one key.
+type Point struct {
+	Key      string
+	Kind     string
+	Config   json.RawMessage
+	Shots    int
+	Failures int
+	// Rate, CILow and CIHigh are recomputed from the merged counts (95%
+	// Wilson score interval); meaningless when Shots == 0.
+	Rate, CILow, CIHigh float64
+	Complete            bool
+	Segments            int
+	NextSeq             int
+	Payload             json.RawMessage
+}
+
+func (p *Point) addRow(r Row) {
+	p.Kind = r.Kind
+	if len(r.Config) > 0 {
+		p.Config = r.Config
+	}
+	p.Shots += r.Shots
+	p.Failures += r.Failures
+	p.Complete = p.Complete || r.Complete
+	p.Segments++
+	if r.Seq >= p.NextSeq {
+		p.NextSeq = r.Seq + 1
+		if len(r.Payload) > 0 {
+			p.Payload = r.Payload
+		}
+	}
+	if p.Shots > 0 {
+		p.Rate = float64(p.Failures) / float64(p.Shots)
+		p.CILow, p.CIHigh = mc.WilsonInterval(p.Failures, p.Shots, mc.DefaultZ)
+	}
+}
+
+// Store is an open JSONL result store. It is safe for concurrent use; the
+// point-level worker pool appends from many goroutines.
+type Store struct {
+	mu        sync.Mutex
+	path      string
+	f         *os.File
+	points    map[string]*Point
+	seen      map[string]bool // key\x00seq dedup — identical segments replay identically
+	corrupted int
+}
+
+// Open reads (or creates) the store at path, merging every parsable row
+// into the in-memory index. Unparsable lines — a torn final append, stray
+// garbage — are tolerated and counted, never fatal: an append-only store
+// must survive its own interruptions.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{path: path, f: f, points: make(map[string]*Point), seen: make(map[string]bool)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r Row
+		if err := json.Unmarshal([]byte(line), &r); err != nil || r.Key == "" {
+			s.corrupted++
+			continue
+		}
+		s.index(r)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return s, nil
+}
+
+// index merges r into the in-memory view, dropping duplicate (key, seq)
+// rows: segment streams are deterministic, so a duplicate is a replay of
+// the same result, not new evidence.
+func (s *Store) index(r Row) bool {
+	id := r.Key + "\x00" + fmt.Sprint(r.Seq)
+	if s.seen[id] {
+		return false
+	}
+	s.seen[id] = true
+	p, ok := s.points[r.Key]
+	if !ok {
+		p = &Point{Key: r.Key}
+		s.points[r.Key] = p
+	}
+	p.addRow(r)
+	return true
+}
+
+// Get returns the merged view of key.
+func (s *Store) Get(key string) (Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.points[key]
+	if !ok {
+		return Point{}, false
+	}
+	return *p, true
+}
+
+// Append commits one segment row: one JSON line written and flushed before
+// the in-memory index is updated. Duplicate (key, seq) rows are ignored.
+func (s *Store) Append(r Row) error {
+	if r.Key == "" {
+		return fmt.Errorf("store: row has empty key")
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := r.Key + "\x00" + fmt.Sprint(r.Seq)
+	if s.seen[id] {
+		return nil
+	}
+	if _, err := s.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("store: appending to %s: %w", s.path, err)
+	}
+	s.index(r)
+	return nil
+}
+
+// Len returns the number of distinct points.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
+
+// Keys returns every point key in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.points))
+	for k := range s.points {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Corrupted reports how many unparsable lines Open tolerated.
+func (s *Store) Corrupted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.corrupted
+}
+
+// Path returns the backing file path.
+func (s *Store) Path() string { return s.path }
+
+// Close releases the backing file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// GC compacts the store in place: one merged row per key (summed counts,
+// highest-seq payload), corrupted lines dropped, written to a temp file
+// and atomically renamed over the original. The store stays open and
+// serves the compacted view afterwards.
+//
+// A compacted segment keeps the merged counts but no longer corresponds to
+// a single derivable RNG stream, so it still serves resume and still
+// merges with future growth segments. The compacted row keeps the
+// highest pre-compaction Seq — NOT 0 — so the segment-stream watermark
+// survives on disk: a later session that reopens the file and grows the
+// point must never reuse a stream index whose draws are already inside
+// the compacted counts (that would double-count correlated samples).
+func (s *Store) GC() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.points))
+	for k := range s.points {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	tmp, err := os.CreateTemp(dirOf(s.path), ".store-gc-*")
+	if err != nil {
+		return fmt.Errorf("store: gc: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	newPoints := make(map[string]*Point, len(keys))
+	newSeen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		p := s.points[k]
+		seq := p.NextSeq - 1
+		if seq < 0 {
+			seq = 0
+		}
+		row := Row{
+			Key: k, Kind: p.Kind, Seq: seq,
+			Shots: p.Shots, Failures: p.Failures,
+			Complete: p.Complete, Config: p.Config, Payload: p.Payload,
+		}
+		b, err := json.Marshal(row)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: gc: %w", err)
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: gc: %w", err)
+		}
+		np := &Point{Key: k}
+		np.addRow(row)
+		newPoints[k] = np
+		newSeen[k+"\x00"+fmt.Sprint(seq)] = true
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: gc: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: gc: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		return fmt.Errorf("store: gc: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: gc: reopening %s: %w", s.path, err)
+	}
+	s.f.Close()
+	s.f = f
+	s.points = newPoints
+	s.seen = newSeen
+	s.corrupted = 0
+	return nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return path[:i+1]
+		}
+	}
+	return "."
+}
+
+// Key computes the content address of a point configuration: the SHA-256
+// of the canonical JSON of (kind, config), hex-truncated to 128 bits.
+// Canonicalization recursively sorts object keys, so the hash is stable
+// under struct-field reordering and under any map iteration order; Go's
+// shortest-round-trip float formatting makes numeric fields stable across
+// runs. The config should describe the *generator* of the point — sizes,
+// rates, counts, policy and decoder names, seed, adaptive target — not
+// expanded artifacts derived from them.
+func Key(kind string, config any) (string, error) {
+	raw, err := json.Marshal(config)
+	if err != nil {
+		return "", fmt.Errorf("store: hashing config: %w", err)
+	}
+	canon, err := Canonicalize(raw)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.Sum256([]byte(kind + "\x00" + string(canon)))
+	return hex.EncodeToString(h[:16]), nil
+}
+
+// MustKey is Key for configurations known to marshal (plain structs of
+// scalars); it panics otherwise.
+func MustKey(kind string, config any) string {
+	k, err := Key(kind, config)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Canonicalize rewrites a JSON document into the canonical form hashed by
+// Key: object keys sorted, no insignificant whitespace, number literals
+// preserved verbatim.
+func Canonicalize(raw []byte) ([]byte, error) {
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("store: canonicalizing: %w", err)
+	}
+	var sb strings.Builder
+	if err := writeCanonical(&sb, v); err != nil {
+		return nil, err
+	}
+	return []byte(sb.String()), nil
+}
+
+func writeCanonical(sb *strings.Builder, v any) error {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			kb, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			sb.Write(kb)
+			sb.WriteByte(':')
+			if err := writeCanonical(sb, t[k]); err != nil {
+				return err
+			}
+		}
+		sb.WriteByte('}')
+	case []any:
+		sb.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if err := writeCanonical(sb, e); err != nil {
+				return err
+			}
+		}
+		sb.WriteByte(']')
+	case json.Number:
+		sb.WriteString(t.String())
+	default:
+		b, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		sb.Write(b)
+	}
+	return nil
+}
