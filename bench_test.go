@@ -25,6 +25,7 @@ import (
 	"surfdeformer/internal/noise"
 	"surfdeformer/internal/program"
 	"surfdeformer/internal/sim"
+	"surfdeformer/internal/traj"
 )
 
 func quickOpts(seed int64) experiments.Options {
@@ -187,6 +188,24 @@ func BenchmarkFig14b(b *testing.B) {
 	}
 	b.ReportMetric(precise, "precise-λ")
 	b.ReportMetric(imprecise, "imprecise-λ")
+}
+
+// BenchmarkTrajectory measures the closed-loop trajectory engine: one full
+// quick-scale trajectory (detect → deform → recover) per iteration, with
+// cycles/sec as the headline custom metric (tracked alongside the hot-path
+// numbers in BENCH_hotpath.json via cmd/bench).
+func BenchmarkTrajectory(b *testing.B) {
+	cfg := traj.QuickConfig()
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := traj.Run(cfg, traj.ModeSurfDeformer, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.ElapsedCycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
 }
 
 // ---------------------------------------------------------------------------

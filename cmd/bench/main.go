@@ -34,6 +34,7 @@ import (
 	"surfdeformer/internal/lattice"
 	"surfdeformer/internal/noise"
 	"surfdeformer/internal/sim"
+	"surfdeformer/internal/traj"
 )
 
 // Point is one measured configuration.
@@ -55,6 +56,17 @@ type EnginePoint struct {
 	NsShot   float64 `json:"ns_per_shot"`
 }
 
+// TrajPoint is one closed-loop trajectory-engine measurement: full
+// detect → deform → recover trajectories at quick scale, reported as
+// simulated QEC cycles per second.
+type TrajPoint struct {
+	D            int     `json:"d"`
+	Horizon      int64   `json:"horizon"`
+	Trajectories int     `json:"trajectories"`
+	CyclesSec    float64 `json:"cycles_per_sec"`
+	NsCycle      float64 `json:"ns_per_cycle"`
+}
+
 // Run is one full harness invocation.
 type Run struct {
 	Label  string        `json:"label"`
@@ -62,6 +74,7 @@ type Run struct {
 	CPU    int           `json:"num_cpu"`
 	Points []Point       `json:"points"`
 	Engine []EnginePoint `json:"engine,omitempty"`
+	Traj   []TrajPoint   `json:"trajectory,omitempty"`
 }
 
 // File is the on-disk schema of BENCH_hotpath.json.
@@ -83,6 +96,7 @@ func main() {
 	label := flag.String("label", "", "run label recorded in the file")
 	asBaseline := flag.Bool("as-baseline", false, "write the baseline slot instead of current")
 	engine := flag.Bool("engine", true, "also measure the mc engine batch path")
+	trajN := flag.Int("traj", 8, "closed-loop trajectories to time (0 disables)")
 	flag.Parse()
 
 	ds, err := cliutil.ParseInts(*dArg)
@@ -115,6 +129,15 @@ func main() {
 			fmt.Printf("d=%-3d engine (workers=all)   %12.0f shots/sec  %9.0f ns/shot\n",
 				ep.D, ep.ShotsSec, ep.NsShot)
 		}
+	}
+	if *trajN > 0 {
+		tp, err := measureTraj(*trajN)
+		if err != nil {
+			fatal(err)
+		}
+		run.Traj = append(run.Traj, tp)
+		fmt.Printf("traj d=%-3d horizon=%-5d      %12.0f cycles/sec %9.0f ns/cycle\n",
+			tp.D, tp.Horizon, tp.CyclesSec, tp.NsCycle)
 	}
 	if *out == "" {
 		return
@@ -223,6 +246,32 @@ func measureEngine(d int, p float64, rounds, shots int) (EnginePoint, error) {
 		D: d, Shots: res.Shots,
 		ShotsSec: float64(res.Shots) / elapsed.Seconds(),
 		NsShot:   float64(elapsed.Nanoseconds()) / float64(res.Shots),
+	}, nil
+}
+
+// measureTraj times the closed-loop trajectory engine: n quick-scale
+// Surf-Deformer trajectories on a private DEM cache (one warm-up trajectory
+// amortizes nothing across runs, matching a cold scan start).
+func measureTraj(n int) (TrajPoint, error) {
+	cfg := traj.QuickConfig()
+	cfg.Cache = sim.NewDEMCache(0)
+	if _, err := traj.Run(cfg, traj.ModeSurfDeformer, 1); err != nil {
+		return TrajPoint{}, err
+	}
+	var cycles int64
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		res, err := traj.Run(cfg, traj.ModeSurfDeformer, int64(i+1))
+		if err != nil {
+			return TrajPoint{}, err
+		}
+		cycles += res.ElapsedCycles
+	}
+	elapsed := time.Since(start)
+	return TrajPoint{
+		D: cfg.D, Horizon: cfg.Horizon, Trajectories: n,
+		CyclesSec: float64(cycles) / elapsed.Seconds(),
+		NsCycle:   float64(elapsed.Nanoseconds()) / float64(cycles),
 	}, nil
 }
 

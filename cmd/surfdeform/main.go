@@ -6,7 +6,7 @@
 //	surfdeform [flags] <experiment>
 //
 // Experiments: table1, table2, fig11a, fig11b, fig11c, fig12, fig13a,
-// fig13b, fig14a, fig14b, sweep, pipeline, calibrate, all.
+// fig13b, fig14a, fig14b, sweep, traj, pipeline, calibrate, all.
 //
 // Flags tune the Monte-Carlo budget; -quick shrinks every sweep to smoke-
 // test scale. Grid experiments run their points concurrently with
@@ -56,6 +56,18 @@ func main() {
 		q.FitLosses = opt.FitLosses
 		q.PointWorkers = opt.PointWorkers
 		q.Resume = opt.Resume
+		// Explicitly-set budget flags survive the quick preset, so smoke
+		// runs can still size themselves (e.g. -quick -trials 2 traj).
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "shots":
+				q.Shots = opt.Shots
+			case "trials":
+				q.Trials = opt.Trials
+			case "rounds":
+				q.Rounds = opt.Rounds
+			}
+		})
 		opt = q
 	}
 	if *storePath != "" {
@@ -200,6 +212,17 @@ func run(name string, opt experiments.Options, format report.Format, targetRSE f
 		} else if err := structured(experiments.SweepTable(rows)); err != nil {
 			return err
 		}
+	case "traj":
+		cfg := experiments.DefaultTrajConfig(opt)
+		rows, err := experiments.TrajectoryScan(opt, cfg, experiments.DefaultTrajModes())
+		if err != nil {
+			return err
+		}
+		if textOnly {
+			experiments.RenderTraj(w, cfg.Horizon, rows)
+		} else if err := structured(experiments.TrajTable(rows)); err != nil {
+			return err
+		}
 	case "pipeline":
 		res, err := experiments.DetectionPipeline(opt)
 		if err != nil {
@@ -265,6 +288,9 @@ experiments:
   fig14a    robustness to correlated two-qubit errors
   fig14b    robustness to imprecise defect detection
   sweep     (d, #defects, policy) post-removal error-rate grid
+  traj      closed-loop trajectories: detect → deform → recover over
+            thousands of cycles with stochastic defect arrivals
+            (-trials trajectories per arm; supports -store/-resume)
   pipeline  integrated detection→deformation loop (extension study)
   calibrate refit the Λ extrapolation model from simulations
   all       everything above`)

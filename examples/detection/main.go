@@ -1,8 +1,13 @@
-// Detection demonstrates the full runtime loop of the paper's fig. 5 with a
-// real statistical defect detector instead of an oracle: a cosmic-ray
-// strike lands mid-run, the sliding-window detector localizes it from the
-// syndrome stream alone, and the code deformation unit mitigates the
-// detected region.
+// Detection demonstrates the closed runtime loop of the paper's fig. 5 at
+// trajectory scale: a logical patch lives through hundreds of QEC cycles
+// while cosmic-ray strikes, leakage events and error drift arrive
+// stochastically. The sliding-window detector localizes each severe defect
+// from the syndrome stream alone, the code deformation unit removes the
+// region and restores distance within the Δd reserve, and — when the defect
+// subsides — the unit re-incorporates the recovered qubits and shrinks
+// back. Three arms run the identical defect timelines: Surf-Deformer, the
+// ASC-S policy (removal only, no enlargement), and an untreated baseline
+// whose decoder keeps its nominal priors.
 //
 //	go run ./examples/detection
 package main
@@ -10,28 +15,36 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"surfdeformer/internal/experiments"
+	"surfdeformer/internal/traj"
 )
 
 func main() {
-	opt := experiments.Defaults()
-	opt.Trials = 30
-	fmt.Println("integrated detection → deformation loop (d=9, strike at round 6):")
-	fmt.Println()
-	res, err := experiments.DetectionPipeline(opt)
+	opt := experiments.QuickOptions()
+	opt.Trials = 8       // trajectories per arm
+	opt.PointWorkers = 4 // never changes results, only wall clock
+	cfg := traj.QuickConfig()
+
+	fmt.Printf("closed-loop trajectories: d=%d patch, %d cycles, %d trajectories per arm\n",
+		cfg.D, cfg.Horizon, opt.Trials)
+	fmt.Printf("defect processes: cosmic strikes (~50%% regions), leakage (~25%% neighbourhoods), drift (10×p)\n\n")
+
+	rows, err := experiments.TrajectoryScan(opt, cfg, experiments.DefaultTrajModes())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  trials:                 %d\n", res.Trials)
-	fmt.Printf("  strikes detected:       %d (%.0f%%)\n", res.Detected,
-		100*float64(res.Detected)/float64(res.Trials))
-	fmt.Printf("  detection latency:      %.1f rounds after onset\n", res.DetectionLatency)
-	fmt.Printf("  region recall:          %.2f\n", res.Recall)
-	fmt.Printf("  region precision:       %.2f\n", res.Precision)
-	fmt.Printf("  distance after repair:  %.2f (target 9)\n", res.DistanceAfter)
+	experiments.RenderTraj(os.Stdout, cfg.Horizon, rows)
+
 	fmt.Println()
-	fmt.Println("the window detector needs no hardware support: a region erroring at 50%")
-	fmt.Println("fires its checks nearly every round, so a rate threshold over a sliding")
-	fmt.Println("window of syndrome history localizes it within roughly one window length.")
+	fmt.Println("reading the table: the three arms face identical defect timelines (paired")
+	fmt.Println("seeds), so differences are policy. The untreated arm pays for every active")
+	fmt.Println("defect with logical failures (fail/1k); the treated arms detect regions")
+	fmt.Println("within one-two window lengths (latency, in cycles) and deform. At this toy")
+	fmt.Println("scale — d=5 against 5-site strikes — removal often severs the patch for")
+	fmt.Println("either policy, and only Surf-Deformer ever grows (blocked%). Run the")
+	fmt.Println("representative comparison at d=9 with:")
+	fmt.Println()
+	fmt.Println("    go run ./cmd/surfdeform -trials 50 -point-workers 8 traj")
 }

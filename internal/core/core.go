@@ -74,9 +74,16 @@ func (f *Framework) Compile(prog *program.Program) (*Plan, error) {
 // NewUnit instantiates the runtime code deformation unit for patch i of the
 // plan's layout, budgeted with the plan's Δd growth reserve.
 func (p *Plan) NewUnit(i int) *deform.Unit {
+	return p.NewUnitWith(i, deform.PolicySurfDeformer, deform.UniformBudget(p.DeltaD))
+}
+
+// NewUnitWith instantiates patch i's deformation unit under an explicit
+// removal policy and growth budget — the hook comparative studies (ASC-S
+// versus Surf-Deformer on the same layout) use to run the runtime loop with
+// a different mitigation strategy per arm.
+func (p *Plan) NewUnitWith(i int, policy deform.Policy, budget deform.Budget) *deform.Unit {
 	origin := p.Layout.PatchOrigin(i)
-	return deform.NewUnit(origin, p.D, p.D, deform.PolicySurfDeformer,
-		deform.UniformBudget(p.DeltaD))
+	return deform.NewUnit(origin, p.D, p.D, policy, budget)
 }
 
 // UnitAt builds a standalone deformation unit for a d×d patch at origin —

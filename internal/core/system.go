@@ -20,12 +20,18 @@ type System struct {
 
 // NewSystem instantiates the runtime for all patches of the plan.
 func (p *Plan) NewSystem() *System {
+	return p.NewSystemWith(deform.PolicySurfDeformer, deform.UniformBudget(p.DeltaD))
+}
+
+// NewSystemWith instantiates the runtime with every patch's unit under an
+// explicit removal policy and growth budget (see Plan.NewUnitWith).
+func (p *Plan) NewSystemWith(policy deform.Policy, budget deform.Budget) *System {
 	s := &System{plan: p}
 	n := p.Layout.N
 	s.units = make([]*deform.Unit, n)
 	s.blocked = make([]bool, n)
 	for i := 0; i < n; i++ {
-		s.units[i] = p.NewUnit(i)
+		s.units[i] = p.NewUnitWith(i, policy, budget)
 	}
 	return s
 }

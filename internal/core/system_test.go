@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/layout"
 	"surfdeformer/internal/program"
 	"surfdeformer/internal/route"
 )
@@ -70,6 +71,60 @@ func TestSystemGridReflectsBlockage(t *testing.T) {
 	routed := g.RoutePaths(pending, rng)
 	if len(pending) > 0 && len(routed) == 0 {
 		t.Error("unblocked endpoints should remain routable")
+	}
+}
+
+// TestUpdateBlockedBoundary pins the layout-reserve semantics of the
+// channel bookkeeping: a patch blocks its channels exactly when its growth
+// exceeds Δd layers on some side. One grown layer moves the bounding box by
+// 2 in doubled coordinates, so the thresholds are 2·reserve.
+func TestUpdateBlockedBoundary(t *testing.T) {
+	const d, deltaD = 5, 2
+	cases := []struct {
+		name    string
+		layers  map[lattice.Side]int
+		blocked bool
+	}{
+		{"no growth", nil, false},
+		{"one layer right", map[lattice.Side]int{lattice.Right: 1}, false},
+		{"exactly reserve right", map[lattice.Side]int{lattice.Right: deltaD}, false},
+		{"exactly reserve left", map[lattice.Side]int{lattice.Left: deltaD}, false},
+		{"exactly reserve top", map[lattice.Side]int{lattice.Top: deltaD}, false},
+		{"exactly reserve bottom", map[lattice.Side]int{lattice.Bottom: deltaD}, false},
+		{"reserve+1 right", map[lattice.Side]int{lattice.Right: deltaD + 1}, true},
+		{"reserve+1 left", map[lattice.Side]int{lattice.Left: deltaD + 1}, true},
+		{"reserve+1 top", map[lattice.Side]int{lattice.Top: deltaD + 1}, true},
+		{"reserve+1 bottom", map[lattice.Side]int{lattice.Bottom: deltaD + 1}, true},
+		// The reserve is per side: full growth on two opposite sides still
+		// fits each side's own channel allowance.
+		{"reserve on both columns", map[lattice.Side]int{lattice.Left: deltaD, lattice.Right: deltaD}, false},
+		{"reserve everywhere", map[lattice.Side]int{
+			lattice.Left: deltaD, lattice.Right: deltaD, lattice.Top: deltaD, lattice.Bottom: deltaD}, false},
+		{"one side over among many", map[lattice.Side]int{
+			lattice.Left: deltaD, lattice.Right: deltaD, lattice.Top: deltaD + 1}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := &Plan{D: d, DeltaD: deltaD, Layout: layout.New(layout.SurfDeformer, 2, d, deltaD)}
+			sys := plan.NewSystem()
+			spec := sys.units[0].Spec()
+			for side, n := range tc.layers {
+				if n > 0 {
+					if err := spec.PatchQADD(side, n); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			sys.updateBlocked(0)
+			if got := sys.Blocked(0); got != tc.blocked {
+				t.Errorf("growth %v: blocked = %v, want %v", tc.layers, got, tc.blocked)
+			}
+			// The untouched sibling patch never blocks.
+			sys.updateBlocked(1)
+			if sys.Blocked(1) {
+				t.Error("pristine patch reported blocked")
+			}
+		})
 	}
 }
 

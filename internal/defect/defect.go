@@ -97,9 +97,9 @@ type Sampler struct {
 	max   lattice.Coord
 }
 
-// NewSampler prepares a sampler over the physical sites of a patch
-// bounding box (all data and syndrome positions within min..max).
-func NewSampler(model *Model, min, max lattice.Coord) *Sampler {
+// Sites lists the physical sites (data and syndrome positions) of a patch
+// bounding box, in row-major order.
+func Sites(min, max lattice.Coord) []lattice.Coord {
 	var sites []lattice.Coord
 	for r := min.Row; r <= max.Row; r++ {
 		for c := min.Col; c <= max.Col; c++ {
@@ -109,7 +109,13 @@ func NewSampler(model *Model, min, max lattice.Coord) *Sampler {
 			}
 		}
 	}
-	return &Sampler{model: model, sites: sites, min: min, max: max}
+	return sites
+}
+
+// NewSampler prepares a sampler over the physical sites of a patch
+// bounding box (all data and syndrome positions within min..max).
+func NewSampler(model *Model, min, max lattice.Coord) *Sampler {
+	return &Sampler{model: model, sites: Sites(min, max), min: min, max: max}
 }
 
 // NumSites returns how many physical sites the sampler covers.
@@ -159,6 +165,13 @@ func ActiveAt(events []Event, cycle int64) []lattice.Coord {
 	return out
 }
 
+// maxPoisson caps the normal-approximation branch of poisson. No modeled
+// process draws anywhere near this many events; the cap exists so that a
+// huge or infinite λ cannot push the float→int conversion out of range
+// (which is implementation-defined in Go and lands on negative values on
+// amd64) and feed a nonsense count to callers sizing slices from it.
+const maxPoisson = math.MaxInt32
+
 // poisson samples a Poisson variate by inversion (small λ) or the
 // normal approximation (large λ).
 func poisson(lambda float64, rng *rand.Rand) int {
@@ -166,11 +179,17 @@ func poisson(lambda float64, rng *rand.Rand) int {
 		return 0
 	}
 	if lambda > 30 {
-		n := int(math.Round(rng.NormFloat64()*math.Sqrt(lambda) + lambda))
-		if n < 0 {
-			return 0
+		if lambda > maxPoisson {
+			lambda = maxPoisson // also forces λ = +Inf onto a finite draw
 		}
-		return n
+		x := math.Round(rng.NormFloat64()*math.Sqrt(lambda) + lambda)
+		switch {
+		case x < 0:
+			return 0
+		case x > maxPoisson:
+			return maxPoisson
+		}
+		return int(x)
 	}
 	l := math.Exp(-lambda)
 	k, p := 0, 1.0
@@ -186,15 +205,7 @@ func poisson(lambda float64, rng *rand.Rand) int {
 // StaticFaults samples k distinct faulty physical sites uniformly over a
 // patch — the static fabrication-fault model of the yield study (fig. 13b).
 func StaticFaults(min, max lattice.Coord, k int, rng *rand.Rand) []lattice.Coord {
-	var sites []lattice.Coord
-	for r := min.Row; r <= max.Row; r++ {
-		for c := min.Col; c <= max.Col; c++ {
-			q := lattice.Coord{Row: r, Col: c}
-			if q.IsData() || q.IsCheck() {
-				sites = append(sites, q)
-			}
-		}
-	}
+	sites := Sites(min, max)
 	rng.Shuffle(len(sites), func(i, j int) { sites[i], sites[j] = sites[j], sites[i] })
 	if k > len(sites) {
 		k = len(sites)

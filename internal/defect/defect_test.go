@@ -86,6 +86,121 @@ func TestActiveAt(t *testing.T) {
 	}
 }
 
+// TestActiveAtEndCycleExclusive pins the [StartCycle, EndCycle) contract the
+// trajectory engine's epoch boundaries rely on: an event is active at its
+// start cycle and inactive at its end cycle.
+func TestActiveAtEndCycleExclusive(t *testing.T) {
+	events := []Event{
+		{StartCycle: 100, EndCycle: 200, Region: []lattice.Coord{{Row: 1, Col: 1}}},
+	}
+	cases := []struct {
+		cycle int64
+		want  int
+	}{
+		{99, 0},  // one before start: inactive
+		{100, 1}, // start cycle: active (inclusive)
+		{199, 1}, // last active cycle
+		{200, 0}, // end cycle: inactive (exclusive)
+		{201, 0},
+	}
+	for _, c := range cases {
+		if got := ActiveAt(events, c.cycle); len(got) != c.want {
+			t.Errorf("ActiveAt(%d) = %v, want %d site(s)", c.cycle, got, c.want)
+		}
+	}
+}
+
+// TestActiveAtOverlapUnion pins that overlapping events report the union of
+// their regions with shared sites deduplicated and the result sorted.
+func TestActiveAtOverlapUnion(t *testing.T) {
+	shared := lattice.Coord{Row: 3, Col: 3}
+	events := []Event{
+		{StartCycle: 0, EndCycle: 100, Region: []lattice.Coord{{Row: 1, Col: 1}, shared}},
+		{StartCycle: 50, EndCycle: 150, Region: []lattice.Coord{shared, {Row: 5, Col: 5}}},
+	}
+	got := ActiveAt(events, 75)
+	want := []lattice.Coord{{Row: 1, Col: 1}, shared, {Row: 5, Col: 5}}
+	if len(got) != len(want) {
+		t.Fatalf("union = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("union = %v, want %v (sorted, deduplicated)", got, want)
+		}
+	}
+	// Outside the overlap only one event contributes.
+	if got := ActiveAt(events, 120); len(got) != 2 {
+		t.Errorf("ActiveAt(120) = %v, want the 2 sites of the second event", got)
+	}
+}
+
+// TestPoissonDeterministic pins that the sampler is a pure function of the
+// RNG stream in both branches (inversion and normal approximation).
+func TestPoissonDeterministic(t *testing.T) {
+	lambdas := []float64{0.5, 5, 29.9, 30.1, 100, 1e4}
+	draw := func() []int {
+		rng := rand.New(rand.NewSource(7))
+		var out []int
+		for _, l := range lambdas {
+			for i := 0; i < 8; i++ {
+				out = append(out, poisson(l, rng))
+			}
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identical streams: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPoissonMoments sanity-checks mean and variance in both branches:
+// Poisson(λ) has mean λ and variance λ.
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, lambda := range []float64{5, 100} {
+		const n = 20000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := float64(poisson(lambda, rng))
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		// Standard error of the mean is sqrt(λ/n); allow 5σ.
+		if tol := 5 * math.Sqrt(lambda/n); math.Abs(mean-lambda) > tol {
+			t.Errorf("λ=%g: mean %.3f outside %g±%.3f", lambda, mean, lambda, tol)
+		}
+		if variance < 0.8*lambda || variance > 1.2*lambda {
+			t.Errorf("λ=%g: variance %.3f, want ≈%g", lambda, variance, lambda)
+		}
+	}
+}
+
+// TestPoissonHugeLambda pins the overflow guard: astronomically large (and
+// infinite) λ must clamp to a sane non-negative count instead of riding the
+// implementation-defined float→int conversion into negative values.
+func TestPoissonHugeLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, lambda := range []float64{1e12, 1e18, 1e300, math.Inf(1)} {
+		for i := 0; i < 32; i++ {
+			n := poisson(lambda, rng)
+			if n < 0 {
+				t.Fatalf("poisson(%g) = %d, want non-negative", lambda, n)
+			}
+			if n > maxPoisson {
+				t.Fatalf("poisson(%g) = %d exceeds cap %d", lambda, n, maxPoisson)
+			}
+			if lambda >= 1e12 && n == 0 {
+				t.Fatalf("poisson(%g) = 0; huge λ must clamp high, not collapse", lambda)
+			}
+		}
+	}
+}
+
 func TestStaticFaults(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	min, max := lattice.Coord{Row: 0, Col: 0}, lattice.Coord{Row: 10, Col: 10}

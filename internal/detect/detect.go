@@ -11,6 +11,7 @@ package detect
 
 import (
 	"math/rand"
+	"slices"
 
 	"surfdeformer/internal/lattice"
 )
@@ -43,6 +44,8 @@ type Window struct {
 
 	history map[int32][]int // per observable: recent firing rounds
 	current int
+	first   int  // first round ever fed (for the warm-up window length)
+	started bool // whether any round has been fed yet
 }
 
 // NewWindow creates a detector with the given window length and rate
@@ -55,19 +58,52 @@ func NewWindow(rounds int, threshold float64) *Window {
 }
 
 // Feed records the observables that fired (produced a detection event) in
-// the given round. Rounds must be fed in non-decreasing order.
+// the given round. Rounds must be fed in non-decreasing order; a feed for a
+// round earlier than the latest one violates the contract and is ignored.
+// Feeding the same (round, observable) pair twice is idempotent, so replayed
+// or merged streams cannot inflate window rates past 1.
 func (w *Window) Feed(round int, fired []int32) {
-	if round > w.current {
+	if !w.started {
+		w.started = true
+		w.first = round
 		w.current = round
 	}
+	if round < w.current {
+		return // decreasing round: contract violation, ignore
+	}
+	w.current = round
 	for _, o := range fired {
+		if h := w.history[o]; len(h) > 0 && h[len(h)-1] == round {
+			continue // duplicate (round, observable) feed
+		}
 		w.history[o] = append(w.history[o], round)
 	}
 }
 
+// effectiveRounds returns the number of rounds actually inside the trailing
+// window: the configured length once the stream has warmed up, the number of
+// rounds fed so far before that. Using the configured length during warm-up
+// would demand threshold·rounds absolute firings from however few rounds
+// have elapsed, inflating the detection latency of early-stream defects.
+func (w *Window) effectiveRounds() int {
+	if !w.started {
+		return 0
+	}
+	if have := w.current - w.first + 1; have < w.rounds {
+		return have
+	}
+	return w.rounds
+}
+
 // Flagged returns the observables whose event rate inside the trailing
-// window exceeds the threshold.
+// window exceeds the threshold. The rate denominator is the effective window
+// length, so defects striking before one full window has elapsed are judged
+// by the same rate criterion as late ones.
 func (w *Window) Flagged() []int32 {
+	eff := w.effectiveRounds()
+	if eff == 0 {
+		return nil
+	}
 	lo := w.current - w.rounds + 1
 	var out []int32
 	for o, rounds := range w.history {
@@ -77,11 +113,11 @@ func (w *Window) Flagged() []int32 {
 				n++
 			}
 		}
-		if float64(n) >= w.threshold*float64(w.rounds) {
+		if float64(n) >= w.threshold*float64(eff) {
 			out = append(out, o)
 		}
 	}
-	sortInt32(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -101,13 +137,5 @@ func (w *Window) Trim() {
 			continue
 		}
 		w.history[o] = keep
-	}
-}
-
-func sortInt32(a []int32) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
 	}
 }

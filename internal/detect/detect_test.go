@@ -80,6 +80,101 @@ func TestWindowSeparatesDefects(t *testing.T) {
 	}
 }
 
+// TestWindowWarmup pins the warm-up fix: before one full window has
+// elapsed, the firing-rate denominator is the number of rounds actually
+// fed, not the configured window length — an early-stream defect firing at
+// 100% must be flagged even though its absolute firing count is far below
+// threshold·rounds.
+func TestWindowWarmup(t *testing.T) {
+	w := NewWindow(20, 0.5)
+	for round := 0; round < 6; round++ {
+		w.Feed(round, []int32{3})
+	}
+	// 6 firings in 6 rounds: rate 1.0. The pre-fix denominator of 20 rounds
+	// demanded 10 absolute firings and left this unflagged.
+	flagged := w.Flagged()
+	if len(flagged) != 1 || flagged[0] != 3 {
+		t.Fatalf("100%%-firing early-stream observable not flagged during warm-up: got %v", flagged)
+	}
+
+	// A healthy observable with one firing in the same warm-up stretch must
+	// stay below a 50% rate threshold.
+	w2 := NewWindow(20, 0.5)
+	w2.Feed(0, []int32{4})
+	for round := 1; round < 6; round++ {
+		w2.Feed(round, nil)
+	}
+	if got := w2.Flagged(); len(got) != 0 {
+		t.Errorf("single warm-up firing flagged: %v", got)
+	}
+
+	// Once a full window has elapsed the denominator is the configured
+	// length again: 6 firings inside a 20-round window at threshold 0.5 do
+	// not flag.
+	w3 := NewWindow(20, 0.5)
+	for round := 0; round < 40; round++ {
+		var fired []int32
+		if round >= 34 {
+			fired = []int32{5}
+		}
+		w3.Feed(round, fired)
+	}
+	if got := w3.Flagged(); len(got) != 0 {
+		t.Errorf("6/20 rate flagged at threshold 0.5 after warm-up: %v", got)
+	}
+}
+
+// TestWindowFeedIdempotent pins the duplicate-feed fix: re-feeding the same
+// (round, observable) pair must not double-count, so window rates can never
+// exceed 1.0 and trimmed history cannot be re-inflated.
+func TestWindowFeedIdempotent(t *testing.T) {
+	w := NewWindow(4, 0.9)
+	for round := 0; round < 8; round++ {
+		w.Feed(round, []int32{1})
+		w.Feed(round, []int32{1}) // duplicate feed of the same round
+	}
+	if got := len(w.history[1]); got != 8 {
+		t.Errorf("history holds %d entries after duplicate feeds, want 8", got)
+	}
+	// Rate is exactly 1.0 (4 firings in a 4-round window), not 2.0.
+	lo := w.current - w.rounds + 1
+	n := 0
+	for _, r := range w.history[1] {
+		if r >= lo {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Errorf("window firing count %d, want 4", n)
+	}
+
+	// Duplicate feeds after a Trim must not re-append the current round.
+	w.Trim()
+	w.Feed(7, []int32{1})
+	if got := len(w.history[1]); got != 4 {
+		t.Errorf("history holds %d entries after post-Trim duplicate feed, want 4", got)
+	}
+}
+
+// TestWindowRejectsDecreasingRounds pins the documented contract: rounds
+// must be fed in non-decreasing order, and a decreasing feed is ignored
+// rather than corrupting the window state.
+func TestWindowRejectsDecreasingRounds(t *testing.T) {
+	w := NewWindow(5, 0.5)
+	w.Feed(10, []int32{2})
+	w.Feed(4, []int32{7}) // decreasing: ignored
+	if w.current != 10 {
+		t.Errorf("current round %d after decreasing feed, want 10", w.current)
+	}
+	if len(w.history[7]) != 0 {
+		t.Errorf("decreasing feed recorded history: %v", w.history[7])
+	}
+	w.Feed(10, []int32{9}) // equal round is fine
+	if len(w.history[9]) != 1 {
+		t.Errorf("equal-round feed not recorded")
+	}
+}
+
 func TestWindowTrim(t *testing.T) {
 	w := NewWindow(5, 0.5)
 	for round := 0; round < 30; round++ {

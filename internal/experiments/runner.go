@@ -29,6 +29,7 @@ const (
 	kindPipeline int64 = -11
 	kindSweep    int64 = -12
 	kindFit      int64 = -13
+	kindTraj     int64 = -14
 )
 
 // pointSeed derives the deterministic seed of one grid point.

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"surfdeformer/internal/report"
+	"surfdeformer/internal/traj"
+)
+
+// The trajectory scan is the first workload where deformation, detection,
+// and the Monte-Carlo machinery run together at scale: every (mode,
+// trajectory) pair is an independent closed-loop simulation fanned out over
+// the point-level worker pool, committed to the persistent store as a whole
+// row, and aggregated into per-arm comparison rows. Per-trajectory seeds
+// derive from (Options.Seed, kindTraj, trajectory index) — deliberately
+// without the mode, so every arm faces the identical defect timelines (a
+// paired comparison). The scan is bit-identical for any PointWorkers value
+// and byte-identical on resume after interruption (the trajectory index — not the shot budget —
+// is the accumulating dimension: raising Options.Trials computes only the
+// new indices).
+
+// DefaultTrajModes lists the arms every scan compares.
+func DefaultTrajModes() []traj.Mode {
+	return []traj.Mode{traj.ModeSurfDeformer, traj.ModeASC, traj.ModeUntreated}
+}
+
+// DefaultTrajConfig returns the scan scenario at Options scale.
+func DefaultTrajConfig(opt Options) traj.Config {
+	if opt.Quick {
+		return traj.QuickConfig()
+	}
+	return traj.DefaultConfig(9)
+}
+
+// trajTaskConfig is the store identity of one trajectory: the full scenario
+// generator (everything that fixes the event timeline and shot streams)
+// plus the arm and the trajectory index. The trajectory count is
+// deliberately absent — it is the accumulating dimension.
+type trajTaskConfig struct {
+	D            int     `json:"d"`
+	DeltaD       int     `json:"delta_d"`
+	Horizon      int64   `json:"horizon"`
+	ChunkRounds  int     `json:"chunk_rounds"`
+	Window       int     `json:"window"`
+	Threshold    float64 `json:"threshold"`
+	PhysicalRate float64 `json:"p"`
+	Basis        int     `json:"basis"`
+
+	CosmicRate     float64 `json:"cosmic_rate,omitempty"`
+	CosmicDuration int     `json:"cosmic_duration,omitempty"`
+	CosmicRadius   int     `json:"cosmic_radius,omitempty"`
+	CosmicError    float64 `json:"cosmic_error,omitempty"`
+	LeakRate       float64 `json:"leak_rate,omitempty"`
+	LeakDuration   int     `json:"leak_duration,omitempty"`
+	LeakNeighbour  float64 `json:"leak_neighbour,omitempty"`
+	DriftRate      float64 `json:"drift_rate,omitempty"`
+	DriftMult      float64 `json:"drift_mult,omitempty"`
+	DriftDuration  int     `json:"drift_duration,omitempty"`
+
+	Mode string `json:"mode"`
+	Traj int    `json:"traj"`
+	Seed int64  `json:"seed"`
+}
+
+func taskConfig(cfg traj.Config, mode traj.Mode, j int, seed int64) trajTaskConfig {
+	tc := trajTaskConfig{
+		D: cfg.D, DeltaD: cfg.DeltaD, Horizon: cfg.Horizon,
+		ChunkRounds: cfg.ChunkRounds, Window: cfg.Window, Threshold: cfg.Threshold,
+		PhysicalRate: cfg.PhysicalRate, Basis: int(cfg.Basis),
+		Mode: mode.String(), Traj: j, Seed: seed,
+	}
+	if m := cfg.Cosmic; m != nil {
+		tc.CosmicRate, tc.CosmicDuration = m.RatePerQubit, m.DurationCycles
+		tc.CosmicRadius, tc.CosmicError = m.Radius, m.ErrorRate
+	}
+	if m := cfg.Leakage; m != nil {
+		tc.LeakRate, tc.LeakDuration, tc.LeakNeighbour = m.RatePerQubit, m.MeanDurationCycles, m.NeighbourRate
+	}
+	if m := cfg.Drift; m != nil {
+		tc.DriftRate, tc.DriftMult, tc.DriftDuration = m.RatePerQubit, m.Multiplier, m.MeanDurationCycles
+	}
+	return tc
+}
+
+// TrajRow aggregates one arm of a trajectory scan.
+type TrajRow struct {
+	Mode         string
+	Trajectories int
+	// Survival is the fraction of trajectories without a logical failure by
+	// each quarter of the horizon (T/4, T/2, 3T/4, T).
+	Survival [4]float64
+	// DetectedFrac is the detected fraction of removable defect events;
+	// MeanLatency the mean onset→flag latency in cycles over detected ones
+	// (-1 when nothing was detected).
+	DetectedFrac float64
+	MeanLatency  float64
+	// MeanDeformations and MeanRecoveries count closed-loop actions per
+	// trajectory; Severed counts trajectories whose patch disconnected.
+	MeanDeformations float64
+	MeanRecoveries   float64
+	Severed          int
+	// BlockedFrac is the fraction of patch-cycles with blocked channels;
+	// MeanDistance the time-weighted mean of min(dX, dZ);
+	// FailuresPer1k the failure rate per 1000 scored cycles.
+	BlockedFrac   float64
+	MeanDistance  float64
+	FailuresPer1k float64
+}
+
+// TrajectoryScan runs Options.Trials closed-loop trajectories per mode and
+// aggregates them into one comparison row per arm. See the package comment
+// of internal/traj for the simulation model and the block comment above for
+// the determinism and resume contract.
+func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow, error) {
+	if len(modes) == 0 {
+		modes = DefaultTrajModes()
+	}
+	n := len(modes) * opt.Trials
+	results := make([]traj.Result, n)
+	err := opt.forEachPoint(n, func(i int) error {
+		mode := modes[i/opt.Trials]
+		j := i % opt.Trials
+		// The seed is shared across modes on purpose: trajectory j of every
+		// arm draws the identical defect timeline, so arm differences are
+		// policy, not timeline sampling noise (a paired comparison).
+		seed := opt.pointSeed(kindTraj, int64(j))
+		res, err := cachedRow(opt, "traj", taskConfig(cfg, mode, j, opt.Seed), func() (traj.Result, error) {
+			r, err := traj.Run(cfg, mode, seed)
+			if err != nil {
+				return traj.Result{}, err
+			}
+			return *r, nil
+		})
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]TrajRow, len(modes))
+	for mi, mode := range modes {
+		row := TrajRow{Mode: mode.String(), Trajectories: opt.Trials}
+		var latency, detected, removable int64
+		var deforms, recovers, failures int
+		var blocked, distance, elapsed, scored int64
+		for j := 0; j < opt.Trials; j++ {
+			r := results[mi*opt.Trials+j]
+			for q := 0; q < 4; q++ {
+				cp := cfg.Horizon * int64(q+1) / 4
+				// A severed trajectory always carries a FirstFailCycle, so
+				// this covers both failure kinds.
+				if r.FirstFailCycle < 0 || r.FirstFailCycle > cp {
+					row.Survival[q]++
+				}
+			}
+			removable += int64(r.RemoveEvents)
+			detected += int64(r.Detected)
+			latency += r.LatencyCycles
+			deforms += r.Deformations
+			recovers += r.Recoveries
+			failures += r.Failures
+			blocked += r.BlockedCycles
+			distance += r.DistanceCycles
+			elapsed += r.ElapsedCycles
+			scored += r.ScoredCycles
+			if r.Severed {
+				row.Severed++
+			}
+		}
+		trials := float64(opt.Trials)
+		for q := range row.Survival {
+			row.Survival[q] /= trials
+		}
+		if removable > 0 {
+			row.DetectedFrac = float64(detected) / float64(removable)
+		}
+		row.MeanLatency = -1
+		if detected > 0 {
+			row.MeanLatency = float64(latency) / float64(detected)
+		}
+		row.MeanDeformations = float64(deforms) / trials
+		row.MeanRecoveries = float64(recovers) / trials
+		if elapsed > 0 {
+			row.BlockedFrac = float64(blocked) / float64(elapsed)
+			row.MeanDistance = float64(distance) / float64(elapsed)
+		}
+		if scored > 0 {
+			row.FailuresPer1k = 1000 * float64(failures) / float64(scored)
+		}
+		rows[mi] = row
+	}
+	return rows, nil
+}
+
+// RenderTraj prints the trajectory-scan comparison table.
+func RenderTraj(w io.Writer, horizon int64, rows []TrajRow) {
+	fmt.Fprintf(w, "closed-loop trajectories over %d cycles (survival at quarter horizons)\n", horizon)
+	fmt.Fprintf(w, "%-14s %-6s %-26s %-9s %-9s %-8s %-8s %-7s %-9s %-8s %-9s\n",
+		"arm", "trajs", "survival T/4 T/2 3T/4 T", "detect%", "latency", "deforms", "recovers", "severed", "blocked%", "mean-d", "fail/1k")
+	for _, r := range rows {
+		lat := "-"
+		if r.MeanLatency >= 0 {
+			lat = fmt.Sprintf("%.1f", r.MeanLatency)
+		}
+		fmt.Fprintf(w, "%-14s %-6d %.2f %.2f %.2f %.2f        %-9.0f %-9s %-8.2f %-8.2f %-7d %-9.1f %-8.2f %-9.3f\n",
+			r.Mode, r.Trajectories,
+			r.Survival[0], r.Survival[1], r.Survival[2], r.Survival[3],
+			100*r.DetectedFrac, lat, r.MeanDeformations, r.MeanRecoveries,
+			r.Severed, 100*r.BlockedFrac, r.MeanDistance, r.FailuresPer1k)
+	}
+}
+
+// TrajTable converts trajectory-scan rows for CSV/JSON export.
+func TrajTable(rows []TrajRow) *report.Table {
+	t := report.New("traj", "mode", "trajectories",
+		"survival_q1", "survival_q2", "survival_q3", "survival_q4",
+		"detected_frac", "mean_latency", "mean_deformations", "mean_recoveries",
+		"severed", "blocked_frac", "mean_distance", "failures_per_1k")
+	for _, r := range rows {
+		t.Add(r.Mode, r.Trajectories,
+			r.Survival[0], r.Survival[1], r.Survival[2], r.Survival[3],
+			r.DetectedFrac, r.MeanLatency, r.MeanDeformations, r.MeanRecoveries,
+			r.Severed, r.BlockedFrac, r.MeanDistance, r.FailuresPer1k)
+	}
+	return t
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"surfdeformer/internal/store"
+	"surfdeformer/internal/traj"
+)
+
+func trajTestOptions() Options {
+	opt := QuickOptions()
+	opt.Trials = 3
+	return opt
+}
+
+// TestTrajectoryDeterministic is the acceptance gate of the trajectory
+// scan: results are bit-identical for any point-worker count, and a scan
+// interrupted after a partial trajectory budget resumes byte-identically —
+// computing only the missing trajectories.
+func TestTrajectoryDeterministic(t *testing.T) {
+	opt := trajTestOptions()
+	cfg := DefaultTrajConfig(opt)
+	modes := DefaultTrajModes()
+
+	serial, err := TrajectoryScan(opt, cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.PointWorkers = 4
+	parallel, err := TrajectoryScan(opt, cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("worker count changed the scan:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+
+	// Interrupted session: only 2 of the 3 trajectories per arm land in the
+	// store.
+	st, err := store.Open(filepath.Join(t.TempDir(), "traj.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	partial := opt
+	partial.Trials = 2
+	partial.Store = st
+	partial.Stats = &RunStats{}
+	if _, err := TrajectoryScan(partial, cfg, modes); err != nil {
+		t.Fatal(err)
+	}
+	if c := partial.Stats.Computed(); c != 2*len(modes) {
+		t.Fatalf("interrupted session computed %d trajectories, want %d", c, 2*len(modes))
+	}
+
+	// Resumed session over the full budget: exactly the missing trajectory
+	// per arm computes, and the table matches the uninterrupted run.
+	resumed := opt
+	resumed.Store = st
+	resumed.Resume = true
+	resumed.Stats = &RunStats{}
+	rows, err := TrajectoryScan(resumed, cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, s := resumed.Stats.Computed(), resumed.Stats.Skipped(); c != len(modes) || s != 2*len(modes) {
+		t.Fatalf("resume computed %d / skipped %d, want %d / %d", c, s, len(modes), 2*len(modes))
+	}
+	if !reflect.DeepEqual(serial, rows) {
+		t.Fatalf("resumed scan differs from fresh scan:\nfresh   %+v\nresumed %+v", serial, rows)
+	}
+
+	// Byte-identical rendering (the property the CI resume job diffs on).
+	var fresh, again bytes.Buffer
+	RenderTraj(&fresh, cfg.Horizon, serial)
+	RenderTraj(&again, cfg.Horizon, rows)
+	if !bytes.Equal(fresh.Bytes(), again.Bytes()) {
+		t.Error("rendered tables differ between fresh and resumed scans")
+	}
+
+	// A fully-stored re-run computes nothing.
+	replay := resumed
+	replay.Stats = &RunStats{}
+	if _, err := TrajectoryScan(replay, cfg, modes); err != nil {
+		t.Fatal(err)
+	}
+	if c := replay.Stats.Computed(); c != 0 {
+		t.Errorf("fully-stored re-run computed %d trajectories", c)
+	}
+}
+
+// TestTrajectoryScanShape sanity-checks the aggregate rows of a small scan.
+func TestTrajectoryScanShape(t *testing.T) {
+	opt := trajTestOptions()
+	opt.Trials = 4
+	opt.PointWorkers = 2
+	cfg := DefaultTrajConfig(opt)
+	rows, err := TrajectoryScan(opt, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(DefaultTrajModes()) {
+		t.Fatalf("%d rows, want one per default mode", len(rows))
+	}
+	for _, r := range rows {
+		if r.Trajectories != opt.Trials {
+			t.Errorf("%s: %d trajectories, want %d", r.Mode, r.Trajectories, opt.Trials)
+		}
+		for q := 0; q < 4; q++ {
+			if r.Survival[q] < 0 || r.Survival[q] > 1 {
+				t.Errorf("%s: survival[%d] = %v outside [0,1]", r.Mode, q, r.Survival[q])
+			}
+			if q > 0 && r.Survival[q] > r.Survival[q-1] {
+				t.Errorf("%s: survival increases over time: %v", r.Mode, r.Survival)
+			}
+		}
+		if r.Mode == traj.ModeUntreated.String() {
+			if r.MeanDeformations != 0 || r.MeanRecoveries != 0 || r.Severed != 0 {
+				t.Errorf("untreated arm acted on the code: %+v", r)
+			}
+		}
+	}
+	// The structured table carries one row per arm.
+	if tab := TrajTable(rows); len(tab.Rows) != len(rows) {
+		t.Errorf("TrajTable has %d rows, want %d", len(tab.Rows), len(rows))
+	}
+}

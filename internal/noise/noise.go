@@ -30,6 +30,14 @@ type Model struct {
 	// physical error rate rises to ≈50%.
 	Defective  map[lattice.Coord]bool
 	DefectRate float64
+
+	// SiteRates elevates individual qubits to individual rates — the
+	// multi-species defect picture (cosmic-ray regions at ≈50%, leakage
+	// neighbourhoods at ≈25%, drifted qubits at a few ×p) the trajectory
+	// engine composes. A SiteRates entry takes precedence over Defective
+	// for the same qubit; two-qubit gates use the largest rate among the
+	// qubits they touch.
+	SiteRates map[lattice.Coord]float64
 }
 
 // Uniform returns the paper's baseline model with all rates equal to p.
@@ -57,29 +65,65 @@ func (m *Model) WithCorrelated(pc float64) *Model {
 	return &c
 }
 
+// WithSiteRates returns a copy of the model with the given per-qubit rate
+// overrides. The map is adopted, not copied: callers must not mutate it
+// afterwards (DEM caches fingerprint it).
+func (m *Model) WithSiteRates(rates map[lattice.Coord]float64) *Model {
+	c := *m
+	c.SiteRates = rates
+	return &c
+}
+
 // IsDefective reports whether q lies in a defect region.
-func (m *Model) IsDefective(q lattice.Coord) bool { return m.Defective[q] }
+func (m *Model) IsDefective(q lattice.Coord) bool {
+	if _, ok := m.SiteRates[q]; ok {
+		return true
+	}
+	return m.Defective[q]
+}
+
+// siteRate returns the override rate at q and whether one applies.
+func (m *Model) siteRate(q lattice.Coord) (float64, bool) {
+	if r, ok := m.SiteRates[q]; ok {
+		return r, true
+	}
+	if m.Defective[q] {
+		return m.DefectRate, true
+	}
+	return 0, false
+}
 
 // Rate1 returns the single-qubit depolarizing rate at q.
 func (m *Model) Rate1(q lattice.Coord) float64 {
-	if m.Defective[q] {
-		return m.DefectRate
+	if r, ok := m.siteRate(q); ok {
+		return r
 	}
 	return m.P1
 }
 
-// Rate2 returns the two-qubit depolarizing rate for a gate on a and b.
+// Rate2 returns the two-qubit depolarizing rate for a gate on a and b: the
+// largest override among the touched qubits, or the base rate.
 func (m *Model) Rate2(a, b lattice.Coord) float64 {
-	if m.Defective[a] || m.Defective[b] {
-		return m.DefectRate
+	ra, oka := m.siteRate(a)
+	rb, okb := m.siteRate(b)
+	switch {
+	case oka && okb:
+		if ra > rb {
+			return ra
+		}
+		return rb
+	case oka:
+		return ra
+	case okb:
+		return rb
 	}
 	return m.P2
 }
 
 // RateM returns the measurement/reset flip rate at q.
 func (m *Model) RateM(q lattice.Coord) float64 {
-	if m.Defective[q] {
-		return m.DefectRate
+	if r, ok := m.siteRate(q); ok {
+		return r
 	}
 	return m.PM
 }

@@ -51,6 +51,38 @@ func TestWithDefectsIsCopy(t *testing.T) {
 	}
 }
 
+func TestSiteRateOverrides(t *testing.T) {
+	warm := lattice.Coord{Row: 3, Col: 3} // drifted: 1e-2
+	hot := lattice.Coord{Row: 5, Col: 5}  // leaked neighbour: 0.25
+	cold := lattice.Coord{Row: 1, Col: 1}
+	m := Uniform(1e-3).WithSiteRates(map[lattice.Coord]float64{warm: 1e-2, hot: 0.25})
+	if got := m.Rate1(warm); got != 1e-2 {
+		t.Errorf("Rate1(warm) = %v, want 1e-2", got)
+	}
+	if got := m.RateM(hot); got != 0.25 {
+		t.Errorf("RateM(hot) = %v, want 0.25", got)
+	}
+	if got := m.Rate1(cold); got != 1e-3 {
+		t.Errorf("Rate1(cold) = %v, want base", got)
+	}
+	// Two-qubit gates take the largest override among the touched qubits.
+	if got := m.Rate2(warm, hot); got != 0.25 {
+		t.Errorf("Rate2(warm,hot) = %v, want 0.25", got)
+	}
+	if got := m.Rate2(cold, warm); got != 1e-2 {
+		t.Errorf("Rate2(cold,warm) = %v, want 1e-2", got)
+	}
+	if !m.IsDefective(warm) || !m.IsDefective(hot) || m.IsDefective(cold) {
+		t.Error("IsDefective must reflect site-rate overrides")
+	}
+	// SiteRates takes precedence over Defective for the same qubit.
+	both := m.WithDefects([]lattice.Coord{warm}, 0.5)
+	both.SiteRates = m.SiteRates
+	if got := both.Rate1(warm); got != 1e-2 {
+		t.Errorf("Rate1 with both overrides = %v, want the SiteRates value", got)
+	}
+}
+
 func TestWithCorrelated(t *testing.T) {
 	m := Uniform(1e-3).WithCorrelated(4e-3)
 	if m.PCorrelated != 4e-3 {

@@ -126,4 +126,15 @@ func writeModelFingerprint(sb *strings.Builder, m *noise.Model) {
 	for _, q := range defs {
 		fmt.Fprintf(sb, "%d.%d,", q.Row, q.Col)
 	}
+	if len(m.SiteRates) > 0 {
+		sb.WriteString("sr:")
+		var sites []lattice.Coord
+		for q := range m.SiteRates {
+			sites = append(sites, q)
+		}
+		lattice.SortCoords(sites)
+		for _, q := range sites {
+			fmt.Fprintf(sb, "%d.%d=%g,", q.Row, q.Col, m.SiteRates[q])
+		}
+	}
 }

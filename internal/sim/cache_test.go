@@ -73,6 +73,8 @@ func TestDEMCacheMissesOnAnyDifference(t *testing.T) {
 		{"rate", c, noise.Uniform(2e-3), 4, lattice.ZCheck},
 		{"defects", c, model.WithDefects([]lattice.Coord{{Row: 1, Col: 1}}, 0.5), 4, lattice.ZCheck},
 		{"correlated", c, model.WithCorrelated(1e-4), 4, lattice.ZCheck},
+		{"siterates", c, model.WithSiteRates(map[lattice.Coord]float64{{Row: 1, Col: 1}: 0.25}), 4, lattice.ZCheck},
+		{"siterate-value", c, model.WithSiteRates(map[lattice.Coord]float64{{Row: 1, Col: 1}: 0.5}), 4, lattice.ZCheck},
 		{"code", freshCode(t, 5), model, 4, lattice.ZCheck},
 	}
 	for _, v := range variants {
@@ -84,8 +86,8 @@ func TestDEMCacheMissesOnAnyDifference(t *testing.T) {
 			t.Errorf("variant %q must not share the base entry", v.name)
 		}
 	}
-	if hits, misses := dc.Stats(); hits != 0 || misses != 7 {
-		t.Errorf("stats = (%d hits, %d misses), want (0, 7)", hits, misses)
+	if hits, misses := dc.Stats(); hits != 0 || misses != len(variants)+1 {
+		t.Errorf("stats = (%d hits, %d misses), want (0, %d)", hits, misses, len(variants)+1)
 	}
 }
 

@@ -1,0 +1,859 @@
+// Package traj is the closed-loop runtime trajectory engine: it simulates a
+// logical patch over thousands of QEC cycles under stochastic dynamic-defect
+// arrivals and runs the paper's full fig. 5 loop at scale — detect a defect
+// from the syndrome stream, deform adaptively, recover when it subsides.
+//
+// A trajectory is segmented into code epochs: maximal stretches of cycles
+// over which both the code and the noise model are constant. An epoch ends
+// when the window detector flags a new region (the deformation unit steps),
+// when a defect event starts or expires (the noise model changes), or when a
+// subsided event's recovery is confirmed (the unit shrinks back). Within an
+// epoch, rounds are simulated in chunks through the cached DEM → sampler →
+// decoder path (sim.DEMCache + decoder.SharedGraph), so repeated epochs of
+// the same (code, model) shape cost one DEM build for the whole trajectory
+// fan-out.
+//
+// Determinism: all randomness derives from the trajectory seed via two
+// mc.DeriveSeed streams (event timeline and syndrome shots). Nothing depends
+// on scheduling, worker count, or cache state, so a trajectory's Result is a
+// pure function of (Config, Mode, seed) — the property the scan layer relies
+// on for bit-identical parallel and resumed runs.
+//
+// Scale caveat (DESIGN.md §1 applies): cosmic-ray strike footprints are
+// scaled down with the code distances so that a d=9 patch relates to its
+// strikes the way the paper's d=27 patches relate to radius-2 strikes.
+package traj
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"surfdeformer/internal/code"
+	"surfdeformer/internal/core"
+	"surfdeformer/internal/decoder"
+	"surfdeformer/internal/defect"
+	"surfdeformer/internal/deform"
+	"surfdeformer/internal/detect"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/layout"
+	"surfdeformer/internal/mc"
+	"surfdeformer/internal/noise"
+	"surfdeformer/internal/sim"
+)
+
+// Mode selects the mitigation arm of a trajectory.
+type Mode int
+
+const (
+	// ModeSurfDeformer runs the paper's full loop: adaptive removal plus
+	// enlargement within the Δd reserve.
+	ModeSurfDeformer Mode = iota
+	// ModeASC runs the ASC-S policy: super-stabilizer removal only, no
+	// enlargement (the patch only ever shrinks).
+	ModeASC
+	// ModeUntreated leaves the code untouched; the decoder keeps its nominal
+	// priors while defects rage. The detector still runs so latency is
+	// comparable, but nothing acts on it.
+	ModeUntreated
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeSurfDeformer:
+		return "surf-deformer"
+	case ModeASC:
+		return "asc-s"
+	case ModeUntreated:
+		return "untreated"
+	}
+	return "invalid"
+}
+
+// Config parameterizes a trajectory. The zero value is not runnable; use
+// DefaultConfig or QuickConfig and override.
+type Config struct {
+	// D is the code distance of the patch; DeltaD its growth reserve.
+	D      int
+	DeltaD int
+	// Horizon is the trajectory length in QEC cycles (1 cycle = 1 round).
+	Horizon int64
+	// ChunkRounds is the scheduling quantum: at most this many rounds are
+	// sampled per DEM shot before the loop re-examines the detector. Epoch
+	// boundaries clamp chunks, so a smaller value tightens the reaction
+	// latency floor at the cost of more shots.
+	ChunkRounds int
+	// Window and Threshold parameterize the sliding-window detector.
+	Window    int
+	Threshold float64
+	// PhysicalRate is the base physical error rate (0 = the paper's 1e-3).
+	PhysicalRate float64
+	// Basis selects the protected memory (default lattice.ZCheck).
+	Basis lattice.CheckType
+
+	// Cosmic, Leakage and Drift are the defect processes; nil disables a
+	// species. Drift events stay below the removal severity threshold and
+	// exercise the decoder-prior-mismatch regime without deformation.
+	Cosmic  *defect.Model
+	Leakage *defect.LeakageModel
+	Drift   *defect.DriftModel
+
+	// Cache overrides the process-shared DEM cache (tests).
+	Cache *sim.DEMCache
+}
+
+// DefaultConfig returns the CLI-scale scenario: a d=9 patch over a 6000-
+// cycle horizon with accelerated defect processes sized so a trajectory
+// sees a handful of events of each species. Acceleration compresses the
+// paper's seconds-scale arrival times onto a simulable horizon, exactly as
+// the Q3DE burst-error study compresses cosmic-ray rates.
+func DefaultConfig(d int) Config {
+	cosmic := defect.Paper()
+	cosmic.Radius = 1            // scaled-down strike footprint (5 sites) to match scaled-down d
+	cosmic.DurationCycles = 1200 // compressed from 25k cycles
+	cosmic.RatePerQubit = 1.2    // accelerated from 3.85e-3/s: ~1.3 strikes per horizon
+	leak := defect.DefaultLeakage()
+	leak.RatePerQubit = 1e-6 // ~1 leakage event per horizon on a d=9 patch
+	drift := defect.DefaultDrift()
+	drift.RatePerQubit = 1.0 // accelerated: ~1 drift excursion per horizon
+	drift.MeanDurationCycles = 2000
+	return Config{
+		D:            d,
+		DeltaD:       2,
+		Horizon:      6000,
+		ChunkRounds:  8,
+		Window:       20,
+		Threshold:    0.25,
+		PhysicalRate: noise.DefaultPhysical,
+		Basis:        lattice.ZCheck,
+		Cosmic:       cosmic,
+		Leakage:      leak,
+		Drift:        drift,
+	}
+}
+
+// QuickConfig returns the test-scale scenario (d=5, short horizon).
+func QuickConfig() Config {
+	cfg := DefaultConfig(5)
+	cfg.Horizon = 400
+	cfg.ChunkRounds = 6
+	cfg.Cosmic.DurationCycles = 150
+	cfg.Cosmic.RatePerQubit = 60 // ~1.5 strikes on the short horizon
+	cfg.Leakage.RatePerQubit = 2e-5
+	cfg.Leakage.MeanDurationCycles = 80
+	cfg.Drift.RatePerQubit = 8
+	cfg.Drift.MeanDurationCycles = 150
+	return cfg
+}
+
+// Result is the outcome of one trajectory. Every field is integral so the
+// struct JSON round-trips exactly — the property the persistent store's
+// resume path needs for byte-identical replays.
+type Result struct {
+	Mode    string `json:"mode"`
+	Horizon int64  `json:"horizon"`
+
+	// FirstFailCycle is the cycle by which the first logical failure had
+	// occurred (-1 if the trajectory survived the horizon). ElapsedCycles is
+	// how far the trajectory ran (< Horizon only when the patch severed).
+	FirstFailCycle int64 `json:"first_fail_cycle"`
+	ElapsedCycles  int64 `json:"elapsed_cycles"`
+	// Failures counts failed chunks; ScoredCycles the cycles of all scored
+	// (fully elapsed) chunks — partial chunks cut by an epoch boundary carry
+	// no failure verdict.
+	Failures     int   `json:"failures"`
+	ScoredCycles int64 `json:"scored_cycles"`
+
+	// Events counts defect events striking the patch; RemoveEvents those
+	// severe enough to require deformation; Detected how many of the latter
+	// the window detector localized; LatencyCycles the summed onset→flag
+	// latency over the detected ones.
+	Events        int   `json:"events"`
+	RemoveEvents  int   `json:"remove_events"`
+	Detected      int   `json:"detected"`
+	LatencyCycles int64 `json:"latency_cycles"`
+
+	// Deformations counts detector-triggered Step calls; Recoveries counts
+	// confirmed-recovery Recover calls; Severed reports that removal
+	// disconnected the patch and ended the trajectory.
+	Deformations int  `json:"deformations"`
+	Recoveries   int  `json:"recoveries"`
+	Severed      bool `json:"severed,omitempty"`
+
+	// BlockedCycles counts cycles during which the patch spilled past its
+	// Δd reserve and blocked its communication channels; DistanceCycles is
+	// the time-weighted sum of min(dX, dZ); MinDistance the lowest distance
+	// the code passed through; Epochs the number of sampled chunks.
+	BlockedCycles  int64 `json:"blocked_cycles"`
+	DistanceCycles int64 `json:"distance_cycles"`
+	MinDistance    int   `json:"min_distance"`
+	Epochs         int   `json:"epochs"`
+}
+
+// Stream salts for the per-trajectory seed derivation (negative so they can
+// never collide with engine shard indices; see mc.DeriveSeed).
+const (
+	saltEvents = int64(-0x7E01)
+	saltShots  = int64(-0x7E02)
+)
+
+// event is one defect occurrence normalized across species.
+type event struct {
+	start, end int64
+	sites      []lattice.Coord
+	rates      []float64
+	remove     bool  // severity: needs deformation (vs decoder reweighting)
+	detectedAt int64 // first cycle a flag matched this event (-1 until then)
+}
+
+// boundary kinds, processed at chunk scheduling points.
+const (
+	boundModel   = iota // an event starts or ends: the noise model changes
+	boundRecover        // a subsided event's recovery is confirmed
+)
+
+type boundary struct {
+	cycle int64
+	kind  int
+	ev    *event
+}
+
+// Run simulates one trajectory and returns its outcome. The result is a
+// pure function of (cfg, mode, seed).
+func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = sim.SharedDEMCache()
+	}
+	nominal := noise.Uniform(cfg.PhysicalRate)
+
+	// Runtime state: a single-patch plan drives the deformation unit and the
+	// channel bookkeeping; the untreated arm keeps the pristine code.
+	var (
+		sys     *core.System
+		curCode *code.Code
+	)
+	base := deform.NewSquareSpec(lattice.Coord{}, cfg.D)
+	bmin, bmax := base.Bounds()
+	switch mode {
+	case ModeUntreated:
+		c, err := base.Build()
+		if err != nil {
+			return nil, err
+		}
+		curCode = c
+	case ModeASC:
+		lay := layout.New(layout.ASCS, 1, cfg.D, 0)
+		plan := &core.Plan{D: cfg.D, DeltaD: 0, Layout: lay}
+		sys = plan.NewSystemWith(deform.PolicyASC, deform.UniformBudget(0))
+	default:
+		lay := layout.New(layout.SurfDeformer, 1, cfg.D, cfg.DeltaD)
+		plan := &core.Plan{D: cfg.D, DeltaD: cfg.DeltaD, Layout: lay}
+		sys = plan.NewSystemWith(deform.PolicySurfDeformer, deform.UniformBudget(cfg.DeltaD))
+	}
+	if sys != nil {
+		c, err := sys.Unit(0).Spec().Build()
+		if err != nil {
+			return nil, err
+		}
+		curCode = c
+	}
+
+	eventRNG := rand.New(rand.NewSource(mc.DeriveSeed(seed, saltEvents)))
+	shotRNG := rand.New(rand.NewSource(mc.DeriveSeed(seed, saltShots)))
+	events := sampleEvents(cfg, bmin, bmax, eventRNG)
+	bounds := eventBoundaries(cfg, events)
+
+	res := &Result{
+		Mode:           mode.String(),
+		Horizon:        cfg.Horizon,
+		FirstFailCycle: -1,
+		MinDistance:    minDist(curCode),
+	}
+	for _, e := range events {
+		res.Events++
+		if e.remove {
+			res.RemoveEvents++
+		}
+	}
+
+	window := detect.NewWindow(cfg.Window, cfg.Threshold)
+	attributed := map[int32]*attribution{}
+	decoders := map[*sim.DEM]*decoder.UnionFind{}
+	samplers := map[*sim.DEM]*sim.Sampler{}
+	// Hot-model DEMs carry this trajectory's seed-specific defect regions
+	// and never recur across trajectories; a private cache keeps them from
+	// churning the shared cache's nominal entries (which every trajectory
+	// of the fan-out reuses) through its wholesale-clear eviction.
+	hotCache := sim.NewDEMCache(0)
+	blocked := false
+	nextBound := 0
+	cycle := int64(0)
+	quietUntil := int64(0) // post-deformation dwell: no detector consults
+
+	for cycle < cfg.Horizon {
+		// Process due boundaries: model changes need no action (the chunk's
+		// model is rebuilt from the active set below); recovery confirmations
+		// shrink the code back.
+		for nextBound < len(bounds) && bounds[nextBound].cycle <= cycle {
+			b := bounds[nextBound]
+			nextBound++
+			if b.kind != boundRecover {
+				continue
+			}
+			if sys == nil {
+				// Untreated arm: the attribution bookkeeping still expires at
+				// the same confirmation point (by which the stale firings have
+				// aged out of the window) so later events are re-detectable.
+				expireAttributions(events, attributed, cycle)
+				continue
+			}
+			changed, err := recoverSubsided(sys, events, attributed, cycle)
+			if err != nil {
+				return terminate(res, cycle, err)
+			}
+			if changed {
+				res.Recoveries++
+				st, err := refresh(sys)
+				if err != nil {
+					return terminate(res, cycle, err)
+				}
+				curCode = st
+				blocked = sys.Blocked(0)
+				if d := minDist(curCode); d < res.MinDistance {
+					res.MinDistance = d
+				}
+			}
+		}
+
+		// Chunk length: the scheduling quantum clamped to the next model
+		// boundary and the horizon. DEM construction needs at least 2
+		// rounds, so boundaries quantize to 2 cycles in the worst case.
+		rem := cfg.Horizon - cycle
+		if rem < 2 {
+			// A DEM needs at least 2 rounds; credit the trailing cycle
+			// without sampling it rather than overshoot the horizon.
+			advance(res, rem, blocked, curCode)
+			cycle += rem
+			break
+		}
+		chunk := int64(cfg.ChunkRounds)
+		if nextBound < len(bounds) {
+			if until := bounds[nextBound].cycle - cycle; until < chunk {
+				chunk = until
+			}
+		}
+		if chunk < 2 {
+			chunk = 2
+		}
+		if chunk > rem {
+			chunk = rem // rem >= 2, so the DEM floor still holds
+		}
+
+		rates := activeRates(events, cycle)
+		sampleModel := nominal
+		sampleCache := cache
+		if len(rates) > 0 {
+			sampleModel = nominal.WithSiteRates(rates)
+			sampleCache = hotCache
+		}
+		sampleDEM, err := sampleCache.BuildDEM(curCode, sampleModel, int(chunk), cfg.Basis)
+		if err != nil {
+			return nil, err
+		}
+		decodeDEM := sampleDEM
+		if sampleModel != nominal {
+			decodeDEM, err = cache.BuildDEM(curCode, nominal, int(chunk), cfg.Basis)
+			if err != nil {
+				return nil, err
+			}
+		}
+		dec := decoders[decodeDEM]
+		if dec == nil {
+			dec = decoder.NewUnionFind(decoder.SharedGraph(decodeDEM))
+			decoders[decodeDEM] = dec
+		}
+		sampler := samplers[sampleDEM]
+		if sampler == nil {
+			sampler = sim.NewSampler(sampleDEM)
+			samplers[sampleDEM] = sampler
+		}
+		flagged, obs := sampler.Shot(shotRNG)
+		failed := dec.DecodeToObs(flagged) != obs
+		res.Epochs++
+
+		// Stream the chunk's detection events into the window round by
+		// round; a new flag ends the epoch at that round. Rounds 0..chunk-1
+		// map one-to-one onto absolute cycles; the chunk's final detector
+		// round (the data-readout reconstruction) is an artifact of per-chunk
+		// termination and is not fed — the next chunk's round 0 owns that
+		// absolute cycle, so no cycle is ever fed from two shots.
+		cut := int64(-1)
+		var fresh []int32
+		byRound := roundStream(sampleDEM, flagged, chunk)
+		for r := int64(0); r < chunk; r++ {
+			window.Feed(int(cycle+r), byRound[r])
+			// The engine acts only once a full window of history exists:
+			// during warm-up the effective window is so short that single
+			// noise firings cross any rate threshold, and deforming on them
+			// would shred a healthy patch. After a deformation it dwells one
+			// window (quietUntil) — the region's remaining checks flag over
+			// several rounds, and dwelling batches them into one refining
+			// Step instead of a DEM-rebuilding Step per flag.
+			if at := cycle + r; at < int64(cfg.Window) || at < quietUntil {
+				continue
+			}
+			if fresh = newFlags(window, attributed); len(fresh) != 0 {
+				cut = r
+				break
+			}
+		}
+
+		window.Trim() // bound detector history (and Flagged cost) per chunk
+
+		if cut < 0 {
+			// Full chunk elapsed: score it.
+			res.ScoredCycles += chunk
+			if failed {
+				res.Failures++
+				if res.FirstFailCycle < 0 {
+					res.FirstFailCycle = cycle + chunk
+				}
+			}
+			advance(res, chunk, blocked, curCode)
+			cycle += chunk
+			continue
+		}
+
+		// Epoch ends mid-chunk: attribute the new flags, act, restart from
+		// the cut. The partial chunk carries no failure verdict.
+		elapsed := cut + 1
+		if elapsed > chunk {
+			elapsed = chunk
+		}
+		advance(res, elapsed, blocked, curCode)
+		cycle += elapsed
+		quietUntil = cycle + int64(cfg.Window)
+		estimate := attribute(sampleDEM, fresh, attributed, events, cycle, res)
+		if sys != nil {
+			st, err := sys.Step(0, estimate)
+			if err != nil {
+				return terminate(res, cycle, err)
+			}
+			if len(st.Defects) > 0 || st.Enlarged {
+				res.Deformations++
+			}
+			curCode = st.Code
+			blocked = sys.Blocked(0)
+			if d := minDist(curCode); d < res.MinDistance {
+				res.MinDistance = d
+			}
+		}
+	}
+	res.ElapsedCycles = cycle
+	return res, nil
+}
+
+func (cfg Config) validate() error {
+	switch {
+	case cfg.D < 3:
+		return fmt.Errorf("traj: distance %d too small", cfg.D)
+	case cfg.Horizon < 2:
+		return fmt.Errorf("traj: horizon %d too short", cfg.Horizon)
+	case cfg.ChunkRounds < 2:
+		return fmt.Errorf("traj: chunk of %d rounds (DEMs need ≥ 2)", cfg.ChunkRounds)
+	case cfg.Window < 1 || cfg.Threshold <= 0 || cfg.Threshold >= 1:
+		return fmt.Errorf("traj: invalid detector window %d/threshold %g", cfg.Window, cfg.Threshold)
+	case cfg.PhysicalRate <= 0:
+		return fmt.Errorf("traj: physical rate %g", cfg.PhysicalRate)
+	}
+	return nil
+}
+
+// terminate ends a trajectory that severed its patch: the remaining horizon
+// is unprotected, so the trajectory counts as failed from the severing cycle
+// onward. The error is consumed — a severed patch is a measured outcome of
+// the arm (ASC-S severs more), not a simulation fault. Like MemorySweep's
+// severed rows, this conservatively classifies *any* removal/enlargement/
+// rebuild error as severing; deform exposes no sentinel distinguishing a
+// disconnected patch from other failures.
+func terminate(res *Result, cycle int64, _ error) (*Result, error) {
+	res.Severed = true
+	res.Failures++
+	if res.FirstFailCycle < 0 {
+		res.FirstFailCycle = cycle
+	}
+	res.ElapsedCycles = cycle
+	res.MinDistance = 0
+	return res, nil
+}
+
+// advance accrues the per-cycle aggregates over an elapsed stretch.
+func advance(res *Result, cycles int64, blocked bool, c *code.Code) {
+	if blocked {
+		res.BlockedCycles += cycles
+	}
+	res.DistanceCycles += int64(minDist(c)) * cycles
+}
+
+func minDist(c *code.Code) int {
+	dx, dz := c.DistanceX(), c.DistanceZ()
+	if dx < dz {
+		return dx
+	}
+	return dz
+}
+
+// refresh rebuilds the system's patch-0 code after a recovery.
+func refresh(sys *core.System) (*code.Code, error) {
+	return sys.Unit(0).Spec().Build()
+}
+
+// sampleEvents draws the merged, time-sorted defect timeline of all enabled
+// species over the horizon.
+func sampleEvents(cfg Config, min, max lattice.Coord, rng *rand.Rand) []*event {
+	var out []*event
+	if cfg.Cosmic != nil {
+		s := defect.NewSampler(cfg.Cosmic, min, max)
+		for _, e := range s.SampleWindow(cfg.Horizon, rng) {
+			rates := make([]float64, len(e.Region))
+			for i := range rates {
+				rates[i] = cfg.Cosmic.ErrorRate
+			}
+			out = append(out, &event{
+				start: e.StartCycle, end: e.EndCycle,
+				sites: e.Region, rates: rates,
+				remove:     defect.Classify(cfg.Cosmic.ErrorRate) == defect.SeverityRemove,
+				detectedAt: -1,
+			})
+		}
+	}
+	sites := defect.Sites(min, max)
+	if cfg.Leakage != nil {
+		for _, e := range cfg.Leakage.SampleLeakage(sites, cfg.Horizon, rng) {
+			r := make([]float64, len(e.Region))
+			for i, q := range e.Region {
+				if q == e.Center {
+					r[i] = 0.5 // the leaked qubit itself is inoperable
+				} else {
+					r[i] = cfg.Leakage.NeighbourRate
+				}
+			}
+			out = append(out, &event{
+				start: e.StartCycle, end: e.EndCycle,
+				sites: e.Region, rates: r,
+				remove:     defect.Classify(cfg.Leakage.NeighbourRate) == defect.SeverityRemove,
+				detectedAt: -1,
+			})
+		}
+	}
+	if cfg.Drift != nil {
+		drifted := cfg.Drift.DriftedRate(cfg.PhysicalRate)
+		for _, e := range cfg.Drift.SampleDrift(sites, cfg.Horizon, 1e-6, rng) {
+			out = append(out, &event{
+				start: e.StartCycle, end: e.EndCycle,
+				sites: e.Region, rates: []float64{drifted},
+				remove:     defect.Classify(drifted) == defect.SeverityRemove,
+				detectedAt: -1,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		if a.end != b.end {
+			return a.end < b.end
+		}
+		return a.sites[0].Less(b.sites[0])
+	})
+	return out
+}
+
+// eventBoundaries lists the chunk-clamping cycle boundaries: every event
+// start and end (the noise model changes there) plus, for removable events,
+// a recovery confirmation one detector window after expiry — modeling the
+// statistical confirmation delay of the paper's recovery path.
+func eventBoundaries(cfg Config, events []*event) []boundary {
+	var bs []boundary
+	for _, e := range events {
+		bs = append(bs, boundary{cycle: e.start, kind: boundModel, ev: e})
+		if e.end < cfg.Horizon {
+			bs = append(bs, boundary{cycle: e.end, kind: boundModel, ev: e})
+			if e.remove {
+				bs = append(bs, boundary{cycle: e.end + int64(cfg.Window), kind: boundRecover, ev: e})
+			}
+		}
+	}
+	sort.SliceStable(bs, func(i, j int) bool { return bs[i].cycle < bs[j].cycle })
+	return bs
+}
+
+// activeRates returns the per-site rate overrides of the events active at
+// the cycle; overlapping events take the maximum rate per site.
+func activeRates(events []*event, cycle int64) map[lattice.Coord]float64 {
+	var rates map[lattice.Coord]float64
+	for _, e := range events {
+		if cycle < e.start || cycle >= e.end {
+			continue
+		}
+		if rates == nil {
+			rates = map[lattice.Coord]float64{}
+		}
+		for i, q := range e.sites {
+			if e.rates[i] > rates[q] {
+				rates[q] = e.rates[i]
+			}
+		}
+	}
+	return rates
+}
+
+// stableID maps an observable to a code-change-stable detector identity:
+// the representative hardware coordinate of the check, packed into an
+// int32. DEM observable indices are not stable across deformations, so the
+// window detector keys on hardware locations instead.
+func stableID(info sim.ObsInfo) int32 {
+	q := info.Support[0]
+	if len(info.Ancillas) > 0 {
+		q = info.Ancillas[0]
+	}
+	return int32(q.Row)<<16 | int32(q.Col)&0xFFFF
+}
+
+// roundStream buckets a shot's flagged detectors into per-round stable-id
+// lists (index r holds the ids firing in round r of the chunk).
+func roundStream(dem *sim.DEM, flagged []int32, chunk int64) [][]int32 {
+	byRound := make([][]int32, chunk+1)
+	for _, det := range flagged {
+		r := int64(dem.DetRound[det])
+		if r < 0 || r > chunk {
+			continue
+		}
+		byRound[r] = append(byRound[r], stableID(dem.Observables[dem.DetObs[det]]))
+	}
+	return byRound
+}
+
+// attribution is the bookkeeping of one acted-on detector flag: the sites
+// actually reported to the deformation unit (recovered when the flag's
+// events subside) and the raw check support at attribution time (kept for
+// multiplicity voting — the observable may not exist in later DEMs).
+type attribution struct {
+	est     []lattice.Coord
+	support []lattice.Coord
+}
+
+func (a *attribution) claim(q lattice.Coord) bool {
+	for _, s := range a.est {
+		if s == q {
+			return false
+		}
+	}
+	a.est = append(a.est, q)
+	return true
+}
+
+// newFlags returns the currently flagged stable ids not yet attributed.
+func newFlags(w *detect.Window, attributed map[int32]*attribution) []int32 {
+	var fresh []int32
+	for _, id := range w.Flagged() {
+		if _, ok := attributed[id]; !ok {
+			fresh = append(fresh, id)
+		}
+	}
+	return fresh
+}
+
+// attribute records the newly flagged ids, estimates their hardware region
+// from the current DEM, and credits detection latency to the matching
+// events. The estimate is the detector's view, not the truth: a flagged
+// check's own ancilla is trusted outright, but a data site is included
+// only when at least two flagged checks cover it (multiplicity voting
+// across the new and previously attributed flags). Taking every flagged
+// check's full support instead over-removes ~4 healthy data qubits per
+// adjacent check and shreds the patch under repeated strikes.
+func attribute(dem *sim.DEM, fresh []int32, attributed map[int32]*attribution, events []*event, cycle int64, res *Result) []lattice.Coord {
+	counts := map[lattice.Coord]int{}
+	for _, att := range attributed {
+		for _, q := range att.support {
+			counts[q]++
+		}
+	}
+	type candidate struct {
+		id                int32
+		support, ancillas []lattice.Coord
+	}
+	var cands []candidate
+	for _, id := range fresh {
+		var sup, anc []lattice.Coord
+		for _, info := range dem.Observables {
+			if stableID(info) != id {
+				continue
+			}
+			sup = append(sup, info.Support...)
+			anc = append(anc, info.Ancillas...)
+		}
+		for _, q := range sup {
+			counts[q]++
+		}
+		cands = append(cands, candidate{id: id, support: sup, ancillas: anc})
+	}
+
+	estSet := map[lattice.Coord]bool{}
+	for _, c := range cands {
+		att := &attribution{support: c.support}
+		for _, q := range c.ancillas {
+			if att.claim(q) {
+				estSet[q] = true
+			}
+		}
+		for _, q := range c.support {
+			if counts[q] >= 2 && att.claim(q) {
+				estSet[q] = true
+			}
+		}
+		lattice.SortCoords(att.est)
+		attributed[c.id] = att
+	}
+	// Fresh support may have pushed an earlier attribution's data sites to
+	// multiplicity 2: claim them now (sorted id order for determinism).
+	for _, id := range subsetIDs(attributed, fresh) {
+		att := attributed[id]
+		for _, q := range att.support {
+			if counts[q] >= 2 && att.claim(q) {
+				estSet[q] = true
+			}
+		}
+		lattice.SortCoords(att.est)
+	}
+
+	// Latency: first estimate overlapping a yet-undetected removable event
+	// while it is still active.
+	for _, e := range events {
+		if !e.remove || e.detectedAt >= 0 || cycle < e.start || cycle >= e.end {
+			continue
+		}
+		for _, q := range e.sites {
+			if estSet[q] {
+				e.detectedAt = cycle
+				res.Detected++
+				res.LatencyCycles += cycle - e.start
+				break
+			}
+		}
+	}
+	estimate := make([]lattice.Coord, 0, len(estSet))
+	for q := range estSet {
+		estimate = append(estimate, q)
+	}
+	lattice.SortCoords(estimate)
+	return estimate
+}
+
+// subsetIDs lists, sorted, the attributed ids not among the fresh ones.
+func subsetIDs(attributed map[int32]*attribution, fresh []int32) []int32 {
+	isFresh := map[int32]bool{}
+	for _, id := range fresh {
+		isFresh[id] = true
+	}
+	var ids []int32
+	for id := range attributed {
+		if !isFresh[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// activeRemoveSites returns the union of removable-event regions active at
+// the cycle.
+func activeRemoveSites(events []*event, cycle int64) map[lattice.Coord]bool {
+	active := map[lattice.Coord]bool{}
+	for _, e := range events {
+		if !e.remove || cycle < e.start || cycle >= e.end {
+			continue
+		}
+		for _, q := range e.sites {
+			active[q] = true
+		}
+	}
+	return active
+}
+
+// recoverSubsided drops attributions whose estimated region no longer
+// intersects any active removable event and reincorporates their sites
+// (minus sites still claimed by an active event). Reports whether any
+// recovery happened.
+func recoverSubsided(sys *core.System, events []*event, attributed map[int32]*attribution, cycle int64) (bool, error) {
+	active := activeRemoveSites(events, cycle)
+	drop := subsidedIDs(attributed, active)
+	if len(drop) == 0 {
+		return false, nil
+	}
+	siteSet := map[lattice.Coord]bool{}
+	for _, id := range drop {
+		for _, q := range attributed[id].est {
+			if !active[q] {
+				siteSet[q] = true
+			}
+		}
+		delete(attributed, id)
+	}
+	sites := make([]lattice.Coord, 0, len(siteSet))
+	for q := range siteSet {
+		sites = append(sites, q)
+	}
+	lattice.SortCoords(sites)
+	if len(sites) == 0 {
+		return false, nil
+	}
+	if _, err := sys.Recover(0, sites); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// expireAttributions is the untreated arm's counterpart of recoverSubsided:
+// the bookkeeping expires, nothing acts.
+func expireAttributions(events []*event, attributed map[int32]*attribution, cycle int64) {
+	active := activeRemoveSites(events, cycle)
+	for _, id := range subsidedIDs(attributed, active) {
+		delete(attributed, id)
+	}
+}
+
+// subsidedIDs lists, in sorted order, the attributed ids whose flagged
+// check no longer overlaps any active removable event (neither the sites
+// reported to the unit nor the check's own support).
+func subsidedIDs(attributed map[int32]*attribution, active map[lattice.Coord]bool) []int32 {
+	var drop []int32
+	for id, att := range attributed {
+		hot := false
+		for _, q := range att.est {
+			if active[q] {
+				hot = true
+				break
+			}
+		}
+		for _, q := range att.support {
+			if hot {
+				break
+			}
+			if active[q] {
+				hot = true
+			}
+		}
+		if !hot {
+			drop = append(drop, id)
+		}
+	}
+	sort.Slice(drop, func(i, j int) bool { return drop[i] < drop[j] })
+	return drop
+}
