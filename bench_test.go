@@ -208,6 +208,29 @@ func BenchmarkTrajectory(b *testing.B) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
 }
 
+// BenchmarkReweight measures the decoder-prior reweight tier: one full
+// reweight-only trajectory on a sustained drift-only timeline per
+// iteration — rate estimation, overlay construction, and the reweighted
+// decode-DEM builds included. cycles/sec is the headline custom metric
+// (tracked in BENCH_hotpath.json's "reweight" slot via cmd/bench); the
+// reweighted-cycles fraction confirms the tier actually engaged.
+func BenchmarkReweight(b *testing.B) {
+	cfg := traj.DriftOnlyConfig()
+	cfg.Horizon = 400 // one quick-scale trajectory per iteration
+	var cycles, reweighted int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := traj.Run(cfg, traj.ModeReweightOnly, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.ElapsedCycles
+		reweighted += res.ReweightedCycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
+	b.ReportMetric(float64(reweighted)/float64(cycles), "reweighted-frac")
+}
+
 // ---------------------------------------------------------------------------
 // Ablation benches (DESIGN.md §4)
 // ---------------------------------------------------------------------------

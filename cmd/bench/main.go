@@ -75,6 +75,10 @@ type Run struct {
 	Points []Point       `json:"points"`
 	Engine []EnginePoint `json:"engine,omitempty"`
 	Traj   []TrajPoint   `json:"trajectory,omitempty"`
+	// Reweight times the decoder-prior reweight tier: reweight-only
+	// trajectories on a sustained drift-only timeline (rate estimation,
+	// overlay construction, and reweighted decode-DEM builds included).
+	Reweight []TrajPoint `json:"reweight,omitempty"`
 }
 
 // File is the on-disk schema of BENCH_hotpath.json.
@@ -97,6 +101,7 @@ func main() {
 	asBaseline := flag.Bool("as-baseline", false, "write the baseline slot instead of current")
 	engine := flag.Bool("engine", true, "also measure the mc engine batch path")
 	trajN := flag.Int("traj", 8, "closed-loop trajectories to time (0 disables)")
+	reweightN := flag.Int("reweight", 8, "reweight-only drift trajectories to time (0 disables)")
 	flag.Parse()
 
 	ds, err := cliutil.ParseInts(*dArg)
@@ -138,6 +143,15 @@ func main() {
 		run.Traj = append(run.Traj, tp)
 		fmt.Printf("traj d=%-3d horizon=%-5d      %12.0f cycles/sec %9.0f ns/cycle\n",
 			tp.D, tp.Horizon, tp.CyclesSec, tp.NsCycle)
+	}
+	if *reweightN > 0 {
+		rp, err := measureReweight(*reweightN)
+		if err != nil {
+			fatal(err)
+		}
+		run.Reweight = append(run.Reweight, rp)
+		fmt.Printf("rewt d=%-3d horizon=%-5d      %12.0f cycles/sec %9.0f ns/cycle\n",
+			rp.D, rp.Horizon, rp.CyclesSec, rp.NsCycle)
 	}
 	if *out == "" {
 		return
@@ -262,6 +276,34 @@ func measureTraj(n int) (TrajPoint, error) {
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		res, err := traj.Run(cfg, traj.ModeSurfDeformer, int64(i+1))
+		if err != nil {
+			return TrajPoint{}, err
+		}
+		cycles += res.ElapsedCycles
+	}
+	elapsed := time.Since(start)
+	return TrajPoint{
+		D: cfg.D, Horizon: cfg.Horizon, Trajectories: n,
+		CyclesSec: float64(cycles) / elapsed.Seconds(),
+		NsCycle:   float64(elapsed.Nanoseconds()) / float64(cycles),
+	}, nil
+}
+
+// measureReweight times the decoder-prior reweight tier end to end: n
+// reweight-only trajectories on a sustained drift-only timeline, so the
+// number includes window rate estimation, overlay construction, and the
+// reweighted decode-DEM builds the tier adds over a plain trajectory.
+func measureReweight(n int) (TrajPoint, error) {
+	cfg := traj.DriftOnlyConfig()
+	cfg.Horizon = 400 // quick-scale trajectories, like measureTraj
+	cfg.Cache = sim.NewDEMCache(0)
+	if _, err := traj.Run(cfg, traj.ModeReweightOnly, 1); err != nil {
+		return TrajPoint{}, err
+	}
+	var cycles int64
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		res, err := traj.Run(cfg, traj.ModeReweightOnly, int64(i+1))
 		if err != nil {
 			return TrajPoint{}, err
 		}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBenchFileSchema pins the tracked BENCH_hotpath.json contract: the
+// file parses under this command's File schema, carries the expected
+// schema tag, and its "current" run holds every measured section —
+// scalar points, engine, trajectory, and the reweight slot — with sane
+// positive throughputs. A refresh that drops a section (or a schema
+// change that silently orphans the tracked file) fails here instead of
+// surfacing as a confusing diff in a later PR.
+func TestBenchFileSchema(t *testing.T) {
+	blob, err := os.ReadFile("../../BENCH_hotpath.json")
+	if err != nil {
+		t.Fatalf("tracked bench file missing: %v", err)
+	}
+	var f File
+	if err := json.Unmarshal(blob, &f); err != nil {
+		t.Fatalf("BENCH_hotpath.json does not parse as a bench file: %v", err)
+	}
+	if f.Schema != schema {
+		t.Fatalf("schema %q, want %q", f.Schema, schema)
+	}
+	if f.Baseline == nil {
+		t.Fatal("baseline slot missing (the run to beat must be preserved across refreshes)")
+	}
+	cur := f.Current
+	if cur == nil {
+		t.Fatal("current slot missing")
+	}
+	if len(cur.Points) == 0 {
+		t.Error("current run carries no scalar hot-path points")
+	}
+	for _, p := range cur.Points {
+		if p.ShotsSec <= 0 || p.NsShot <= 0 {
+			t.Errorf("d=%d scalar point has non-positive throughput: %+v", p.D, p)
+		}
+	}
+	if len(cur.Engine) == 0 {
+		t.Error("current run carries no engine section")
+	}
+	if len(cur.Traj) == 0 {
+		t.Error("current run carries no trajectory section")
+	}
+	if len(cur.Reweight) == 0 {
+		t.Error("current run carries no reweight section (the decoder-prior tier is untracked)")
+	}
+	for _, p := range cur.Reweight {
+		if p.CyclesSec <= 0 || p.Trajectories <= 0 {
+			t.Errorf("reweight point has non-positive throughput: %+v", p)
+		}
+	}
+}

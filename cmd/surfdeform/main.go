@@ -27,6 +27,7 @@ import (
 	"surfdeformer/internal/estimator"
 	"surfdeformer/internal/experiments"
 	"surfdeformer/internal/report"
+	"surfdeformer/internal/sim"
 )
 
 func main() {
@@ -44,6 +45,8 @@ func main() {
 	storeLS := flag.Bool("store-ls", false, "list the contents of -store and exit")
 	storeGC := flag.Bool("store-gc", false, "compact -store (merge segments, drop corrupt lines) and exit")
 	targetRSE := flag.Float64("target-rse", 0, "adaptive early stopping for sweep/calibrate points (0 = fixed budget)")
+	reweightFactor := flag.Float64("reweight-factor", 0, "traj: rate-multiplier gate of the decoder-prior reweight tier (0 = default)")
+	cacheStats := flag.Bool("stats", false, "report shared DEM-cache statistics (hits/misses/clears) on stderr after the run")
 	flag.Parse()
 	format, err := report.ParseFormat(*formatArg)
 	if err != nil {
@@ -93,7 +96,7 @@ func main() {
 	opt.Stats = &experiments.RunStats{}
 	name := flag.Arg(0)
 	start := time.Now()
-	if err := run(name, opt, format, *targetRSE); err != nil {
+	if err := run(name, opt, format, *targetRSE, *reweightFactor); err != nil {
 		fmt.Fprintf(os.Stderr, "surfdeform: %v\n", err)
 		os.Exit(1)
 	}
@@ -101,10 +104,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[%s computed %d point(s), skipped %d (store %s)]\n",
 			name, opt.Stats.Computed(), opt.Stats.Skipped(), *storePath)
 	}
+	if *cacheStats {
+		// The counters are monotone across the cache's wholesale clears
+		// (clears are themselves counted), so this snapshot reflects the
+		// whole run even when a long trajectory churned the working set.
+		cs := sim.SharedDEMCache().Stats()
+		fmt.Fprintf(os.Stderr, "[dem cache: %d hits, %d misses, %d clears, %d entries]\n",
+			cs.Hits, cs.Misses, cs.Clears, cs.Entries)
+	}
 	fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
 }
 
-func run(name string, opt experiments.Options, format report.Format, targetRSE float64) error {
+func run(name string, opt experiments.Options, format report.Format, targetRSE, reweightFactor float64) error {
 	w := os.Stdout
 	structured := func(t *report.Table) error { return t.Write(w, format) }
 	textOnly := format == report.Text
@@ -214,6 +225,7 @@ func run(name string, opt experiments.Options, format report.Format, targetRSE f
 		}
 	case "traj":
 		cfg := experiments.DefaultTrajConfig(opt)
+		cfg.ReweightFactor = reweightFactor
 		rows, err := experiments.TrajectoryScan(opt, cfg, experiments.DefaultTrajModes())
 		if err != nil {
 			return err
@@ -262,7 +274,7 @@ func run(name string, opt experiments.Options, format report.Format, targetRSE f
 		for _, n := range []string{"table1", "table2", "fig11a", "fig11b", "fig11c",
 			"fig12", "fig13a", "fig13b", "fig14a", "fig14b"} {
 			fmt.Fprintf(w, "\n=== %s ===\n", n)
-			if err := run(n, opt, format, targetRSE); err != nil {
+			if err := run(n, opt, format, targetRSE, reweightFactor); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
 		}
@@ -288,9 +300,11 @@ experiments:
   fig14a    robustness to correlated two-qubit errors
   fig14b    robustness to imprecise defect detection
   sweep     (d, #defects, policy) post-removal error-rate grid
-  traj      closed-loop trajectories: detect → deform → recover over
-            thousands of cycles with stochastic defect arrivals
-            (-trials trajectories per arm; supports -store/-resume)
+  traj      closed-loop trajectories: detect → deform/reweight → recover
+            over thousands of cycles with stochastic defect arrivals; four
+            arms (surf-deformer, asc-s, reweight-only, untreated) face
+            identical timelines (-trials per arm; -reweight-factor tunes
+            the decoder-prior tier; supports -store/-resume/-stats)
   pipeline  integrated detection→deformation loop (extension study)
   calibrate refit the Λ extrapolation model from simulations
   all       everything above`)

@@ -13,9 +13,10 @@ import (
 // their Δd reserve (blocking the surrounding communication channels,
 // fig. 10), and exposes the current channel state to the router.
 type System struct {
-	plan    *Plan
-	units   []*deform.Unit
-	blocked []bool
+	plan       *Plan
+	units      []*deform.Unit
+	blocked    []bool
+	mitigation deform.Mitigation
 }
 
 // NewSystem instantiates the runtime for all patches of the plan.
@@ -26,7 +27,7 @@ func (p *Plan) NewSystem() *System {
 // NewSystemWith instantiates the runtime with every patch's unit under an
 // explicit removal policy and growth budget (see Plan.NewUnitWith).
 func (p *Plan) NewSystemWith(policy deform.Policy, budget deform.Budget) *System {
-	s := &System{plan: p}
+	s := &System{plan: p, mitigation: deform.FullLadder()}
 	n := p.Layout.N
 	s.units = make([]*deform.Unit, n)
 	s.blocked = make([]bool, n)
@@ -38,6 +39,21 @@ func (p *Plan) NewSystemWith(policy deform.Policy, budget deform.Budget) *System
 
 // NumPatches returns the number of managed logical patches.
 func (s *System) NumPatches() int { return len(s.units) }
+
+// Mitigation returns the runtime mitigation ladder (§VIII) declared for
+// this system's patches; the default is the full ladder (reweight mild
+// drift, deform severe defects).
+func (s *System) Mitigation() deform.Mitigation { return s.mitigation }
+
+// SetMitigation declares the runtime mitigation ladder. The ladder is
+// carried state, not a gate inside System itself: Step and Recover always
+// act when called, and it is the *detection loop* driving the system
+// (e.g. the trajectory engine) that consults the ladder to decide what to
+// route here versus to the decoder-prior tier — Route picks the tier,
+// Handles says whether the policy enables it. Installing the ladder on
+// the system keeps that declaration inspectable next to the units it
+// governs (multi-patch consumers read it per system).
+func (s *System) SetMitigation(m deform.Mitigation) { s.mitigation = m }
 
 // Unit exposes the deformation unit of patch i.
 func (s *System) Unit(i int) *deform.Unit { return s.units[i] }

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"surfdeformer/internal/defect"
+	"surfdeformer/internal/deform"
 	"surfdeformer/internal/lattice"
 	"surfdeformer/internal/layout"
 	"surfdeformer/internal/program"
@@ -136,5 +138,30 @@ func TestSystemIndexBounds(t *testing.T) {
 	}
 	if _, err := sys.Recover(sys.NumPatches(), nil); err == nil {
 		t.Error("out-of-range index must fail")
+	}
+}
+
+// TestSystemMitigationLadder pins the runtime policy hook: systems default
+// to the full §VIII ladder and accept per-arm overrides (ablation arms
+// disable tiers selectively).
+func TestSystemMitigationLadder(t *testing.T) {
+	lay := layout.New(layout.SurfDeformer, 1, 5, 2)
+	plan := &Plan{D: 5, DeltaD: 2, Layout: lay}
+	s := plan.NewSystem()
+	m := s.Mitigation()
+	if !m.Handles(defect.SeverityReweight) || !m.Handles(defect.SeverityRemove) {
+		t.Fatalf("default ladder %+v must enable both tiers", m)
+	}
+	if m.Route(0.5) != defect.SeverityRemove || m.Route(0.01) != defect.SeverityReweight {
+		t.Error("default ladder misroutes severities")
+	}
+	s.SetMitigation(deform.Mitigation{DeformTier: true, RemoveThreshold: 0.3})
+	m = s.Mitigation()
+	if m.Handles(defect.SeverityReweight) {
+		t.Error("override did not disable the reweight tier")
+	}
+	// A custom boundary reroutes rates between the tiers.
+	if m.Route(0.2) != defect.SeverityReweight || m.Route(0.3) != defect.SeverityRemove {
+		t.Error("custom severity boundary not honored")
 	}
 }

@@ -43,7 +43,22 @@ type Graph struct {
 	// (irreducible failures no decoder can see).
 	Decomposed   int
 	FreeLogicalP float64
+	// Clamped counts edges whose merged probability reached ½ and was
+	// clamped to MaxEdgeProb; Dropped counts merged edges discarded for a
+	// non-positive probability. Both are zero on nominal DEMs but reachable
+	// once reweighted decode priors elevate edge rates toward ½ — surfaced
+	// so consumers can see how much of the prior the graph could not
+	// represent instead of losing it silently.
+	Clamped int
+	Dropped int
 }
+
+// MaxEdgeProb is the edge-probability ceiling of the decoding graph. An
+// error mechanism at p ≥ ½ has a non-positive log-likelihood weight
+// -log(p/(1-p)), which the union-find growth model cannot represent, so
+// such edges are clamped just below ½: "this edge is (almost) free to
+// traverse". The count of clamps is reported in Graph.Clamped.
+const MaxEdgeProb = 0.4999
 
 // NewGraph converts a DEM into a decoding graph. Mechanisms touching more
 // than two detectors are decomposed into consecutive pairs (detector IDs
@@ -111,10 +126,12 @@ func NewGraph(dem *sim.DEM) *Graph {
 		e := acc[k]
 		p := e.P
 		if p <= 0 {
+			g.Dropped++
 			continue
 		}
 		if p >= 0.5 {
-			p = 0.4999
+			g.Clamped++
+			p = MaxEdgeProb
 		}
 		e.Weight = math.Log((1 - p) / p)
 		g.Edges = append(g.Edges, *e)

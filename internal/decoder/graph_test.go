@@ -1,6 +1,7 @@
 package decoder
 
 import (
+	"math"
 	"testing"
 
 	"surfdeformer/internal/sim"
@@ -68,6 +69,53 @@ func TestGraphMergesObsToDominant(t *testing.T) {
 	}
 	if !g.Edges[0].Obs {
 		t.Error("merged edge must carry the dominant mechanism's observable flag")
+	}
+}
+
+// TestGraphClampAndDropSurfaced pins the satellite fix: edge probabilities
+// at or above ½ are clamped to MaxEdgeProb and non-positive ones dropped —
+// as before — but the graph now reports how often, instead of silently
+// rewriting the prior. Reweighted decode DEMs hit both paths (estimated
+// site rates near ½ merge into ≥½ parallel-edge mass).
+func TestGraphClampAndDropSurfaced(t *testing.T) {
+	dem := &sim.DEM{
+		NumDets: 4,
+		Mechs: []sim.Mechanism{
+			{P: 0.6, Dets: []int32{0, 1}},  // clamped outright
+			{P: 0.4, Dets: []int32{2}},     // merges with the next...
+			{P: 0.3, Dets: []int32{2}},     // ...to 0.4+0.3-2·0.12 = 0.46: kept
+			{P: 0, Dets: []int32{3}},       // dropped (zero probability)
+			{P: 0.01, Dets: []int32{0, 3}}, // healthy edge
+		},
+	}
+	g := NewGraph(dem)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Clamped != 1 {
+		t.Errorf("Clamped = %d, want 1", g.Clamped)
+	}
+	if g.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", g.Dropped)
+	}
+	wantClamped := math.Log((1 - MaxEdgeProb) / MaxEdgeProb)
+	for _, e := range g.Edges {
+		if e.U == 0 && e.V == 1 {
+			if e.Weight != wantClamped {
+				t.Errorf("clamped edge weight %v, want %v (the named constant's weight)", e.Weight, wantClamped)
+			}
+		}
+		if e.Weight <= 0 {
+			t.Errorf("edge (%d,%d) weight %v must stay positive after clamping", e.U, e.V, e.Weight)
+		}
+		if e.U == 3 && e.V == Boundary {
+			t.Errorf("dropped zero-probability mechanism left its boundary edge in the graph")
+		}
+	}
+	// A nominal-rate graph reports zero for both.
+	nominal := NewGraph(&sim.DEM{NumDets: 2, Mechs: []sim.Mechanism{{P: 0.001, Dets: []int32{0, 1}}}})
+	if nominal.Clamped != 0 || nominal.Dropped != 0 {
+		t.Errorf("nominal graph reports clamped=%d dropped=%d, want 0/0", nominal.Clamped, nominal.Dropped)
 	}
 }
 

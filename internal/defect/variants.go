@@ -132,9 +132,27 @@ const (
 	SeverityRemove
 )
 
-// Classify returns the mitigation tier for a local error rate.
+// RemoveThreshold is the default local error rate at or above which an
+// event needs code deformation rather than decoder-prior reweighting: a
+// region erring one shot in ten overwhelms any prior update (the decoding
+// graph cannot even represent rates at ½, see decoder.MaxEdgeProb), while
+// milder drift leaves the code intact and only misweights the decoder.
+const RemoveThreshold = 0.1
+
+// Classify returns the mitigation tier for a local error rate at the
+// default severity boundary.
 func Classify(localRate float64) Severity {
-	if localRate >= 0.1 {
+	return ClassifyAt(localRate, RemoveThreshold)
+}
+
+// ClassifyAt returns the mitigation tier for a local error rate at an
+// explicit severity boundary (non-positive selects RemoveThreshold) —
+// the knob runtime mitigation policies (deform.Mitigation) expose.
+func ClassifyAt(localRate, threshold float64) Severity {
+	if threshold <= 0 {
+		threshold = RemoveThreshold
+	}
+	if localRate >= threshold {
 		return SeverityRemove
 	}
 	return SeverityReweight

@@ -1,0 +1,51 @@
+package deform
+
+import "surfdeformer/internal/defect"
+
+// Mitigation is the runtime mitigation ladder of the paper's §VIII: which
+// of the two tiers a policy enables — decoder-prior reweighting for mild
+// rate elevation, code deformation for severe defects — and where the
+// severity boundary between them sits. The runtime (core.System, the
+// trajectory engine's arms) consults this ladder to route a detected
+// elevation: Route classifies it, Handles says whether the selected tier
+// is actually enabled under the policy (an ablation arm may run one tier
+// only).
+type Mitigation struct {
+	// ReweightTier enables decoder-prior reweighting: detected mild
+	// elevations are folded into the decode model's priors
+	// (noise.Model.OverlaySiteRates) without touching the code.
+	ReweightTier bool
+	// DeformTier enables code deformation: detected severe defects are
+	// removed (and the code adaptively enlarged) by the deformation unit.
+	DeformTier bool
+	// RemoveThreshold is the estimated local error rate at or above which
+	// an elevation needs deformation rather than reweighting
+	// (non-positive selects defect.RemoveThreshold).
+	RemoveThreshold float64
+}
+
+// FullLadder is the paper's complete mitigation ladder: both tiers enabled
+// at the default severity boundary.
+func FullLadder() Mitigation {
+	return Mitigation{ReweightTier: true, DeformTier: true}
+}
+
+// Route classifies an estimated local error rate into the tier that should
+// handle it under this ladder's severity boundary. Routing is independent
+// of which tiers are enabled — callers combine it with Handles, so a
+// reweight-only ablation can still see that an elevation *wanted* removal.
+func (m Mitigation) Route(estRate float64) defect.Severity {
+	return defect.ClassifyAt(estRate, m.RemoveThreshold)
+}
+
+// Handles reports whether the tier selected for a severity is enabled
+// under this ladder.
+func (m Mitigation) Handles(s defect.Severity) bool {
+	switch s {
+	case defect.SeverityReweight:
+		return m.ReweightTier
+	case defect.SeverityRemove:
+		return m.DeformTier
+	}
+	return false
+}

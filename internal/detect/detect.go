@@ -10,6 +10,7 @@
 package detect
 
 import (
+	"math"
 	"math/rand"
 	"slices"
 
@@ -118,6 +119,98 @@ func (w *Window) Flagged() []int32 {
 		}
 	}
 	slices.Sort(out)
+	return out
+}
+
+// RateEstimate is one observable with sustained elevated firing: the
+// observed windowed firing rate, the nominal baseline it was measured
+// against, and the estimated physical error-rate multiplier at the
+// observable's sites inferred by inverting the firing model.
+type RateEstimate struct {
+	Observable int32
+	// FireRate is the raw observed firing rate inside the trailing window
+	// (unclamped — it can reach 1.0; only the inversion saturates at ½, so
+	// callers can compare FireRate against their own flag thresholds).
+	FireRate float64
+	// Baseline is the nominal per-round firing probability supplied by the
+	// caller for this observable.
+	Baseline float64
+	// Multiplier is the estimated per-site physical error-rate multiplier:
+	// estimated local rate ≈ Multiplier × nominal physical rate.
+	Multiplier float64
+}
+
+// maxFireRate caps observed and baseline firing rates just below ½ before
+// inversion: a detector firing at ≥ 50% carries no more rate information
+// (the XOR of its mechanisms has saturated), and the inversion below is
+// singular at exactly ½.
+const maxFireRate = 0.499
+
+// EstimateRates is the decoder-prior rate estimator of the paper's §VIII
+// reweight tier: it maps sustained elevated firing onto estimated per-site
+// physical error-rate multipliers.
+//
+// A detector's firing probability under independent error mechanisms is
+// f = ½(1 − (1−2r)^k) — the XOR of k Bernoulli(r) draws — so the observed
+// window rate is inverted through that saturating model rather than
+// linearly: the effective mechanism count k is fitted from the supplied
+// baseline rate at the nominal physical rate p, and the estimated local
+// rate is r̂ = ½(1 − (1−2f)^(1/k)). Linear inversion (f/baseline) would
+// underestimate strong elevations badly, because firing saturates at ½
+// while local rates keep growing toward ½ per mechanism.
+//
+// baseline returns the nominal per-round firing probability of an
+// observable (non-positive = unknown: the observable is skipped — e.g. a
+// check that no longer exists in the current code). An observable
+// qualifies only when it fired at least minFirings times inside the window
+// ("sustained", so single noise firings over a short effective window
+// cannot masquerade as drift) and its estimated Multiplier is at least
+// minMultiplier. Results are sorted by observable id — deterministic for
+// any feeding order.
+func (w *Window) EstimateRates(p float64, baseline func(int32) float64, minMultiplier float64, minFirings int) []RateEstimate {
+	eff := w.effectiveRounds()
+	if eff == 0 || p <= 0 || p >= 0.5 {
+		return nil
+	}
+	if minFirings < 1 {
+		minFirings = 1
+	}
+	lo := w.current - w.rounds + 1
+	var out []RateEstimate
+	for o, rounds := range w.history {
+		n := 0
+		for _, r := range rounds {
+			if r >= lo {
+				n++
+			}
+		}
+		if n < minFirings {
+			continue
+		}
+		f0 := baseline(o)
+		if f0 <= 0 {
+			continue
+		}
+		if f0 > maxFireRate {
+			f0 = maxFireRate
+		}
+		raw := float64(n) / float64(eff)
+		f := raw
+		if f > maxFireRate {
+			f = maxFireRate
+		}
+		k := math.Log(1-2*f0) / math.Log(1-2*p)
+		if k < 1 {
+			k = 1
+		}
+		est := 0.5 * (1 - math.Pow(1-2*f, 1/k))
+		mult := est / p
+		if mult < minMultiplier {
+			continue
+		}
+		out = append(out, RateEstimate{Observable: o, FireRate: raw, Baseline: f0, Multiplier: mult})
+	}
+	slices.SortFunc(out, func(a, b RateEstimate) int { return int(a.Observable) - int(b.Observable) })
 	return out
 }
 

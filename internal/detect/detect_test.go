@@ -1,7 +1,9 @@
 package detect
 
 import (
+	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"surfdeformer/internal/lattice"
@@ -172,6 +174,108 @@ func TestWindowRejectsDecreasingRounds(t *testing.T) {
 	w.Feed(10, []int32{9}) // equal round is fine
 	if len(w.history[9]) != 1 {
 		t.Errorf("equal-round feed not recorded")
+	}
+}
+
+// TestEstimateRatesInversion pins the saturating-model inversion: firing
+// counts generated from a known per-mechanism rate must invert back to a
+// multiplier near the true one, where the naive linear ratio
+// (fire/baseline) would land far below it.
+func TestEstimateRatesInversion(t *testing.T) {
+	const (
+		p = 1e-3
+		k = 15.0 // effective mechanism count encoded in the baseline
+	)
+	fire := func(q float64) float64 { return 0.5 * (1 - math.Pow(1-2*q, k)) }
+	baseline := fire(p) // ≈ 0.0149
+	w := NewWindow(100, 0.5)
+	// A 10×-drifted observable fires at fire(0.01) ≈ 0.13: 13 of 100 rounds.
+	n := int(math.Round(fire(0.01) * 100))
+	for round := 0; round < 100; round++ {
+		var fired []int32
+		if round < n {
+			fired = []int32{4}
+		}
+		w.Feed(round, fired)
+	}
+	ests := w.EstimateRates(p, func(int32) float64 { return baseline }, 2, 3)
+	if len(ests) != 1 || ests[0].Observable != 4 {
+		t.Fatalf("estimates = %+v, want exactly observable 4", ests)
+	}
+	got := ests[0].Multiplier
+	if got < 8 || got > 12 {
+		t.Errorf("estimated multiplier %.2f for a true 10× drift, want ≈10 (the linear ratio %.2f would miss)",
+			got, ests[0].FireRate/baseline)
+	}
+	// The same stream gated at a higher multiplier returns nothing.
+	if ests := w.EstimateRates(p, func(int32) float64 { return baseline }, 20, 3); len(ests) != 0 {
+		t.Errorf("gate 20 passed a 10× drift: %+v", ests)
+	}
+}
+
+// TestEstimateRatesSustainedGate pins the minFirings gate: a single noise
+// firing over a short effective window must never qualify, however large
+// its instantaneous rate ratio.
+func TestEstimateRatesSustainedGate(t *testing.T) {
+	w := NewWindow(20, 0.5)
+	w.Feed(0, []int32{7})
+	w.Feed(1, nil)
+	// Rate 0.5 over 2 effective rounds: a naive estimator would scream.
+	if ests := w.EstimateRates(1e-3, func(int32) float64 { return 0.015 }, 2, 3); len(ests) != 0 {
+		t.Errorf("single firing qualified: %+v", ests)
+	}
+	// Unknown baselines (observable absent from the current code) skip.
+	for round := 2; round < 12; round++ {
+		w.Feed(round, []int32{7})
+	}
+	if ests := w.EstimateRates(1e-3, func(int32) float64 { return 0 }, 2, 3); len(ests) != 0 {
+		t.Errorf("non-positive baseline qualified: %+v", ests)
+	}
+}
+
+// TestTrimDoesNotBiasEstimates pins the satellite interaction: Trim drops
+// exactly the history outside the trailing window — the same range every
+// rate computation already ignores — so a trimmed window must produce
+// bit-identical rate estimates to an untrimmed one fed the same stream.
+func TestTrimDoesNotBiasEstimates(t *testing.T) {
+	baseline := func(int32) float64 { return 0.015 }
+	mk := func(trim bool) []RateEstimate {
+		w := NewWindow(20, 0.25)
+		for round := 0; round < 200; round++ {
+			var fired []int32
+			if round%3 == 0 {
+				fired = append(fired, 2) // sustained ~33% firing
+			}
+			if round%17 == 0 {
+				fired = append(fired, 9) // sporadic
+			}
+			w.Feed(round, fired)
+			if trim && round%7 == 0 {
+				w.Trim()
+			}
+		}
+		return w.EstimateRates(1e-3, baseline, 2, 3)
+	}
+	plain, trimmed := mk(false), mk(true)
+	if len(plain) == 0 {
+		t.Fatal("stream produced no estimates; the comparison is vacuous")
+	}
+	if !reflect.DeepEqual(plain, trimmed) {
+		t.Errorf("Trim biased the estimates:\nplain   %+v\ntrimmed %+v", plain, trimmed)
+	}
+	// Flagged agrees too (the deformation path reads the same window).
+	w1, w2 := NewWindow(20, 0.25), NewWindow(20, 0.25)
+	for round := 0; round < 50; round++ {
+		var fired []int32
+		if round%2 == 0 {
+			fired = []int32{3}
+		}
+		w1.Feed(round, fired)
+		w2.Feed(round, fired)
+		w2.Trim()
+	}
+	if !reflect.DeepEqual(w1.Flagged(), w2.Flagged()) {
+		t.Error("Trim changed Flagged")
 	}
 }
 

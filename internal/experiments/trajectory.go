@@ -20,9 +20,15 @@ import (
 // is the accumulating dimension: raising Options.Trials computes only the
 // new indices).
 
-// DefaultTrajModes lists the arms every scan compares.
+// trajEngineRev is the current engine-semantics revision carried in every
+// trajectory's store identity (rev 1: the decoder-prior reweight tier —
+// surf-deformer results changed for unchanged configs).
+const trajEngineRev = 1
+
+// DefaultTrajModes lists the arms every scan compares, in mitigation-ladder
+// order: the full ladder, removal only, reweighting only, nothing.
 func DefaultTrajModes() []traj.Mode {
-	return []traj.Mode{traj.ModeSurfDeformer, traj.ModeASC, traj.ModeUntreated}
+	return []traj.Mode{traj.ModeSurfDeformer, traj.ModeASC, traj.ModeReweightOnly, traj.ModeUntreated}
 }
 
 // DefaultTrajConfig returns the scan scenario at Options scale.
@@ -36,8 +42,13 @@ func DefaultTrajConfig(opt Options) traj.Config {
 // trajTaskConfig is the store identity of one trajectory: the full scenario
 // generator (everything that fixes the event timeline and shot streams)
 // plus the arm and the trajectory index. The trajectory count is
-// deliberately absent — it is the accumulating dimension.
+// deliberately absent — it is the accumulating dimension. Rev is the
+// engine-semantics revision: it must be bumped whenever traj.Run changes
+// what a Result means for an unchanged config (as the reweight tier did
+// for every arm), so -resume against a store written by an older engine
+// recomputes instead of silently mixing semantics.
 type trajTaskConfig struct {
+	Rev          int     `json:"rev,omitempty"`
 	D            int     `json:"d"`
 	DeltaD       int     `json:"delta_d"`
 	Horizon      int64   `json:"horizon"`
@@ -58,17 +69,35 @@ type trajTaskConfig struct {
 	DriftMult      float64 `json:"drift_mult,omitempty"`
 	DriftDuration  int     `json:"drift_duration,omitempty"`
 
+	ReweightFactor float64 `json:"reweight_factor,omitempty"`
+
 	Mode string `json:"mode"`
 	Traj int    `json:"traj"`
 	Seed int64  `json:"seed"`
 }
 
 func taskConfig(cfg traj.Config, mode traj.Mode, j int, seed int64) trajTaskConfig {
+	// The store identity carries the *resolved* reweight factor, and only
+	// for arms whose ladder actually consults it: an explicit
+	// `-reweight-factor 3` and the 0-means-default spelling run identical
+	// trajectories and must hash identically; if the default itself ever
+	// changes, default-spelled configs correctly stop matching their old
+	// rows; and tuning the gate must not invalidate the untreated/asc-s
+	// rows, whose Results are factor-independent.
+	rf := 0.0
+	if mode.Mitigation().ReweightTier {
+		rf = cfg.ReweightFactor
+		if rf == 0 {
+			rf = traj.DefaultReweightFactor
+		}
+	}
 	tc := trajTaskConfig{
-		D: cfg.D, DeltaD: cfg.DeltaD, Horizon: cfg.Horizon,
+		Rev: trajEngineRev,
+		D:   cfg.D, DeltaD: cfg.DeltaD, Horizon: cfg.Horizon,
 		ChunkRounds: cfg.ChunkRounds, Window: cfg.Window, Threshold: cfg.Threshold,
 		PhysicalRate: cfg.PhysicalRate, Basis: int(cfg.Basis),
-		Mode: mode.String(), Traj: j, Seed: seed,
+		ReweightFactor: rf,
+		Mode:           mode.String(), Traj: j, Seed: seed,
 	}
 	if m := cfg.Cosmic; m != nil {
 		tc.CosmicRate, tc.CosmicDuration = m.RatePerQubit, m.DurationCycles
@@ -106,6 +135,17 @@ type TrajRow struct {
 	BlockedFrac   float64
 	MeanDistance  float64
 	FailuresPer1k float64
+	// MeanReweights counts decoder-prior updates per trajectory;
+	// ReweightedFrac is the fraction of elapsed cycles decoded under
+	// estimated priors and MismatchFrac the fraction decoded with nominal
+	// priors while elevated true rates were live (the regime reweighting
+	// shrinks). MeanRateErr is the mean absolute estimated-vs-true per-site
+	// rate error over the reweighted cycles (-1 when the arm never
+	// reweighted).
+	MeanReweights  float64
+	ReweightedFrac float64
+	MismatchFrac   float64
+	MeanRateErr    float64
 }
 
 // TrajectoryScan runs Options.Trials closed-loop trajectories per mode and
@@ -146,8 +186,10 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 	for mi, mode := range modes {
 		row := TrajRow{Mode: mode.String(), Trajectories: opt.Trials}
 		var latency, detected, removable int64
-		var deforms, recovers, failures int
+		var deforms, recovers, failures, reweights int
 		var blocked, distance, elapsed, scored int64
+		var reweighted, mismatch int64
+		var rateErr float64
 		for j := 0; j < opt.Trials; j++ {
 			r := results[mi*opt.Trials+j]
 			for q := 0; q < 4; q++ {
@@ -168,6 +210,10 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 			distance += r.DistanceCycles
 			elapsed += r.ElapsedCycles
 			scored += r.ScoredCycles
+			reweights += r.Reweights
+			reweighted += r.ReweightedCycles
+			mismatch += r.MismatchCycles
+			rateErr += r.RateErrCycles
 			if r.Severed {
 				row.Severed++
 			}
@@ -192,26 +238,42 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 		if scored > 0 {
 			row.FailuresPer1k = 1000 * float64(failures) / float64(scored)
 		}
+		row.MeanReweights = float64(reweights) / trials
+		if elapsed > 0 {
+			row.ReweightedFrac = float64(reweighted) / float64(elapsed)
+			row.MismatchFrac = float64(mismatch) / float64(elapsed)
+		}
+		row.MeanRateErr = -1
+		if reweighted > 0 {
+			row.MeanRateErr = rateErr / float64(reweighted)
+		}
 		rows[mi] = row
 	}
 	return rows, nil
 }
 
-// RenderTraj prints the trajectory-scan comparison table.
+// RenderTraj prints the trajectory-scan comparison table: the closed-loop
+// headline columns, then the decoder-prior columns of the reweight tier.
 func RenderTraj(w io.Writer, horizon int64, rows []TrajRow) {
 	fmt.Fprintf(w, "closed-loop trajectories over %d cycles (survival at quarter horizons)\n", horizon)
-	fmt.Fprintf(w, "%-14s %-6s %-26s %-9s %-9s %-8s %-8s %-7s %-9s %-8s %-9s\n",
-		"arm", "trajs", "survival T/4 T/2 3T/4 T", "detect%", "latency", "deforms", "recovers", "severed", "blocked%", "mean-d", "fail/1k")
+	fmt.Fprintf(w, "%-14s %-6s %-26s %-9s %-9s %-8s %-8s %-7s %-9s %-8s %-9s %-8s %-7s %-9s %-9s\n",
+		"arm", "trajs", "survival T/4 T/2 3T/4 T", "detect%", "latency", "deforms", "recovers", "severed", "blocked%", "mean-d", "fail/1k",
+		"rewts", "rw%", "mismatch%", "rate-err")
 	for _, r := range rows {
 		lat := "-"
 		if r.MeanLatency >= 0 {
 			lat = fmt.Sprintf("%.1f", r.MeanLatency)
 		}
-		fmt.Fprintf(w, "%-14s %-6d %.2f %.2f %.2f %.2f        %-9.0f %-9s %-8.2f %-8.2f %-7d %-9.1f %-8.2f %-9.3f\n",
+		rerr := "-"
+		if r.MeanRateErr >= 0 {
+			rerr = fmt.Sprintf("%.4f", r.MeanRateErr)
+		}
+		fmt.Fprintf(w, "%-14s %-6d %.2f %.2f %.2f %.2f        %-9.0f %-9s %-8.2f %-8.2f %-7d %-9.1f %-8.2f %-9.3f %-8.1f %-7.1f %-9.1f %-9s\n",
 			r.Mode, r.Trajectories,
 			r.Survival[0], r.Survival[1], r.Survival[2], r.Survival[3],
 			100*r.DetectedFrac, lat, r.MeanDeformations, r.MeanRecoveries,
-			r.Severed, 100*r.BlockedFrac, r.MeanDistance, r.FailuresPer1k)
+			r.Severed, 100*r.BlockedFrac, r.MeanDistance, r.FailuresPer1k,
+			r.MeanReweights, 100*r.ReweightedFrac, 100*r.MismatchFrac, rerr)
 	}
 }
 
@@ -220,12 +282,14 @@ func TrajTable(rows []TrajRow) *report.Table {
 	t := report.New("traj", "mode", "trajectories",
 		"survival_q1", "survival_q2", "survival_q3", "survival_q4",
 		"detected_frac", "mean_latency", "mean_deformations", "mean_recoveries",
-		"severed", "blocked_frac", "mean_distance", "failures_per_1k")
+		"severed", "blocked_frac", "mean_distance", "failures_per_1k",
+		"mean_reweights", "reweighted_frac", "mismatch_frac", "mean_rate_err")
 	for _, r := range rows {
 		t.Add(r.Mode, r.Trajectories,
 			r.Survival[0], r.Survival[1], r.Survival[2], r.Survival[3],
 			r.DetectedFrac, r.MeanLatency, r.MeanDeformations, r.MeanRecoveries,
-			r.Severed, r.BlockedFrac, r.MeanDistance, r.FailuresPer1k)
+			r.Severed, r.BlockedFrac, r.MeanDistance, r.FailuresPer1k,
+			r.MeanReweights, r.ReweightedFrac, r.MismatchFrac, r.MeanRateErr)
 	}
 	return t
 }

@@ -121,6 +121,23 @@ func TestTrajectoryScanShape(t *testing.T) {
 			if r.MeanDeformations != 0 || r.MeanRecoveries != 0 || r.Severed != 0 {
 				t.Errorf("untreated arm acted on the code: %+v", r)
 			}
+			if r.MeanReweights != 0 || r.ReweightedFrac != 0 || r.MeanRateErr != -1 {
+				t.Errorf("untreated arm updated decode priors: %+v", r)
+			}
+		}
+		if r.Mode == traj.ModeReweightOnly.String() {
+			if r.MeanDeformations != 0 || r.MeanRecoveries != 0 || r.Severed != 0 {
+				t.Errorf("reweight-only arm deformed the code: %+v", r)
+			}
+			if r.MeanReweights == 0 || r.ReweightedFrac <= 0 {
+				t.Errorf("reweight-only arm never engaged its tier: %+v", r)
+			}
+		}
+		if r.Mode == traj.ModeASC.String() && r.MeanReweights != 0 {
+			t.Errorf("asc-s arm (no reweight tier) updated decode priors: %+v", r)
+		}
+		if r.ReweightedFrac < 0 || r.ReweightedFrac > 1 || r.MismatchFrac < 0 || r.MismatchFrac > 1 {
+			t.Errorf("%s: reweight fractions outside [0,1]: %+v", r.Mode, r)
 		}
 	}
 	// The structured table carries one row per arm.

@@ -74,6 +74,28 @@ func (m *Model) WithSiteRates(rates map[lattice.Coord]float64) *Model {
 	return &c
 }
 
+// OverlaySiteRates returns a copy of the model with the given per-qubit
+// rates overlaid on any existing SiteRates: for each site the larger rate
+// wins, so composing an estimated-prior overlay can only elevate, never
+// mask, an existing override. Unlike WithSiteRates, both input maps are
+// left untouched (the copy owns a fresh map), so callers may keep mutating
+// their overlay; the returned model must not be mutated afterwards (DEM
+// caches fingerprint it). The reweight tier composes decode models this
+// way: nominal priors plus the detector's estimated elevations.
+func (m *Model) OverlaySiteRates(rates map[lattice.Coord]float64) *Model {
+	c := *m
+	c.SiteRates = make(map[lattice.Coord]float64, len(m.SiteRates)+len(rates))
+	for q, r := range m.SiteRates {
+		c.SiteRates[q] = r
+	}
+	for q, r := range rates {
+		if r > c.SiteRates[q] {
+			c.SiteRates[q] = r
+		}
+	}
+	return &c
+}
+
 // IsDefective reports whether q lies in a defect region.
 func (m *Model) IsDefective(q lattice.Coord) bool {
 	if _, ok := m.SiteRates[q]; ok {

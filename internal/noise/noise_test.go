@@ -92,3 +92,43 @@ func TestWithCorrelated(t *testing.T) {
 		t.Error("base model must default to zero correlated rate")
 	}
 }
+
+// TestOverlaySiteRates pins the reweight tier's composition helper: the
+// larger rate wins per site, neither input map is mutated, and the copy
+// owns fresh storage.
+func TestOverlaySiteRates(t *testing.T) {
+	a := lattice.Coord{Row: 1, Col: 1}
+	b := lattice.Coord{Row: 1, Col: 3}
+	c := lattice.Coord{Row: 3, Col: 1}
+	base := Uniform(1e-3).WithSiteRates(map[lattice.Coord]float64{a: 0.25, b: 0.01})
+	overlay := map[lattice.Coord]float64{b: 0.05, c: 0.02}
+	m := base.OverlaySiteRates(overlay)
+	if got := m.Rate1(a); got != 0.25 {
+		t.Errorf("Rate1(a) = %v, want the existing 0.25 kept", got)
+	}
+	if got := m.Rate1(b); got != 0.05 {
+		t.Errorf("Rate1(b) = %v, want the larger overlay rate 0.05", got)
+	}
+	if got := m.Rate1(c); got != 0.02 {
+		t.Errorf("Rate1(c) = %v, want the overlaid 0.02", got)
+	}
+	// An overlay below the existing override never masks it.
+	if got := base.OverlaySiteRates(map[lattice.Coord]float64{a: 0.1}).Rate1(a); got != 0.25 {
+		t.Errorf("smaller overlay masked the override: %v", got)
+	}
+	// Inputs are untouched; the copy owns fresh storage.
+	if base.SiteRates[b] != 0.01 || len(base.SiteRates) != 2 {
+		t.Errorf("base model mutated: %v", base.SiteRates)
+	}
+	if overlay[b] != 0.05 || len(overlay) != 2 {
+		t.Errorf("overlay map mutated: %v", overlay)
+	}
+	m.SiteRates[c] = 0.5
+	if base.SiteRates[c] != 0 {
+		t.Error("overlaid model shares storage with the base model")
+	}
+	// Overlaying onto a model with no overrides works from a nil map.
+	if got := Uniform(1e-3).OverlaySiteRates(overlay).Rate1(c); got != 0.02 {
+		t.Errorf("overlay on clean model = %v, want 0.02", got)
+	}
+}

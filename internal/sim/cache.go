@@ -26,9 +26,14 @@ import (
 type DEMCache struct {
 	mu      sync.Mutex
 	entries map[string]*DEM
-	limit   int
-	hits    int
-	misses  int
+	// byPtr mirrors entries keyed by DEM identity so Has is O(1) — memo
+	// layers call it per memoized entry after a clear, and a linear scan
+	// under this mutex would serialize every concurrent trajectory on it.
+	byPtr  map[*DEM]struct{}
+	limit  int
+	hits   int
+	misses int
+	clears int
 }
 
 // NewDEMCache returns an empty cache bounded at the given number of
@@ -37,7 +42,7 @@ func NewDEMCache(limit int) *DEMCache {
 	if limit <= 0 {
 		limit = 256
 	}
-	return &DEMCache{entries: make(map[string]*DEM), limit: limit}
+	return &DEMCache{entries: make(map[string]*DEM), byPtr: make(map[*DEM]struct{}), limit: limit}
 }
 
 var sharedDEMCache = NewDEMCache(0)
@@ -71,17 +76,55 @@ func (dc *DEMCache) BuildDEM(c *code.Code, model *noise.Model, rounds int, basis
 	}
 	if len(dc.entries) >= dc.limit {
 		dc.entries = make(map[string]*DEM)
+		dc.byPtr = make(map[*DEM]struct{})
+		dc.clears++
 	}
 	dc.entries[key] = dem
+	dc.byPtr[dem] = struct{}{}
 	dc.misses++
 	return dem, nil
 }
 
-// Stats reports cache hits and misses (for tests and diagnostics).
-func (dc *DEMCache) Stats() (hits, misses int) {
+// CacheStats is a point-in-time snapshot of a DEMCache. Hits, Misses and
+// Clears are monotone over the cache's lifetime — a wholesale clear resets
+// the working set (Entries) but never the counters, so long-running
+// consumers (the trajectory engine, surfdeform -stats) can difference
+// snapshots across clears without losing history.
+type CacheStats struct {
+	// Hits and Misses count BuildDEM calls served from / inserted into the
+	// cache.
+	Hits, Misses int
+	// Clears counts wholesale evictions (the working set grew past the
+	// entry limit and was reset).
+	Clears int
+	// Entries is the current working-set size.
+	Entries int
+}
+
+// Stats reports the cache's monotone counters and current working-set size.
+func (dc *DEMCache) Stats() CacheStats {
 	dc.mu.Lock()
 	defer dc.mu.Unlock()
-	return dc.hits, dc.misses
+	return CacheStats{Hits: dc.hits, Misses: dc.misses, Clears: dc.clears, Entries: len(dc.entries)}
+}
+
+// Clears reports how many wholesale evictions the cache has performed.
+// Pointer-keyed memo maps layered on the cache (per-DEM decoders and
+// samplers) watch this to learn when cached *DEM identities may have been
+// replaced and their entries need pruning.
+func (dc *DEMCache) Clears() int {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.clears
+}
+
+// Has reports whether the exact DEM pointer is currently cached (O(1);
+// memo-eviction consumers call it per memoized entry after a clear).
+func (dc *DEMCache) Has(dem *DEM) bool {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	_, ok := dc.byPtr[dem]
+	return ok
 }
 
 // demCacheKey serializes everything BuildDEM's output depends on: the

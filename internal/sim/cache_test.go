@@ -23,8 +23,8 @@ func TestDEMCacheHitsIdenticalConfig(t *testing.T) {
 	if a != b {
 		t.Error("identical configuration must return the identical *DEM")
 	}
-	if hits, misses := dc.Stats(); hits != 1 || misses != 1 {
-		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	if st := dc.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", st.Hits, st.Misses)
 	}
 }
 
@@ -48,8 +48,8 @@ func TestDEMCacheStructuralKey(t *testing.T) {
 	if _, err := dc.BuildDEM(freshCode(t, 3), noise.Uniform(1e-3), 4, lattice.ZCheck); err != nil {
 		t.Fatal(err)
 	}
-	if hits, _ := dc.Stats(); hits != 2 {
-		t.Errorf("hits = %d, want 2", hits)
+	if st := dc.Stats(); st.Hits != 2 {
+		t.Errorf("hits = %d, want 2", st.Hits)
 	}
 }
 
@@ -86,8 +86,8 @@ func TestDEMCacheMissesOnAnyDifference(t *testing.T) {
 			t.Errorf("variant %q must not share the base entry", v.name)
 		}
 	}
-	if hits, misses := dc.Stats(); hits != 0 || misses != len(variants)+1 {
-		t.Errorf("stats = (%d hits, %d misses), want (0, %d)", hits, misses, len(variants)+1)
+	if st := dc.Stats(); st.Hits != 0 || st.Misses != len(variants)+1 {
+		t.Errorf("stats = (%d hits, %d misses), want (0, %d)", st.Hits, st.Misses, len(variants)+1)
 	}
 }
 
@@ -104,5 +104,57 @@ func TestDEMCacheEviction(t *testing.T) {
 	dc.mu.Unlock()
 	if n > 2 {
 		t.Errorf("cache holds %d entries, limit is 2", n)
+	}
+}
+
+// TestDEMCacheStatsMonotoneAcrossClears pins the stats contract: a
+// wholesale clear resets the working set but never the hit/miss counters,
+// and is itself counted — long-running consumers can difference snapshots
+// mid-trajectory without losing history to an eviction.
+func TestDEMCacheStatsMonotoneAcrossClears(t *testing.T) {
+	dc := NewDEMCache(2)
+	c := freshCode(t, 3)
+	model := noise.Uniform(1e-3)
+	build := func(rounds int) *DEM {
+		t.Helper()
+		dem, err := dc.BuildDEM(c, model, rounds, lattice.ZCheck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dem
+	}
+	build(2)
+	build(2) // hit
+	build(3)
+	before := dc.Stats()
+	if before.Hits != 1 || before.Misses != 2 || before.Clears != 0 || before.Entries != 2 {
+		t.Fatalf("pre-clear stats %+v, want 1 hit / 2 misses / 0 clears / 2 entries", before)
+	}
+	kept := build(4) // working set at the limit: clears, then inserts
+	after := dc.Stats()
+	if after.Hits < before.Hits || after.Misses < before.Misses {
+		t.Errorf("counters went backwards across a clear: %+v -> %+v", before, after)
+	}
+	if after.Clears != 1 {
+		t.Errorf("clears = %d, want 1", after.Clears)
+	}
+	if dc.Clears() != 1 {
+		t.Errorf("Clears() = %d, want 1", dc.Clears())
+	}
+	if after.Entries != 1 {
+		t.Errorf("post-clear working set %d, want 1", after.Entries)
+	}
+	if after.Misses != 3 {
+		t.Errorf("misses = %d, want 3 (counters survive the clear)", after.Misses)
+	}
+	// Has tracks the working set, not history: the survivor is present, the
+	// cleared entries are not.
+	if !dc.Has(kept) {
+		t.Error("Has must report the just-inserted DEM")
+	}
+	old := build(2) // rebuilt after the clear: a fresh pointer
+	_ = old
+	if dc.Has(nil) {
+		t.Error("Has(nil) must be false")
 	}
 }

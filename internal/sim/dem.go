@@ -54,6 +54,28 @@ type DEM struct {
 // merging.
 func (d *DEM) RawMechanisms() int { return d.rawMechs }
 
+// DetectorFireRates returns each detector's marginal firing probability
+// under the DEM: mechanisms fire independently, so detector d fires with
+// probability ½(1 − ∏_{m∋d}(1 − 2·P_m)) — the XOR of independent Bernoulli
+// draws. The defect detector's rate estimator uses these as the nominal
+// baselines it measures elevation against (detect.EstimateRates).
+func (d *DEM) DetectorFireRates() []float64 {
+	rates := make([]float64, d.NumDets)
+	for i := range rates {
+		rates[i] = 1
+	}
+	for _, m := range d.Mechs {
+		f := 1 - 2*m.P
+		for _, det := range m.Dets {
+			rates[det] *= f
+		}
+	}
+	for i, prod := range rates {
+		rates[i] = 0.5 * (1 - prod)
+	}
+	return rates
+}
+
 // op kinds of the flattened circuit.
 type opKind uint8
 

