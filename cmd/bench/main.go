@@ -90,7 +90,17 @@ type File struct {
 
 const schema = "surfdeformer-bench-hotpath/v1"
 
+// main is a thin exit-code shim: all work happens in realMain so the
+// profiling defers (CPU-profile flush, heap-profile write) execute on every
+// path, including errors.
 func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() (err error) {
 	out := flag.String("out", "BENCH_hotpath.json", "output file (empty = stdout only)")
 	dArg := flag.String("d", "5,9,13", "comma-separated code distances")
 	p := flag.Float64("p", 1e-3, "physical error rate")
@@ -102,11 +112,22 @@ func main() {
 	engine := flag.Bool("engine", true, "also measure the mc engine batch path")
 	trajN := flag.Int("traj", 8, "closed-loop trajectories to time (0 disables)")
 	reweightN := flag.Int("reweight", 8, "reweight-only drift trajectories to time (0 disables)")
+	prof := cliutil.AddProfileFlags()
 	flag.Parse()
+
+	stop, err := prof.Start("bench")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := stop(); serr != nil && err == nil {
+			err = serr
+		}
+	}()
 
 	ds, err := cliutil.ParseInts(*dArg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	run := &Run{
 		Label: *label,
@@ -120,7 +141,7 @@ func main() {
 		}
 		pt, err := measurePoint(d, *p, r, *shots, *warmup)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		run.Points = append(run.Points, pt)
 		fmt.Printf("d=%-3d p=%.0e rounds=%-3d  %12.0f shots/sec  %9.0f ns/shot  %7.2f allocs/shot\n",
@@ -128,7 +149,7 @@ func main() {
 		if *engine {
 			ep, err := measureEngine(d, *p, r, *shots)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			run.Engine = append(run.Engine, ep)
 			fmt.Printf("d=%-3d engine (workers=all)   %12.0f shots/sec  %9.0f ns/shot\n",
@@ -138,7 +159,7 @@ func main() {
 	if *trajN > 0 {
 		tp, err := measureTraj(*trajN)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		run.Traj = append(run.Traj, tp)
 		fmt.Printf("traj d=%-3d horizon=%-5d      %12.0f cycles/sec %9.0f ns/cycle\n",
@@ -147,24 +168,24 @@ func main() {
 	if *reweightN > 0 {
 		rp, err := measureReweight(*reweightN)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		run.Reweight = append(run.Reweight, rp)
 		fmt.Printf("rewt d=%-3d horizon=%-5d      %12.0f cycles/sec %9.0f ns/cycle\n",
 			rp.D, rp.Horizon, rp.CyclesSec, rp.NsCycle)
 	}
 	if *out == "" {
-		return
+		return nil
 	}
 	f := &File{Schema: schema}
 	// Distinguish "no previous file" from a read failure: overwriting on
 	// a transient read error would silently destroy the tracked baseline.
 	if prev, err := os.ReadFile(*out); err == nil {
 		if jerr := json.Unmarshal(prev, f); jerr != nil {
-			fatal(fmt.Errorf("existing %s is not a bench file: %v", *out, jerr))
+			return fmt.Errorf("existing %s is not a bench file: %v", *out, jerr)
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
-		fatal(fmt.Errorf("reading existing %s: %v", *out, err))
+		return fmt.Errorf("reading existing %s: %v", *out, err)
 	}
 	f.Schema = schema
 	if *asBaseline {
@@ -174,10 +195,10 @@ func main() {
 	}
 	blob, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("wrote %s\n", *out)
 	if f.Baseline != nil && f.Current != nil {
@@ -190,6 +211,7 @@ func main() {
 			}
 		}
 	}
+	return nil
 }
 
 // measurePoint times the scalar sample+decode loop for one configuration.
@@ -315,9 +337,4 @@ func measureReweight(n int) (TrajPoint, error) {
 		CyclesSec: float64(cycles) / elapsed.Seconds(),
 		NsCycle:   float64(elapsed.Nanoseconds()) / float64(cycles),
 	}, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-	os.Exit(1)
 }

@@ -24,8 +24,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
 	"surfdeformer/internal/cliutil"
 	"surfdeformer/internal/code"
@@ -66,34 +64,19 @@ func run() (err error) {
 	resume := flag.Bool("resume", false, "serve points already complete in -store instead of recomputing")
 	storeLS := flag.Bool("store-ls", false, "list the contents of -store and exit")
 	storeGC := flag.Bool("store-gc", false, "compact -store (merge segments, drop corrupt lines) and exit")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile at sweep end to this file")
+	progress := flag.Bool("progress", false, "report sweep progress (points done, shots/sec, ETA) on stderr while running")
+	prof := cliutil.AddProfileFlags()
 	flag.Parse()
 
-	if *cpuProfile != "" {
-		f, cerr := os.Create(*cpuProfile)
-		if cerr != nil {
-			return cerr
-		}
-		defer f.Close()
-		if cerr := pprof.StartCPUProfile(f); cerr != nil {
-			return cerr
-		}
-		defer pprof.StopCPUProfile()
+	stop, err := prof.Start("memsweep")
+	if err != nil {
+		return err
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, merr := os.Create(*memProfile)
-			if merr == nil {
-				defer f.Close()
-				runtime.GC() // settle heap so the profile shows retained allocations
-				merr = pprof.WriteHeapProfile(f)
-			}
-			if merr != nil && err == nil {
-				err = merr
-			}
-		}()
-	}
+	defer func() {
+		if serr := stop(); serr != nil && err == nil {
+			err = serr
+		}
+	}()
 
 	var st *store.Store
 	if *storePath != "" {
@@ -147,7 +130,10 @@ func run() (err error) {
 		}
 	}
 	results := make([]result, len(grid))
+	prog := cliutil.NewProgress(*progress, "shots", "mc.shots_committed")
+	prog.Begin(len(grid))
 	err = mc.ForEach(*pointWorkers, len(grid), func(i int) error {
+		defer prog.PointDone()
 		pt := grid[i]
 		c := code.FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, pt.d))
 		z, x, combined, stored, rerr := sim.RunMemoryBothStored(c, noise.Uniform(pt.p), sim.RunOptions{
@@ -170,6 +156,7 @@ func run() (err error) {
 		results[i] = result{z, x, combined, stored}
 		return nil
 	})
+	prog.End()
 	if err != nil {
 		return err
 	}
@@ -199,6 +186,7 @@ func run() (err error) {
 		fmt.Fprintf(os.Stderr, "memsweep: computed %d point(s), skipped %d (store %s)\n",
 			computed, skipped, *storePath)
 	}
+	cliutil.WarnDegraded("memsweep", os.Stderr)
 	return nil
 }
 

@@ -14,6 +14,13 @@
 // -resume (results are bit-identical for any worker count and any resume
 // order; see DESIGN.md §7). -store-ls and -store-gc inspect and compact a
 // store without running anything.
+//
+// Observability (DESIGN.md §10): -progress streams grid completion to
+// stderr, -stats prints the full obs metrics snapshot after the run,
+// -debug-addr serves live pprof/expvar, and for traj, -trace-out writes
+// one JSONL event per epoch transition of every computed trajectory
+// (-trace-check validates such a file against the schema and exits). None
+// of these change results.
 package main
 
 import (
@@ -26,11 +33,23 @@ import (
 	"surfdeformer/internal/decoder"
 	"surfdeformer/internal/estimator"
 	"surfdeformer/internal/experiments"
+	"surfdeformer/internal/obs"
 	"surfdeformer/internal/report"
 	"surfdeformer/internal/sim"
 )
 
+// main is a thin exit-code shim: all work happens in realMain so that its
+// deferred cleanups — CPU-profile flush, heap-profile write, trace-file
+// close, store close — execute on every path, including errors (os.Exit
+// would skip them). Usage errors exit 2 before any cleanup is registered.
 func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintf(os.Stderr, "surfdeform: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() (err error) {
 	opt := experiments.Defaults()
 	flag.IntVar(&opt.Shots, "shots", opt.Shots, "Monte-Carlo shots per memory experiment")
 	flag.IntVar(&opt.Trials, "trials", opt.Trials, "defect-timeline trials")
@@ -46,12 +65,29 @@ func main() {
 	storeGC := flag.Bool("store-gc", false, "compact -store (merge segments, drop corrupt lines) and exit")
 	targetRSE := flag.Float64("target-rse", 0, "adaptive early stopping for sweep/calibrate points (0 = fixed budget)")
 	reweightFactor := flag.Float64("reweight-factor", 0, "traj: rate-multiplier gate of the decoder-prior reweight tier (0 = default)")
-	cacheStats := flag.Bool("stats", false, "report shared DEM-cache statistics (hits/misses/clears) on stderr after the run")
+	cacheStats := flag.Bool("stats", false, "report the full obs metrics snapshot (DEM cache, decoder, store, traj counters) on stderr after the run")
+	progress := flag.Bool("progress", false, "report grid progress (points done, throughput, ETA) on stderr while running")
+	traceOut := flag.String("trace-out", "", "traj: write one JSONL trace event per epoch transition to this file")
+	traceCheck := flag.String("trace-check", "", "validate a -trace-out file against the trace schema and exit")
+	prof := cliutil.AddProfileFlags()
 	flag.Parse()
 	format, err := report.ParseFormat(*formatArg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "surfdeform: %v\n", err)
 		os.Exit(2)
+	}
+	if *traceCheck != "" {
+		f, terr := os.Open(*traceCheck)
+		if terr != nil {
+			return terr
+		}
+		defer f.Close()
+		n, terr := obs.ValidateTrace(f)
+		if terr != nil {
+			return fmt.Errorf("trace %s: %w", *traceCheck, terr)
+		}
+		fmt.Printf("surfdeform: trace %s OK (%d events)\n", *traceCheck, n)
+		return nil
 	}
 	if opt.Quick {
 		q := experiments.QuickOptions()
@@ -74,10 +110,9 @@ func main() {
 		opt = q
 	}
 	if *storePath != "" {
-		st, err := cliutil.OpenStore("surfdeform", *storePath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "surfdeform: %v\n", err)
-			os.Exit(1)
+		st, serr := cliutil.OpenStore("surfdeform", *storePath)
+		if serr != nil {
+			return serr
 		}
 		defer st.Close()
 		opt.Store = st
@@ -87,23 +122,55 @@ func main() {
 			fmt.Fprintf(os.Stderr, "surfdeform: %v\n", err)
 			os.Exit(2)
 		}
-		return
+		return nil
 	}
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
-	opt.Stats = &experiments.RunStats{}
 	name := flag.Arg(0)
+
+	stop, err := prof.Start("surfdeform")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := stop(); serr != nil && err == nil {
+			err = serr
+		}
+	}()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tf, terr := os.Create(*traceOut)
+		if terr != nil {
+			return terr
+		}
+		defer tf.Close()
+		tracer = obs.NewTracer(tf)
+		defer func() {
+			if terr := tracer.Err(); terr != nil && err == nil {
+				err = fmt.Errorf("trace %s: %w", *traceOut, terr)
+			}
+		}()
+	}
+	// Trajectory grids advance in simulated cycles; everything else is
+	// paced by committed Monte-Carlo shots.
+	unitsLabel, unitsCounter := "shots", "mc.shots_committed"
+	if name == "traj" {
+		unitsLabel, unitsCounter = "cycles", "traj.cycles"
+	}
+	opt.Progress = cliutil.NewProgress(*progress, unitsLabel, unitsCounter)
+
+	opt.Stats = &experiments.RunStats{}
 	start := time.Now()
-	if err := run(name, opt, format, *targetRSE, *reweightFactor); err != nil {
-		fmt.Fprintf(os.Stderr, "surfdeform: %v\n", err)
-		os.Exit(1)
+	if err := run(name, opt, format, *targetRSE, *reweightFactor, tracer); err != nil {
+		return err
 	}
 	if opt.Store != nil {
 		fmt.Fprintf(os.Stderr, "[%s computed %d point(s), skipped %d (store %s)]\n",
 			name, opt.Stats.Computed(), opt.Stats.Skipped(), *storePath)
 	}
+	cliutil.WarnDegraded("surfdeform", os.Stderr)
 	if *cacheStats {
 		// The counters are monotone across the cache's wholesale clears
 		// (clears are themselves counted), so this snapshot reflects the
@@ -111,11 +178,13 @@ func main() {
 		cs := sim.SharedDEMCache().Stats()
 		fmt.Fprintf(os.Stderr, "[dem cache: %d hits, %d misses, %d clears, %d entries]\n",
 			cs.Hits, cs.Misses, cs.Clears, cs.Entries)
+		cliutil.PrintSnapshot(os.Stderr)
 	}
 	fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
-func run(name string, opt experiments.Options, format report.Format, targetRSE, reweightFactor float64) error {
+func run(name string, opt experiments.Options, format report.Format, targetRSE, reweightFactor float64, tracer *obs.Tracer) error {
 	w := os.Stdout
 	structured := func(t *report.Table) error { return t.Write(w, format) }
 	textOnly := format == report.Text
@@ -226,6 +295,7 @@ func run(name string, opt experiments.Options, format report.Format, targetRSE, 
 	case "traj":
 		cfg := experiments.DefaultTrajConfig(opt)
 		cfg.ReweightFactor = reweightFactor
+		cfg.Trace = tracer
 		rows, err := experiments.TrajectoryScan(opt, cfg, experiments.DefaultTrajModes())
 		if err != nil {
 			return err
@@ -253,6 +323,7 @@ func run(name string, opt experiments.Options, format report.Format, targetRSE, 
 				PointWorkers: opt.PointWorkers,
 				Factory:      decoder.UnionFindFactory(), Decoder: "uf",
 				Seed: opt.Seed, Store: opt.Store, Resume: opt.Resume,
+				Progress: opt.Progress,
 				OnPoint: func(fromStore bool) {
 					if fromStore {
 						opt.Stats.AddSkipped()
@@ -274,7 +345,7 @@ func run(name string, opt experiments.Options, format report.Format, targetRSE, 
 		for _, n := range []string{"table1", "table2", "fig11a", "fig11b", "fig11c",
 			"fig12", "fig13a", "fig13b", "fig14a", "fig14b"} {
 			fmt.Fprintf(w, "\n=== %s ===\n", n)
-			if err := run(n, opt, format, targetRSE, reweightFactor); err != nil {
+			if err := run(n, opt, format, targetRSE, reweightFactor, tracer); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
 		}

@@ -1,0 +1,126 @@
+// Profiling, live-debugging and observability helpers shared by the
+// command-line tools, so every binary exposes the same -cpuprofile /
+// -memprofile / -debug-addr surface instead of each reimplementing it.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"surfdeformer/internal/obs"
+)
+
+// ProfileFlags holds the shared profiling flag values of one binary.
+type ProfileFlags struct {
+	CPUProfile string
+	MemProfile string
+	DebugAddr  string
+}
+
+// AddProfileFlags registers -cpuprofile, -memprofile and -debug-addr on the
+// default flag set. Call before flag.Parse.
+func AddProfileFlags() *ProfileFlags {
+	var p ProfileFlags
+	flag.StringVar(&p.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	flag.StringVar(&p.MemProfile, "memprofile", "", "write a pprof heap profile at run end to this file")
+	flag.StringVar(&p.DebugAddr, "debug-addr", "", "serve live pprof + expvar (with the obs metrics snapshot) on this address, e.g. localhost:6060")
+	return &p
+}
+
+// Start activates whatever the parsed flags request: CPU profiling begins
+// immediately, the debug server binds and announces itself on stderr. It
+// returns a stop function that flushes the CPU profile and writes the heap
+// profile; call it (usually via defer) on every exit path, and propagate
+// its error — a requested-but-unwritable profile should fail the run
+// visibly, not vanish.
+func (p *ProfileFlags) Start(cmd string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if p.CPUProfile != "" {
+		cpuFile, err = os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	if p.DebugAddr != "" {
+		addr, derr := obs.ServeDebug(p.DebugAddr)
+		if derr != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, derr
+		}
+		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/debug/pprof/ (metrics at /metrics)\n", cmd, addr)
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if p.MemProfile != "" {
+			f, merr := os.Create(p.MemProfile)
+			if merr != nil {
+				return merr
+			}
+			defer f.Close()
+			runtime.GC() // settle heap so the profile shows retained allocations
+			return pprof.WriteHeapProfile(f)
+		}
+		return nil
+	}, nil
+}
+
+// NewProgress returns a stderr progress reporter counting the named
+// throughput metric, or nil when not enabled — every Progress method is
+// nil-safe, so callers thread the result through unconditionally.
+func NewProgress(enabled bool, unitsLabel, unitsCounter string) *obs.Progress {
+	if !enabled {
+		return nil
+	}
+	return &obs.Progress{
+		Out:        os.Stderr,
+		UnitsLabel: unitsLabel,
+		Units:      obs.Default().Counter(unitsCounter),
+	}
+}
+
+// WarnDegraded prints a one-line warning when the run's decode path hit
+// silent-degradation conditions: truncated decodes (the union-find ran out
+// of iterations on a pathological graph) or clamped/dropped decoding-graph
+// edges (reweighted priors the graph could not fully represent). Each is
+// invisible at the point of occurrence by design — the decode still
+// returns — so the end of the run is the one place they must surface.
+func WarnDegraded(cmd string, w io.Writer) {
+	r := obs.Default()
+	trunc := r.Counter("decoder.truncations").Value()
+	clamped := r.Counter("decoder.graph.edges_clamped").Value()
+	dropped := r.Counter("decoder.graph.edges_dropped").Value()
+	if trunc == 0 && clamped == 0 && dropped == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s: warning: degraded decoding — %d truncated decode(s), %d clamped edge(s), %d dropped edge(s)\n",
+		cmd, trunc, clamped, dropped)
+}
+
+// PrintSnapshot writes the full obs registry snapshot as sorted
+// "[obs] name = value" lines (histograms as count/sum).
+func PrintSnapshot(w io.Writer) {
+	s := obs.Default().Snapshot()
+	for _, c := range s.Counters {
+		fmt.Fprintf(w, "[obs] %s = %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(w, "[obs] %s = %d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(w, "[obs] %s = count %d, sum %d\n", h.Name, h.Count, h.Sum)
+	}
+}

@@ -1,0 +1,57 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"surfdeformer/internal/obs"
+)
+
+// The degradation warning is the silent-degradation guard: silent while
+// the decode path is healthy, one line the moment any of the three
+// counters is nonzero.
+func TestWarnDegraded(t *testing.T) {
+	obs.Default().Reset()
+	var b strings.Builder
+	WarnDegraded("tool", &b)
+	if b.Len() != 0 {
+		t.Fatalf("healthy run must warn nothing, got %q", b.String())
+	}
+	obs.Default().Counter("decoder.truncations").Add(2)
+	obs.Default().Counter("decoder.graph.edges_dropped").Inc()
+	WarnDegraded("tool", &b)
+	out := b.String()
+	if c := strings.Count(out, "\n"); c != 1 {
+		t.Fatalf("want exactly one warning line, got %d:\n%s", c, out)
+	}
+	for _, want := range []string{"tool: warning", "2 truncated", "0 clamped", "1 dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("warning %q missing %q", out, want)
+		}
+	}
+	obs.Default().Reset()
+}
+
+func TestPrintSnapshot(t *testing.T) {
+	obs.Default().Reset()
+	obs.Default().Counter("zz.last").Add(7)
+	obs.Default().Counter("aa.first").Add(3)
+	var b strings.Builder
+	PrintSnapshot(&b)
+	out := b.String()
+	first := strings.Index(out, "[obs] aa.first = 3")
+	last := strings.Index(out, "[obs] zz.last = 7")
+	if first < 0 || last < 0 || first > last {
+		t.Fatalf("snapshot lines missing or unsorted:\n%s", out)
+	}
+	obs.Default().Reset()
+}
+
+func TestNewProgressDisabled(t *testing.T) {
+	if p := NewProgress(false, "shots", "mc.shots_committed"); p != nil {
+		t.Fatal("disabled progress must be nil (nil-safe methods)")
+	}
+	if p := NewProgress(true, "shots", "mc.shots_committed"); p == nil || p.Units == nil {
+		t.Fatal("enabled progress must carry the units counter")
+	}
+}

@@ -3,7 +3,13 @@ package decoder
 import (
 	"sync"
 
+	"surfdeformer/internal/obs"
 	"surfdeformer/internal/sim"
+)
+
+var (
+	obsGraphCacheHits   = obs.Default().Counter("decoder.graph_cache.hits")
+	obsGraphCacheMisses = obs.Default().Counter("decoder.graph_cache.misses")
 )
 
 // The graph cache memoizes NewGraph per DEM identity. The Monte-Carlo
@@ -30,6 +36,7 @@ func SharedGraph(dem *sim.DEM) *Graph {
 	graphCacheMu.Lock()
 	defer graphCacheMu.Unlock()
 	if g, ok := graphCache[dem]; ok {
+		obsGraphCacheHits.Inc()
 		return g
 	}
 	if len(graphCache) >= graphCacheLimit {
@@ -37,5 +44,6 @@ func SharedGraph(dem *sim.DEM) *Graph {
 	}
 	g := NewGraph(dem)
 	graphCache[dem] = g
+	obsGraphCacheMisses.Inc()
 	return g
 }

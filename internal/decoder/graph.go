@@ -11,7 +11,17 @@ import (
 	"math"
 	"sort"
 
+	"surfdeformer/internal/obs"
 	"surfdeformer/internal/sim"
+)
+
+// Graph-construction metrics. Clamped/dropped edges aggregate across a
+// whole sweep here (the per-Graph ints only describe one build), feeding
+// the end-of-run silent-degradation warning.
+var (
+	obsGraphBuilds  = obs.Default().Counter("decoder.graph.builds")
+	obsGraphClamped = obs.Default().Counter("decoder.graph.edges_clamped")
+	obsGraphDropped = obs.Default().Counter("decoder.graph.edges_dropped")
 )
 
 // Boundary is the virtual boundary node index in decoding graphs.
@@ -137,6 +147,9 @@ func NewGraph(dem *sim.DEM) *Graph {
 		g.Edges = append(g.Edges, *e)
 	}
 	g.buildAdj()
+	obsGraphBuilds.Inc()
+	obsGraphClamped.Add(int64(g.Clamped))
+	obsGraphDropped.Add(int64(g.Dropped))
 	return g
 }
 

@@ -3,7 +3,16 @@ package decoder
 import (
 	"slices"
 
+	"surfdeformer/internal/obs"
 	"surfdeformer/internal/sim"
+)
+
+// Decode hot-path metrics: one atomic add per decode (pinned by
+// TestDecodeZeroAllocs and the CI bench gate); truncations pay theirs only
+// on the pathological path they count.
+var (
+	obsDecodes     = obs.Default().Counter("decoder.decodes")
+	obsTruncations = obs.Default().Counter("decoder.truncations")
 )
 
 // UnionFind is a weighted union-find decoder (Delfosse–Nickerson): odd
@@ -168,6 +177,7 @@ func (u *UnionFind) DecodeToObs(flagged []int32) bool {
 // The returned slice is owned by the decoder and valid only until the next
 // Decode* call; clone it to retain it.
 func (u *UnionFind) DecodeToEdges(flagged []int32) []int32 {
+	obsDecodes.Inc()
 	if len(flagged) == 0 {
 		return nil
 	}
@@ -213,6 +223,7 @@ func (u *UnionFind) DecodeToEdges(flagged []int32) []int32 {
 	}
 	if u.peel(flagged) > 0 {
 		u.Truncations++
+		obsTruncations.Inc()
 	}
 	return u.corr
 }

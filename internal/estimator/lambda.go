@@ -28,6 +28,7 @@ import (
 	"surfdeformer/internal/lattice"
 	"surfdeformer/internal/mc"
 	"surfdeformer/internal/noise"
+	"surfdeformer/internal/obs"
 	"surfdeformer/internal/sim"
 	"surfdeformer/internal/store"
 )
@@ -110,6 +111,9 @@ type CalibrateOptions struct {
 	// reporting whether both basis halves were served from the store. It
 	// may be called concurrently (PointWorkers > 1).
 	OnPoint func(fromStore bool)
+	// Progress, when non-nil, streams grid completion to its writer while
+	// the calibration sweep runs. Observation-only.
+	Progress *obs.Progress
 }
 
 // calConfig is the store identity of one calibration point (the shot
@@ -163,7 +167,10 @@ func CalibrateOpts(ps []float64, ds []int, o CalibrateOptions) (*LambdaModel, []
 		}
 	}
 	lambdas := make([]float64, len(grid))
+	o.Progress.Begin(len(grid))
+	defer o.Progress.End()
 	err := mc.ForEach(o.PointWorkers, len(grid), func(i int) error {
+		defer o.Progress.PointDone()
 		pt := grid[i]
 		c := code.FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, pt.d))
 		seed := mc.DeriveSeed(o.Seed, calSalt, int64(math.Round(pt.p*1e9)), int64(pt.d))

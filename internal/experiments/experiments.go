@@ -31,6 +31,7 @@ import (
 	"surfdeformer/internal/lattice"
 	"surfdeformer/internal/layout"
 	"surfdeformer/internal/noise"
+	"surfdeformer/internal/obs"
 	"surfdeformer/internal/program"
 	"surfdeformer/internal/sim"
 	"surfdeformer/internal/store"
@@ -60,6 +61,10 @@ type Options struct {
 	Resume bool
 	// Stats, when non-nil, counts computed versus store-served points.
 	Stats *RunStats
+	// Progress, when non-nil, streams point-pool completion (points
+	// done/total, throughput, ETA) to its writer while a grid runs.
+	// Observation-only: it never affects results.
+	Progress *obs.Progress
 }
 
 // Defaults returns CLI-scale options.

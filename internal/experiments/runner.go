@@ -46,9 +46,20 @@ func (o Options) pointRNG(kind int64, parts ...int64) *rand.Rand {
 
 // forEachPoint fans the grid points of one experiment out over the
 // point-level worker pool. PointWorkers <= 1 runs serially; any value
-// yields identical results because every point is self-seeded.
+// yields identical results because every point is self-seeded. When
+// Options.Progress is set, the pool reports completion on its ticker for
+// the duration of the grid.
 func (o Options) forEachPoint(n int, fn func(i int) error) error {
-	return mc.ForEach(o.PointWorkers, n, fn)
+	if o.Progress == nil {
+		return mc.ForEach(o.PointWorkers, n, fn)
+	}
+	o.Progress.Begin(n)
+	defer o.Progress.End()
+	return mc.ForEach(o.PointWorkers, n, func(i int) error {
+		err := fn(i)
+		o.Progress.PointDone()
+		return err
+	})
 }
 
 // RunStats counts grid points computed versus served from the store. Share

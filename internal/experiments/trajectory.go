@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strings"
+	"sync/atomic"
 
 	"surfdeformer/internal/report"
 	"surfdeformer/internal/traj"
@@ -22,8 +24,10 @@ import (
 
 // trajEngineRev is the current engine-semantics revision carried in every
 // trajectory's store identity (rev 1: the decoder-prior reweight tier —
-// surf-deformer results changed for unchanged configs).
-const trajEngineRev = 1
+// surf-deformer results changed for unchanged configs; rev 2: Result
+// gained OverlayDEMBuilds, so replayed payload bytes from older stores
+// would not match recomputed ones).
+const trajEngineRev = 2
 
 // DefaultTrajModes lists the arms every scan compares, in mitigation-ladder
 // order: the full ladder, removal only, reweighting only, nothing.
@@ -146,6 +150,10 @@ type TrajRow struct {
 	ReweightedFrac float64
 	MismatchFrac   float64
 	MeanRateErr    float64
+	// MeanOverlayBuilds counts overlay decode-DEM constructions per
+	// trajectory — the reweight tier's dominant wall-clock cost (DESIGN.md
+	// §10).
+	MeanOverlayBuilds float64
 }
 
 // TrajectoryScan runs Options.Trials closed-loop trajectories per mode and
@@ -157,16 +165,48 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 		modes = DefaultTrajModes()
 	}
 	n := len(modes) * opt.Trials
+
+	// Per-arm live survival for the progress note: read by the reporter's
+	// ticker while the pool runs, so atomics, not plain ints.
+	type armLive struct{ done, survived atomic.Int64 }
+	live := make([]armLive, len(modes))
+	if opt.Progress != nil {
+		opt.Progress.Note = func() string {
+			var sb strings.Builder
+			for mi := range modes {
+				d := live[mi].done.Load()
+				if d == 0 {
+					continue
+				}
+				if sb.Len() > 0 {
+					sb.WriteByte(' ')
+				}
+				fmt.Fprintf(&sb, "%s %d/%d", modes[mi], live[mi].survived.Load(), d)
+			}
+			if sb.Len() == 0 {
+				return ""
+			}
+			return "survived: " + sb.String()
+		}
+	}
+
 	results := make([]traj.Result, n)
 	err := opt.forEachPoint(n, func(i int) error {
-		mode := modes[i/opt.Trials]
+		mi := i / opt.Trials
+		mode := modes[mi]
 		j := i % opt.Trials
 		// The seed is shared across modes on purpose: trajectory j of every
 		// arm draws the identical defect timeline, so arm differences are
 		// policy, not timeline sampling noise (a paired comparison).
 		seed := opt.pointSeed(kindTraj, int64(j))
+		// The tracer rides on the config (taskConfig copies fields
+		// explicitly, so neither it nor TraceTraj can leak into the store
+		// identity). Store-served points emit nothing: their trajectories
+		// did not run.
+		pcfg := cfg
+		pcfg.TraceTraj = j
 		res, err := cachedRow(opt, "traj", taskConfig(cfg, mode, j, opt.Seed), func() (traj.Result, error) {
-			r, err := traj.Run(cfg, mode, seed)
+			r, err := traj.Run(pcfg, mode, seed)
 			if err != nil {
 				return traj.Result{}, err
 			}
@@ -176,6 +216,10 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 			return err
 		}
 		results[i] = res
+		live[mi].done.Add(1)
+		if res.FirstFailCycle < 0 {
+			live[mi].survived.Add(1)
+		}
 		return nil
 	})
 	if err != nil {
@@ -186,7 +230,7 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 	for mi, mode := range modes {
 		row := TrajRow{Mode: mode.String(), Trajectories: opt.Trials}
 		var latency, detected, removable int64
-		var deforms, recovers, failures, reweights int
+		var deforms, recovers, failures, reweights, overlayBuilds int
 		var blocked, distance, elapsed, scored int64
 		var reweighted, mismatch int64
 		var rateErr float64
@@ -214,6 +258,7 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 			reweighted += r.ReweightedCycles
 			mismatch += r.MismatchCycles
 			rateErr += r.RateErrCycles
+			overlayBuilds += r.OverlayDEMBuilds
 			if r.Severed {
 				row.Severed++
 			}
@@ -247,6 +292,7 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 		if reweighted > 0 {
 			row.MeanRateErr = rateErr / float64(reweighted)
 		}
+		row.MeanOverlayBuilds = float64(overlayBuilds) / trials
 		rows[mi] = row
 	}
 	return rows, nil
@@ -256,9 +302,9 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 // headline columns, then the decoder-prior columns of the reweight tier.
 func RenderTraj(w io.Writer, horizon int64, rows []TrajRow) {
 	fmt.Fprintf(w, "closed-loop trajectories over %d cycles (survival at quarter horizons)\n", horizon)
-	fmt.Fprintf(w, "%-14s %-6s %-26s %-9s %-9s %-8s %-8s %-7s %-9s %-8s %-9s %-8s %-7s %-9s %-9s\n",
+	fmt.Fprintf(w, "%-14s %-6s %-26s %-9s %-9s %-8s %-8s %-7s %-9s %-8s %-9s %-8s %-7s %-9s %-9s %-6s\n",
 		"arm", "trajs", "survival T/4 T/2 3T/4 T", "detect%", "latency", "deforms", "recovers", "severed", "blocked%", "mean-d", "fail/1k",
-		"rewts", "rw%", "mismatch%", "rate-err")
+		"rewts", "rw%", "mismatch%", "rate-err", "odem")
 	for _, r := range rows {
 		lat := "-"
 		if r.MeanLatency >= 0 {
@@ -268,12 +314,12 @@ func RenderTraj(w io.Writer, horizon int64, rows []TrajRow) {
 		if r.MeanRateErr >= 0 {
 			rerr = fmt.Sprintf("%.4f", r.MeanRateErr)
 		}
-		fmt.Fprintf(w, "%-14s %-6d %.2f %.2f %.2f %.2f        %-9.0f %-9s %-8.2f %-8.2f %-7d %-9.1f %-8.2f %-9.3f %-8.1f %-7.1f %-9.1f %-9s\n",
+		fmt.Fprintf(w, "%-14s %-6d %.2f %.2f %.2f %.2f        %-9.0f %-9s %-8.2f %-8.2f %-7d %-9.1f %-8.2f %-9.3f %-8.1f %-7.1f %-9.1f %-9s %-6.1f\n",
 			r.Mode, r.Trajectories,
 			r.Survival[0], r.Survival[1], r.Survival[2], r.Survival[3],
 			100*r.DetectedFrac, lat, r.MeanDeformations, r.MeanRecoveries,
 			r.Severed, 100*r.BlockedFrac, r.MeanDistance, r.FailuresPer1k,
-			r.MeanReweights, 100*r.ReweightedFrac, 100*r.MismatchFrac, rerr)
+			r.MeanReweights, 100*r.ReweightedFrac, 100*r.MismatchFrac, rerr, r.MeanOverlayBuilds)
 	}
 }
 
@@ -283,13 +329,15 @@ func TrajTable(rows []TrajRow) *report.Table {
 		"survival_q1", "survival_q2", "survival_q3", "survival_q4",
 		"detected_frac", "mean_latency", "mean_deformations", "mean_recoveries",
 		"severed", "blocked_frac", "mean_distance", "failures_per_1k",
-		"mean_reweights", "reweighted_frac", "mismatch_frac", "mean_rate_err")
+		"mean_reweights", "reweighted_frac", "mismatch_frac", "mean_rate_err",
+		"mean_overlay_dem_builds")
 	for _, r := range rows {
 		t.Add(r.Mode, r.Trajectories,
 			r.Survival[0], r.Survival[1], r.Survival[2], r.Survival[3],
 			r.DetectedFrac, r.MeanLatency, r.MeanDeformations, r.MeanRecoveries,
 			r.Severed, r.BlockedFrac, r.MeanDistance, r.FailuresPer1k,
-			r.MeanReweights, r.ReweightedFrac, r.MismatchFrac, r.MeanRateErr)
+			r.MeanReweights, r.ReweightedFrac, r.MismatchFrac, r.MeanRateErr,
+			r.MeanOverlayBuilds)
 	}
 	return t
 }

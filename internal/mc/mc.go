@@ -44,6 +44,19 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"surfdeformer/internal/obs"
+)
+
+// Engine metrics, resolved once so commits pay one atomic add each. They
+// observe only committed (non-speculative) work, so their values are as
+// deterministic as the results themselves.
+var (
+	obsShots      = obs.Default().Counter("mc.shots_committed")
+	obsShards     = obs.Default().Counter("mc.shards_committed")
+	obsEarlyStops = obs.Default().Counter("mc.early_stops")
+	obsPoolActive = obs.Default().Gauge("mc.pool.active")
+	obsPoolDone   = obs.Default().Counter("mc.pool.points_done")
 )
 
 // DefaultShardSize is the number of shots per shard. It is a fixed
@@ -230,11 +243,14 @@ func RunBatch(cfg Config, newWorker BatchWorkerFactory) (*Result, error) {
 			res.Shots += pr.shots
 			res.Failures += pr.failures
 			res.Shards++
+			obsShots.Add(int64(pr.shots))
+			obsShards.Inc()
 			// Meeting the target on the final shard saves nothing; only
 			// flag a stop while budget actually remains.
 			if cfg.TargetRSE > 0 && res.Shots < cfg.MaxShots &&
 				RSE(res.Failures, res.Shots) <= cfg.TargetRSE {
 				res.EarlyStopped = true
+				obsEarlyStops.Inc()
 				cancel()
 			}
 		}

@@ -1,0 +1,44 @@
+package mc
+
+import (
+	"reflect"
+	"testing"
+
+	"surfdeformer/internal/obs"
+)
+
+// The engine's metrics are observation only: a run whose registry is being
+// concurrently snapshotted and reset must return a Result bit-identical to
+// an undisturbed run. This is the metrics half of the determinism contract
+// (the tracing half lives in package traj).
+func TestRunObservationInvariant(t *testing.T) {
+	cfg := Config{Workers: 4, MaxShots: 120_000, ShardSize: 512, Seed: 9, TargetRSE: 0.1}
+	baseline, err := Run(cfg, bernoulliWorker(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				obs.Default().Snapshot()
+				obs.Default().Reset()
+			}
+		}
+	}()
+	observed, err := Run(cfg, bernoulliWorker(0.02))
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(observed, baseline) {
+		t.Errorf("run under registry churn diverges:\n observed: %+v\n baseline: %+v", observed, baseline)
+	}
+}

@@ -25,7 +25,11 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			obsPoolActive.Add(1)
+			err := fn(i)
+			obsPoolActive.Add(-1)
+			obsPoolDone.Inc()
+			if err != nil {
 				return err
 			}
 		}
@@ -66,7 +70,11 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if !ok {
 					return
 				}
-				if err := fn(i); err != nil {
+				obsPoolActive.Add(1)
+				err := fn(i)
+				obsPoolActive.Add(-1)
+				obsPoolDone.Inc()
+				if err != nil {
 					fail(i, err)
 				}
 			}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar publication of the default registry:
+// expvar panics on duplicate names, and both the debug server and tests
+// may ask for the handler.
+var publishOnce sync.Once
+
+func publishDefault() {
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+}
+
+// DebugHandler returns the live-debugging HTTP handler: net/http/pprof
+// under /debug/pprof/, expvar under /debug/vars (with the default
+// registry's snapshot published as the "obs" variable), and a snapshot-only
+// JSON view under /metrics. It is a plain http.Handler so tests can drive
+// it through httptest without opening a socket.
+func DebugHandler() http.Handler {
+	publishDefault()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, snapshotJSON())
+	})
+	return mux
+}
+
+// snapshotJSON renders the default registry snapshot, falling back to an
+// error object rather than panicking the debug server.
+func snapshotJSON() string {
+	s := Default().Snapshot()
+	b, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err.Error())
+	}
+	return string(b)
+}
+
+// ServeDebug binds addr (e.g. "localhost:6060") and serves DebugHandler on
+// it in a background goroutine, returning the bound address — pass ":0"
+// to let the kernel pick a port. The listener lives until process exit;
+// the debug endpoint is a whole-run facility, not a managed service.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: DebugHandler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,234 @@
+// Package obs is the zero-dependency observability layer of the repository:
+// a metrics registry of named atomic counters, gauges and fixed-bucket
+// histograms; a structured JSONL tracer for trajectory epoch transitions; a
+// stderr progress reporter for long sweeps; and a live debugging HTTP
+// endpoint (pprof + expvar) that publishes the registry.
+//
+// The design constraint every piece obeys is the determinism contract of
+// the Monte-Carlo machinery (DESIGN.md §10): observability only ever
+// *observes*. Metrics never gate or feed back into computation, tracing
+// draws no randomness and shares no state with the simulation, and results
+// are bit-identical with the whole layer exercised or ignored. The second
+// constraint is hot-path cost: an instrument on the decode/sample path is
+// one atomic add — no locks, no map lookups, no allocations (pinned by the
+// zero-alloc tests and the CI bench gate). Hot consumers resolve their
+// *Counter once at package init and keep the pointer; the registry's
+// mutex is paid only at registration and snapshot time.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone atomic counter. Add/Inc are safe for concurrent
+// use and cost one atomic add — hold the *Counter, not the name.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value (queue depths, pool occupancy).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram of int64 observations (typically
+// nanoseconds). Bucket bounds are set at registration and never change;
+// Observe is a linear scan over a handful of bounds plus two atomic adds,
+// allocation-free.
+type Histogram struct {
+	bounds []int64        // sorted upper bounds; counts[i] holds v <= bounds[i]
+	counts []atomic.Int64 // len(bounds)+1; last bucket is the overflow
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// DurationBuckets is the default bound ladder for nanosecond timings:
+// 100µs, 1ms, 10ms, 100ms, 1s, 10s (+overflow). DEM and graph builds span
+// exactly this range across code distances.
+var DurationBuckets = []int64{1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+
+// Registry is a namespace of metrics. The zero value is not usable; use
+// NewRegistry or the process-wide Default. All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that the engine packages
+// (mc, sim, decoder, store, traj) instrument themselves against and that
+// the debug endpoint publishes.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, registering it on first use. Callers
+// on hot paths must call this once (package init) and keep the pointer.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it with the given
+// bucket bounds (sorted copy) on first use; later calls ignore bounds.
+// Passing no bounds selects DurationBuckets.
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if len(bounds) == 0 {
+			bounds = DurationBuckets
+		}
+		bs := make([]int64, len(bounds))
+		copy(bs, bounds)
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered metric in place. Pointers held by hot-path
+// consumers stay valid — only the values reset — so tests can difference
+// runs without re-registering anything.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sum.Store(0)
+		h.n.Store(0)
+	}
+}
+
+// MetricValue is one named scalar in a snapshot.
+type MetricValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramValue is one named histogram in a snapshot. Buckets[i] counts
+// observations <= Bounds[i]; the final bucket is the overflow.
+type HistogramValue struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Bounds  []int64 `json:"bounds"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// Snapshot is a point-in-time, JSON-serializable view of a registry. All
+// slices are sorted by name, so two snapshots of the same state serialize
+// identically regardless of registration or map order.
+type Snapshot struct {
+	Counters   []MetricValue    `json:"counters"`
+	Gauges     []MetricValue    `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered metric. Values are read atomically
+// per metric (the snapshot is not a consistent cut across metrics — fine
+// for monotone counters).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{Counters: make([]MetricValue, 0, len(r.counters))}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, MetricValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, MetricValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hv := HistogramValue{
+			Name:   name,
+			Count:  h.n.Load(),
+			Sum:    h.sum.Load(),
+			Bounds: append([]int64(nil), h.bounds...),
+		}
+		hv.Buckets = make([]int64, len(h.counts))
+		for i := range h.counts {
+			hv.Buckets[i] = h.counts[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// registration races, increments, snapshots, and resets — and is primarily
+// a -race exercise (the CI race job runs this package).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared.counter")
+			g := r.Gauge("shared.gauge")
+			h := r.Histogram("shared.hist")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+			// Per-worker registration races the shared loop above.
+			r.Counter("worker." + string(rune('a'+w))).Add(int64(w))
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared.counter").Value(); got != workers*1000 {
+		t.Fatalf("shared.counter = %d, want %d", got, workers*1000)
+	}
+	if got := r.Histogram("shared.hist").Count(); got != workers*1000 {
+		t.Fatalf("shared.hist count = %d, want %d", got, workers*1000)
+	}
+}
+
+// TestSnapshotStable checks the snapshot is sorted by name and serializes
+// identically across calls regardless of registration order.
+func TestSnapshotStable(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid.point"} {
+		r.Counter(name).Add(3)
+	}
+	r.Gauge("g.two").Set(2)
+	r.Gauge("g.one").Set(1)
+	r.Histogram("h", 10, 5).Observe(7) // bounds arrive unsorted on purpose
+
+	s1 := r.Snapshot()
+	names := make([]string, len(s1.Counters))
+	for i, c := range s1.Counters {
+		names[i] = c.Name
+	}
+	if strings.Join(names, ",") != "alpha,mid.point,zeta" {
+		t.Fatalf("counter order = %v", names)
+	}
+	if s1.Gauges[0].Name != "g.one" || s1.Gauges[1].Name != "g.two" {
+		t.Fatalf("gauge order = %v", s1.Gauges)
+	}
+	h := s1.Histograms[0]
+	if h.Bounds[0] != 5 || h.Bounds[1] != 10 {
+		t.Fatalf("histogram bounds not sorted: %v", h.Bounds)
+	}
+	// 7 lands in the (5,10] bucket.
+	if h.Buckets[0] != 0 || h.Buckets[1] != 1 || h.Buckets[2] != 0 {
+		t.Fatalf("histogram buckets = %v", h.Buckets)
+	}
+	b1, err := json.Marshal(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("snapshot serialization unstable:\n%s\n%s", b1, b2)
+	}
+}
+
+// TestReset checks values zero in place while pointers stay live.
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", 10)
+	c.Add(5)
+	h.Observe(3)
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("reset left values: c=%d hn=%d hs=%d", c.Value(), h.Count(), h.Sum())
+	}
+	c.Inc() // pointer still registered
+	if got := r.Snapshot().Counters[0].Value; got != 1 {
+		t.Fatalf("post-reset counter = %d, want 1", got)
+	}
+}
+
+// TestCounterZeroAllocs pins the hot-path contract: an increment and a
+// histogram observation allocate nothing.
+func TestCounterZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	g := r.Gauge("hot.gauge")
+	h := r.Histogram("hot.hist")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(1) }); n != 0 {
+		t.Fatalf("Gauge.Add allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op", n)
+	}
+}
+
+// TestProgressReport drives a Progress through a tiny run and checks the
+// final line carries the done count and rate label.
+func TestProgressReport(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	out := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	r := NewRegistry()
+	units := r.Counter("test.shots")
+	p := &Progress{Interval: time.Hour, Out: out, UnitsLabel: "shots", Units: units,
+		Note: func() string { return "arm=ok" }}
+	p.Begin(4)
+	for i := 0; i < 4; i++ {
+		units.Add(100)
+		p.PointDone()
+	}
+	p.End()
+	mu.Lock()
+	got := buf.String()
+	mu.Unlock()
+	if !strings.Contains(got, "4/4 points") {
+		t.Fatalf("final report missing done count: %q", got)
+	}
+	if !strings.Contains(got, "shots/sec") {
+		t.Fatalf("final report missing rate: %q", got)
+	}
+	if !strings.Contains(got, "arm=ok") {
+		t.Fatalf("final report missing note: %q", got)
+	}
+	// Nil progress is a no-op everywhere.
+	var np *Progress
+	np.Begin(10)
+	np.PointDone()
+	np.End()
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestDebugHandler drives the debug endpoints through httptest: expvar
+// must publish the registry under "obs", /metrics must serve the snapshot,
+// and the pprof index must answer.
+func TestDebugHandler(t *testing.T) {
+	Default().Counter("test.debug.counter").Add(7)
+	h := DebugHandler()
+
+	get := func(path string) string {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: status %d", path, rec.Code)
+		}
+		b, _ := io.ReadAll(rec.Body)
+		return string(b)
+	}
+
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, `"obs"`) || !strings.Contains(vars, "test.debug.counter") {
+		t.Fatalf("/debug/vars missing registry snapshot: %.200s", vars)
+	}
+	metrics := get("/metrics")
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(strings.TrimSpace(metrics)), &snap); err != nil {
+		t.Fatalf("/metrics not a snapshot: %v", err)
+	}
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "test.debug.counter" && c.Value >= 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/metrics missing test.debug.counter: %s", metrics)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "profile") {
+		t.Fatalf("pprof index unexpected: %.200s", idx)
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress streams completion of a long point-pool run to a writer
+// (normally stderr) on a ticker: points done/total, a units-per-second
+// rate read from a registry counter (shots for sweeps, cycles for
+// trajectory runs), an ETA extrapolated from the point completion rate,
+// and an optional caller-supplied note (per-arm survival so far). A nil
+// *Progress is a valid no-op, so library code can thread it
+// unconditionally.
+//
+// Progress only reads — a counter load per tick plus its own atomics —
+// and writes only to its own writer, so it sits outside the determinism
+// boundary like the rest of the package.
+type Progress struct {
+	// Interval between reports. Zero selects 10s.
+	Interval time.Duration
+	// Out receives the report lines. Required (no default; the
+	// constructor call site decides between stderr and a test buffer).
+	Out io.Writer
+	// Units optionally names a throughput counter: the label is printed
+	// with a rate differenced between ticks (e.g. "shots" backed by
+	// mc.shots_committed).
+	UnitsLabel string
+	Units      *Counter
+	// Note, when non-nil, is called each tick and its result appended to
+	// the report line. It must be safe for concurrent use with the
+	// workers (read atomics, not plain ints).
+	Note func() string
+
+	total int64
+	done  atomic.Int64
+
+	mu        sync.Mutex
+	stop      chan struct{}
+	stopped   chan struct{}
+	started   time.Time
+	lastUnits int64
+	lastTick  time.Time
+}
+
+// Begin starts the reporting goroutine for a run of total points. It is a
+// no-op on a nil Progress or a missing writer.
+func (p *Progress) Begin(total int) {
+	if p == nil || p.Out == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return // already running
+	}
+	p.total = int64(total)
+	p.done.Store(0)
+	p.started = time.Now()
+	p.lastTick = p.started
+	if p.Units != nil {
+		p.lastUnits = p.Units.Value()
+	}
+	p.stop = make(chan struct{})
+	p.stopped = make(chan struct{})
+	interval := p.Interval
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	go p.run(interval, p.stop, p.stopped)
+}
+
+// PointDone records one completed point.
+func (p *Progress) PointDone() {
+	if p == nil {
+		return
+	}
+	p.done.Add(1)
+}
+
+// End stops the reporter and emits a final line.
+func (p *Progress) End() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	stop, stopped := p.stop, p.stopped
+	p.stop, p.stopped = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-stopped
+	p.report(true)
+}
+
+func (p *Progress) run(interval time.Duration, stop, stopped chan struct{}) {
+	defer close(stopped)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			p.report(false)
+		}
+	}
+}
+
+// report writes one progress line. Guarded by mu so a tick racing End's
+// final report cannot interleave lines or rate bookkeeping.
+func (p *Progress) report(final bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	done := p.done.Load()
+	elapsed := now.Sub(p.started)
+	line := fmt.Sprintf("[progress] %d/%d points", done, p.total)
+	if p.Units != nil {
+		u := p.Units.Value()
+		dt := now.Sub(p.lastTick).Seconds()
+		if final {
+			dt = elapsed.Seconds()
+		}
+		var rate float64
+		if dt > 0 {
+			if final {
+				rate = float64(u) / dt
+			} else {
+				rate = float64(u-p.lastUnits) / dt
+			}
+		}
+		label := p.UnitsLabel
+		if label == "" {
+			label = "units"
+		}
+		line += fmt.Sprintf(", %.0f %s/sec", rate, label)
+		p.lastUnits = u
+	}
+	p.lastTick = now
+	if final {
+		line += fmt.Sprintf(", done in %s", elapsed.Round(time.Second))
+	} else if done > 0 && done < p.total {
+		eta := time.Duration(float64(elapsed) / float64(done) * float64(p.total-done))
+		line += fmt.Sprintf(", eta %s", eta.Round(time.Second))
+	}
+	if p.Note != nil {
+		if note := p.Note(); note != "" {
+			line += " | " + note
+		}
+	}
+	fmt.Fprintln(p.Out, line)
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTraceSchema is the golden schema check: every event type emitted
+// through a Tracer must validate, the version must be stamped, and known
+// malformed lines must be rejected with the right complaint.
+func TestTraceSchema(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(&buf)
+	events := []TraceEvent{
+		{Type: TraceEpoch, Cycle: 500, Arm: "surf-deformer", Traj: 0, Cycles: 500, DecodeNs: 120000, SampleNs: 80000},
+		{Type: TraceEpoch, Cycle: 1000, Arm: "surf-deformer", Traj: 0, Cycles: 500, Failed: true},
+		{Type: TraceDetect, Cycle: 1200, Arm: "surf-deformer", Traj: 0, Flags: 2, Region: 3},
+		{Type: TraceMitigate, Cycle: 1200, Arm: "surf-deformer", Traj: 0, Severity: "remove"},
+		{Type: TraceDeform, Cycle: 1200, Arm: "surf-deformer", Traj: 0, Defects: 3, Enlarged: true, Distance: 9},
+		{Type: TraceReweight, Cycle: 1700, Arm: "reweight-only", Traj: 1, Overlay: 4, MaxMult: 8, DEMBuild: true},
+		{Type: TraceReweight, Cycle: 2200, Arm: "reweight-only", Traj: 1},
+		{Type: TraceRecover, Cycle: 4000, Arm: "surf-deformer", Traj: 0, Sites: 12, Distance: 11},
+		{Type: TraceEnd, Cycle: 100000, Arm: "surf-deformer", Traj: 0, Epochs: 200, Failures: 1,
+			Deformations: 1, Recoveries: 1, Reweights: 2, OverlayBuilds: 2},
+		{Type: TraceEnd, Cycle: 52500, Arm: "untreated", Traj: 2, Epochs: 105, Severed: true},
+	}
+	for _, ev := range events {
+		tr.Emit(ev)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("emitted trace fails its own schema: %v", err)
+	}
+	if n != len(events) {
+		t.Fatalf("validated %d events, emitted %d", n, len(events))
+	}
+
+	bad := []struct {
+		line string
+		want string
+	}{
+		{`{`, "not a schema event"},
+		{`{"v":1,"type":"epoch","cycle":10,"arm":"a","traj":0,"cycles":5,"bogus":1}`, "not a schema event"},
+		{`{"v":99,"type":"epoch","cycle":10,"arm":"a","traj":0,"cycles":5}`, "schema version"},
+		{`{"v":1,"type":"teleport","cycle":10,"arm":"a","traj":0}`, "unknown trace event type"},
+		{`{"v":1,"type":"epoch","cycle":-1,"arm":"a","traj":0,"cycles":5}`, "negative cycle"},
+		{`{"v":1,"type":"epoch","cycle":10,"traj":0,"cycles":5}`, "without an arm"},
+		{`{"v":1,"type":"epoch","cycle":10,"arm":"a","traj":0}`, "at least one cycle"},
+		{`{"v":1,"type":"mitigate","cycle":10,"arm":"a","traj":0}`, "without a severity"},
+		{`{"v":1,"type":"detect","cycle":10,"arm":"a","traj":0,"flags":-2}`, "negative flags"},
+	}
+	for _, tc := range bad {
+		err := ValidateTraceLine([]byte(tc.line))
+		if err == nil {
+			t.Fatalf("line %q validated, want error containing %q", tc.line, tc.want)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("line %q: error %q, want it to contain %q", tc.line, err, tc.want)
+		}
+	}
+}
+
+// TestTracerConcurrent emits from several goroutines and checks every line
+// still parses — the mutex must keep lines whole.
+func TestTracerConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var buf strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	tr := NewTracer(w)
+	var wg sync.WaitGroup
+	const workers, per = 4, 50
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Emit(TraceEvent{Type: TraceEpoch, Cycle: int64(i + 1), Arm: "arm", Traj: g, Cycles: 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	mu.Lock()
+	trace := buf.String()
+	mu.Unlock()
+	n, err := ValidateTrace(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != workers*per {
+		t.Fatalf("validated %d events, want %d", n, workers*per)
+	}
+}
+
+// TestTracerNil checks the nil tracer is usable everywhere.
+func TestTracerNil(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(TraceEvent{Type: TraceEpoch})
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,16 @@ import (
 	"surfdeformer/internal/code"
 	"surfdeformer/internal/lattice"
 	"surfdeformer/internal/noise"
+	"surfdeformer/internal/obs"
+)
+
+// Process-wide cache metrics, aggregated across every DEMCache instance
+// (shared and per-trajectory hot caches alike); the per-instance ints in
+// CacheStats stay authoritative for instance-local consumers like demMemo.
+var (
+	obsCacheHits   = obs.Default().Counter("sim.dem_cache.hits")
+	obsCacheMisses = obs.Default().Counter("sim.dem_cache.misses")
+	obsCacheClears = obs.Default().Counter("sim.dem_cache.clears")
 )
 
 // DEMCache memoizes BuildDEM results keyed by (code fingerprint, noise
@@ -59,6 +69,7 @@ func (dc *DEMCache) BuildDEM(c *code.Code, model *noise.Model, rounds int, basis
 	if dem, ok := dc.entries[key]; ok {
 		dc.hits++
 		dc.mu.Unlock()
+		obsCacheHits.Inc()
 		return dem, nil
 	}
 	dc.mu.Unlock()
@@ -72,16 +83,19 @@ func (dc *DEMCache) BuildDEM(c *code.Code, model *noise.Model, rounds int, basis
 		// Lost a build race: adopt the first pointer so pointer-keyed
 		// consumers (the decoder graph cache) stay coherent.
 		dc.hits++
+		obsCacheHits.Inc()
 		return existing, nil
 	}
 	if len(dc.entries) >= dc.limit {
 		dc.entries = make(map[string]*DEM)
 		dc.byPtr = make(map[*DEM]struct{})
 		dc.clears++
+		obsCacheClears.Inc()
 	}
 	dc.entries[key] = dem
 	dc.byPtr[dem] = struct{}{}
 	dc.misses++
+	obsCacheMisses.Inc()
 	return dem, nil
 }
 

@@ -15,11 +15,21 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"surfdeformer/internal/circuit"
 	"surfdeformer/internal/code"
 	"surfdeformer/internal/lattice"
 	"surfdeformer/internal/noise"
+	"surfdeformer/internal/obs"
+)
+
+// DEM construction metrics: every build (cached or not upstream) counts
+// here with its wall-clock cost. Build time is observation-only and never
+// flows into results.
+var (
+	obsDEMBuilds  = obs.Default().Counter("sim.dem.builds")
+	obsDEMBuildNs = obs.Default().Histogram("sim.dem.build_ns")
 )
 
 // Mechanism is one independent error source: with probability P it flips
@@ -115,6 +125,11 @@ func buildDEM(c *code.Code, modelAt func(int) *noise.Model, rounds int, basis la
 	if rounds < 2 {
 		return nil, fmt.Errorf("sim: need at least 2 rounds, got %d", rounds)
 	}
+	start := time.Now()
+	defer func() {
+		obsDEMBuilds.Inc()
+		obsDEMBuildNs.Observe(time.Since(start).Nanoseconds())
+	}()
 	sched, err := circuit.NewSchedule(c)
 	if err != nil {
 		return nil, err

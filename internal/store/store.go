@@ -33,6 +33,16 @@ import (
 	"sync"
 
 	"surfdeformer/internal/mc"
+	"surfdeformer/internal/obs"
+)
+
+// Store metrics: segments merged into the index (from disk or appends),
+// rows written, merged points served to resume, and GC compactions.
+var (
+	obsRowsAppended   = obs.Default().Counter("store.rows_appended")
+	obsRowsServed     = obs.Default().Counter("store.rows_served")
+	obsSegmentsMerged = obs.Default().Counter("store.segments_merged")
+	obsGCRuns         = obs.Default().Counter("store.gc_runs")
 )
 
 // Row is one JSONL line: a committed segment of one point. Seq numbers the
@@ -159,6 +169,7 @@ func (s *Store) index(r Row) bool {
 		s.points[r.Key] = p
 	}
 	p.addRow(r)
+	obsSegmentsMerged.Inc()
 	return true
 }
 
@@ -170,6 +181,7 @@ func (s *Store) Get(key string) (Point, bool) {
 	if !ok {
 		return Point{}, false
 	}
+	obsRowsServed.Inc()
 	return *p, true
 }
 
@@ -193,6 +205,7 @@ func (s *Store) Append(r Row) error {
 		return fmt.Errorf("store: appending to %s: %w", s.path, err)
 	}
 	s.index(r)
+	obsRowsAppended.Inc()
 	return nil
 }
 
@@ -305,6 +318,7 @@ func (s *Store) GC() error {
 	s.points = newPoints
 	s.seen = newSeen
 	s.corrupted = 0
+	obsGCRuns.Inc()
 	return nil
 }
 

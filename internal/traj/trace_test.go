@@ -1,0 +1,67 @@
+package traj
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"surfdeformer/internal/obs"
+	"surfdeformer/internal/sim"
+)
+
+// Tracing is observation only: a traced trajectory must return a Result
+// bit-identical to the untraced run at the same (config, mode, seed), and
+// the paired-seed contract — every arm facing the same seed sees the same
+// defect timeline — must hold with the tracer attached. The emitted stream
+// must also satisfy the schema contract end to end.
+func TestRunTraceInvariant(t *testing.T) {
+	const seed = 7 // paired across arms: identical timelines per mode
+	for _, mode := range []Mode{ModeSurfDeformer, ModeASC, ModeUntreated, ModeReweightOnly} {
+		cfg := QuickConfig()
+		cfg.Cache = sim.NewDEMCache(0)
+		plain, err := Run(cfg, mode, seed)
+		if err != nil {
+			t.Fatalf("%s untraced: %v", mode, err)
+		}
+
+		var buf bytes.Buffer
+		traced := QuickConfig()
+		traced.Cache = sim.NewDEMCache(0)
+		traced.Trace = obs.NewTracer(&buf)
+		traced.TraceTraj = 3
+		got, err := Run(traced, mode, seed)
+		if err != nil {
+			t.Fatalf("%s traced: %v", mode, err)
+		}
+		if !reflect.DeepEqual(got, plain) {
+			t.Errorf("%s: traced result diverges from untraced:\n traced: %+v\nuntraced: %+v", mode, got, plain)
+		}
+		if err := traced.Trace.Err(); err != nil {
+			t.Fatalf("%s: tracer error: %v", mode, err)
+		}
+
+		n, err := obs.ValidateTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: emitted trace fails schema validation: %v", mode, err)
+		}
+		if n == 0 {
+			t.Fatalf("%s: traced run emitted no events", mode)
+		}
+		// Every trajectory closes with exactly one end event carrying the
+		// Result's counters, attributed to the configured trajectory index.
+		ends := 0
+		for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+			if bytes.Contains(line, []byte(`"type":"end"`)) {
+				ends++
+				for _, want := range []string{`"arm":"` + mode.String() + `"`, `"traj":3`} {
+					if !bytes.Contains(line, []byte(want)) {
+						t.Errorf("%s: end event %s missing %s", mode, line, want)
+					}
+				}
+			}
+		}
+		if ends != 1 {
+			t.Errorf("%s: %d end events, want 1", mode, ends)
+		}
+	}
+}

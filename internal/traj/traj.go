@@ -29,6 +29,7 @@ import (
 	"maps"
 	"math/rand"
 	"sort"
+	"time"
 
 	"surfdeformer/internal/code"
 	"surfdeformer/internal/core"
@@ -39,7 +40,16 @@ import (
 	"surfdeformer/internal/layout"
 	"surfdeformer/internal/mc"
 	"surfdeformer/internal/noise"
+	"surfdeformer/internal/obs"
 	"surfdeformer/internal/sim"
+)
+
+// Engine-level metrics; the per-arm counters (traj.<arm>.deformations and
+// friends) are registered lazily per mode in Run, once per trajectory —
+// nowhere near the chunk hot path.
+var (
+	obsTrajectories = obs.Default().Counter("traj.trajectories")
+	obsTrajCycles   = obs.Default().Counter("traj.cycles")
 )
 
 // Mode selects the mitigation arm of a trajectory.
@@ -116,6 +126,17 @@ type Config struct {
 
 	// Cache overrides the process-shared DEM cache (tests).
 	Cache *sim.DEMCache
+
+	// Trace, when non-nil, receives one structured JSONL event per epoch
+	// transition (detect → mitigate → deform/reweight → recover, plus
+	// per-chunk epoch events and an end summary). Tracing is
+	// observation-only: results are bit-identical with it on or off.
+	// TraceTraj labels the emitted events with this trajectory's index
+	// within its scan, so interleaved parallel trajectories stay
+	// attributable in a shared trace file. Neither field enters the
+	// experiment layer's store keys.
+	Trace     *obs.Tracer
+	TraceTraj int
 }
 
 // DefaultConfig returns the CLI-scale scenario: a d=9 patch over a 6000-
@@ -240,6 +261,15 @@ type Result struct {
 	ReweightedCycles int64   `json:"reweighted_cycles,omitempty"`
 	MismatchCycles   int64   `json:"mismatch_cycles,omitempty"`
 	RateErrCycles    float64 `json:"rate_err_cycles,omitempty"`
+
+	// OverlayDEMBuilds counts decode-DEM constructions forced by
+	// estimated-prior overlays: reweight-tier chunks whose overlaid decode
+	// model was not already in this trajectory's private hot cache. This is
+	// the dominant wall-clock cost of the reweight tier (the PR 5
+	// cycles/sec regression — see DESIGN.md §10) made countable. It is
+	// deterministic for fixed (Config, Mode, seed): the hot cache starts
+	// empty per trajectory and its limit is a package constant.
+	OverlayDEMBuilds int `json:"overlay_dem_builds,omitempty"`
 }
 
 // Stream salts for the per-trajectory seed derivation (negative so they can
@@ -277,11 +307,36 @@ type boundary struct {
 }
 
 // Run simulates one trajectory and returns its outcome. The result is a
-// pure function of (cfg, mode, seed).
+// pure function of (cfg, mode, seed) — the registry counters and trace
+// events it feeds only observe that result, never shape it.
 func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
+	res, err := run(cfg, mode, seed)
+	if res != nil {
+		obsTrajectories.Inc()
+		obsTrajCycles.Add(res.ElapsedCycles)
+		prefix := "traj." + mode.String() + "."
+		r := obs.Default()
+		r.Counter(prefix + "deformations").Add(int64(res.Deformations))
+		r.Counter(prefix + "recoveries").Add(int64(res.Recoveries))
+		r.Counter(prefix + "reweights").Add(int64(res.Reweights))
+		r.Counter(prefix + "overlay_dem_builds").Add(int64(res.OverlayDEMBuilds))
+		cfg.Trace.Emit(obs.TraceEvent{
+			Type: obs.TraceEnd, Cycle: res.ElapsedCycles, Arm: res.Mode, Traj: cfg.TraceTraj,
+			Epochs: res.Epochs, Failures: res.Failures,
+			Deformations: res.Deformations, Recoveries: res.Recoveries,
+			Reweights: res.Reweights, OverlayBuilds: res.OverlayDEMBuilds,
+			Severed: res.Severed,
+		})
+	}
+	return res, err
+}
+
+// run is the engine body behind Run.
+func run(cfg Config, mode Mode, seed int64) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	tr, tj, arm := cfg.Trace, cfg.TraceTraj, mode.String()
 	cache := cfg.Cache
 	if cache == nil {
 		cache = sim.SharedDEMCache()
@@ -395,11 +450,11 @@ func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
 				expireAttributions(events, attributed, cycle)
 				continue
 			}
-			changed, err := recoverSubsided(sys, events, attributed, cycle)
+			recovered, err := recoverSubsided(sys, events, attributed, cycle)
 			if err != nil {
 				return terminate(res, cycle, err)
 			}
-			if changed {
+			if recovered > 0 {
 				res.Recoveries++
 				st, err := refresh(sys)
 				if err != nil {
@@ -410,6 +465,8 @@ func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
 				if d := minDist(curCode); d < res.MinDistance {
 					res.MinDistance = d
 				}
+				tr.Emit(obs.TraceEvent{Type: obs.TraceRecover, Cycle: cycle, Arm: arm, Traj: tj,
+					Sites: recovered, Distance: minDist(curCode)})
 			}
 		}
 
@@ -474,21 +531,54 @@ func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
 				cfg.PhysicalRate, reweightFactor, cfg.Threshold, cycle >= quietUntil)
 		}
 		decodeDEM := nominalDEM
+		overlayBuilt := false
 		if len(overlay) > 0 {
+			preMiss := hotCache.Stats().Misses
 			decodeDEM, err = hotCache.BuildDEM(curCode, nominal.OverlaySiteRates(overlay), int(chunk), cfg.Basis)
 			if err != nil {
 				return nil, err
+			}
+			if hotCache.Stats().Misses > preMiss {
+				res.OverlayDEMBuilds++
+				overlayBuilt = true
 			}
 		}
 		if !maps.Equal(overlay, prevOverlay) {
 			res.Reweights++
 			prevOverlay = overlay
+			if tr != nil {
+				maxMult := 0.0
+				for _, rate := range overlay {
+					if m := rate / cfg.PhysicalRate; m > maxMult {
+						maxMult = m
+					}
+				}
+				tr.Emit(obs.TraceEvent{Type: obs.TraceReweight, Cycle: cycle, Arm: arm, Traj: tj,
+					Overlay: len(overlay), MaxMult: maxMult, DEMBuild: overlayBuilt})
+			}
 		}
 		memo.prune()
 		dec := memo.decoder(decodeDEM)
 		sampler := memo.sampler(sampleDEM)
-		flagged, obs := sampler.Shot(shotRNG)
-		failed := dec.DecodeToObs(flagged) != obs
+		// Shot timings are measured only under tracing (two clock reads per
+		// chunk otherwise saved) and flow only into trace events, never into
+		// the Result — wall-clock is not deterministic.
+		var sampleNs, decodeNs int64
+		var flagged []int32
+		var failed bool
+		if tr != nil {
+			t0 := time.Now()
+			flagged0, obsFlip := sampler.Shot(shotRNG)
+			sampleNs = time.Since(t0).Nanoseconds()
+			t1 := time.Now()
+			failed = dec.DecodeToObs(flagged0) != obsFlip
+			decodeNs = time.Since(t1).Nanoseconds()
+			flagged = flagged0
+		} else {
+			flagged0, obsFlip := sampler.Shot(shotRNG)
+			failed = dec.DecodeToObs(flagged0) != obsFlip
+			flagged = flagged0
+		}
 		res.Epochs++
 
 		// Stream the chunk's detection events into the window round by
@@ -532,6 +622,8 @@ func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
 			accrueReweight(res, chunk, overlay, rates, codeSites, cfg.PhysicalRate)
 			advance(res, chunk, blocked, curCode)
 			cycle += chunk
+			tr.Emit(obs.TraceEvent{Type: obs.TraceEpoch, Cycle: cycle, Arm: arm, Traj: tj,
+				Cycles: chunk, Failed: failed, DecodeNs: decodeNs, SampleNs: sampleNs})
 			continue
 		}
 
@@ -544,20 +636,37 @@ func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
 		accrueReweight(res, elapsed, overlay, rates, codeSites, cfg.PhysicalRate)
 		advance(res, elapsed, blocked, curCode)
 		cycle += elapsed
+		tr.Emit(obs.TraceEvent{Type: obs.TraceEpoch, Cycle: cycle, Arm: arm, Traj: tj,
+			Cycles: elapsed, DecodeNs: decodeNs, SampleNs: sampleNs})
 		quietUntil = cycle + int64(cfg.Window)
 		estimate := attribute(sampleDEM, fresh, attributed, events, cycle, res)
-		if sys != nil && mit.Handles(defect.SeverityRemove) {
+		routeRemove := sys != nil && mit.Handles(defect.SeverityRemove)
+		if tr != nil {
+			tr.Emit(obs.TraceEvent{Type: obs.TraceDetect, Cycle: cycle, Arm: arm, Traj: tj,
+				Flags: len(fresh), Region: len(estimate)})
+			sev := "observe"
+			if routeRemove {
+				sev = "remove"
+			}
+			tr.Emit(obs.TraceEvent{Type: obs.TraceMitigate, Cycle: cycle, Arm: arm, Traj: tj, Severity: sev})
+		}
+		if routeRemove {
 			st, err := sys.Step(0, estimate)
 			if err != nil {
 				return terminate(res, cycle, err)
 			}
-			if len(st.Defects) > 0 || st.Enlarged {
+			deformed := len(st.Defects) > 0 || st.Enlarged
+			if deformed {
 				res.Deformations++
 			}
 			curCode = st.Code
 			blocked = sys.Blocked(0)
 			if d := minDist(curCode); d < res.MinDistance {
 				res.MinDistance = d
+			}
+			if deformed {
+				tr.Emit(obs.TraceEvent{Type: obs.TraceDeform, Cycle: cycle, Arm: arm, Traj: tj,
+					Defects: len(st.Defects), Enlarged: st.Enlarged, Distance: minDist(curCode)})
 			}
 		}
 	}
@@ -898,13 +1007,13 @@ func activeRemoveSites(events []*event, cycle int64) map[lattice.Coord]bool {
 
 // recoverSubsided drops attributions whose estimated region no longer
 // intersects any active removable event and reincorporates their sites
-// (minus sites still claimed by an active event). Reports whether any
-// recovery happened.
-func recoverSubsided(sys *core.System, events []*event, attributed map[int32]*attribution, cycle int64) (bool, error) {
+// (minus sites still claimed by an active event). Returns how many sites
+// were reincorporated (0 when no recovery happened).
+func recoverSubsided(sys *core.System, events []*event, attributed map[int32]*attribution, cycle int64) (int, error) {
 	active := activeRemoveSites(events, cycle)
 	drop := subsidedIDs(attributed, active)
 	if len(drop) == 0 {
-		return false, nil
+		return 0, nil
 	}
 	siteSet := map[lattice.Coord]bool{}
 	for _, id := range drop {
@@ -921,12 +1030,12 @@ func recoverSubsided(sys *core.System, events []*event, attributed map[int32]*at
 	}
 	lattice.SortCoords(sites)
 	if len(sites) == 0 {
-		return false, nil
+		return 0, nil
 	}
 	if _, err := sys.Recover(0, sites); err != nil {
-		return false, err
+		return 0, err
 	}
-	return true, nil
+	return len(sites), nil
 }
 
 // expireAttributions is the untreated arm's counterpart of recoverSubsided:
