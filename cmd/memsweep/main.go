@@ -11,6 +11,13 @@
 // run. See EXPERIMENTS.md ("Resuming an interrupted sweep") and
 // DESIGN.md §7 for the store format and determinism contract.
 //
+// The sweep is crash-safe (DESIGN.md §11): SIGINT/SIGTERM drains in-flight
+// points, syncs the store, prints a resume hint and exits 3; a worker
+// panic or exhausted transient retry is isolated to its point (remaining
+// points complete, the failure is reported, exit 3); -store-sync selects
+// the fsync policy. Exit codes: 0 complete, 1 error, 2 usage, 3
+// interrupted or partial.
+//
 // Usage:
 //
 //	memsweep -d 3,5,7 -p 2e-3,4e-3,6e-3 -rounds 6 -shots 20000
@@ -40,13 +47,12 @@ import (
 const pointSalt = int64(-20)
 
 // main is a thin exit-code shim: all work happens in run so that its
-// deferred cleanups — CPU-profile flush, heap-profile write, store close —
-// execute on every path, including errors (os.Exit would skip them).
+// deferred cleanups — CPU-profile flush, heap-profile write, store
+// sync+close — execute on every path, including errors and interrupts
+// (os.Exit would skip them). Usage errors exit 2 via the flag package;
+// run errors map to the documented codes (interrupted/partial → 3).
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "memsweep: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(cliutil.ReportRunError("memsweep", os.Stderr, run()))
 }
 
 func run() (err error) {
@@ -62,11 +68,18 @@ func run() (err error) {
 	maxShots := flag.Int("max-shots", 0, "shot cap when -target-rse is set (0 = -shots)")
 	storePath := flag.String("store", "", "persist per-point results to this JSONL store")
 	resume := flag.Bool("resume", false, "serve points already complete in -store instead of recomputing")
+	storeSync := cliutil.AddStoreSyncFlag()
 	storeLS := flag.Bool("store-ls", false, "list the contents of -store and exit")
 	storeGC := flag.Bool("store-gc", false, "compact -store (merge segments, drop corrupt lines) and exit")
 	progress := flag.Bool("progress", false, "report sweep progress (points done, shots/sec, ETA) on stderr while running")
 	prof := cliutil.AddProfileFlags()
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context: the point pool stops dispatching,
+	// in-flight points drain at shard boundaries, and the deferred store
+	// Close syncs everything committed before the process exits.
+	ctx, stopSignals := cliutil.SignalContext("memsweep", os.Stderr)
+	defer stopSignals()
 
 	stop, err := prof.Start("memsweep")
 	if err != nil {
@@ -80,7 +93,7 @@ func run() (err error) {
 
 	var st *store.Store
 	if *storePath != "" {
-		st, err = cliutil.OpenStore("memsweep", *storePath)
+		st, err = cliutil.OpenStore("memsweep", *storePath, *storeSync)
 		if err != nil {
 			return err
 		}
@@ -132,7 +145,7 @@ func run() (err error) {
 	results := make([]result, len(grid))
 	prog := cliutil.NewProgress(*progress, "shots", "mc.shots_committed")
 	prog.Begin(len(grid))
-	err = mc.ForEach(*pointWorkers, len(grid), func(i int) error {
+	runErr := mc.ForEach(ctx, *pointWorkers, len(grid), func(i int) error {
 		defer prog.PointDone()
 		pt := grid[i]
 		c := code.FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, pt.d))
@@ -143,6 +156,7 @@ func run() (err error) {
 			Workers:   *workers,
 			TargetRSE: *targetRSE,
 			Seed:      mc.DeriveSeed(*seed, pointSalt, int64(pt.d), rateStream(pt.p)),
+			Ctx:       ctx,
 		}, sim.StoreOptions{
 			Store:  st,
 			Resume: *resume,
@@ -157,15 +171,21 @@ func run() (err error) {
 		return nil
 	})
 	prog.End()
-	if err != nil {
-		return err
+	if runErr != nil && cliutil.ExitCode(runErr) != cliutil.ExitPartial {
+		return runErr
 	}
 
+	// Completed points are rendered even after an interrupt or isolated
+	// point failures — each row is independent and already committed.
 	fmt.Printf("%-8s %-10s %-14s %-14s %-14s %-16s %-12s\n",
 		"d", "p", "λZ/cycle", "λX/cycle", "λ/cycle", "failures", "shots")
-	computed, skipped := 0, 0
+	computed, skipped, missing := 0, 0, 0
 	for i, pt := range grid {
 		r := results[i]
+		if r.z == nil {
+			missing++
+			continue
+		}
 		if r.stored {
 			skipped++
 		} else {
@@ -186,8 +206,13 @@ func run() (err error) {
 		fmt.Fprintf(os.Stderr, "memsweep: computed %d point(s), skipped %d (store %s)\n",
 			computed, skipped, *storePath)
 	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "memsweep: partial results — %d of %d point(s) missing from the table\n",
+			missing, len(grid))
+		cliutil.ResumeHint("memsweep", os.Stderr, *storePath, *resume)
+	}
 	cliutil.WarnDegraded("memsweep", os.Stderr)
-	return nil
+	return runErr
 }
 
 // memsweepConfig is the store identity of one (d, p) point. The shot

@@ -40,13 +40,12 @@ import (
 
 // main is a thin exit-code shim: all work happens in realMain so that its
 // deferred cleanups — CPU-profile flush, heap-profile write, trace-file
-// close, store close — execute on every path, including errors (os.Exit
-// would skip them). Usage errors exit 2 before any cleanup is registered.
+// close, store sync+close — execute on every path, including errors and
+// interrupts (os.Exit would skip them). Usage errors exit 2 before any
+// cleanup is registered; run errors map to the documented codes
+// (interrupted/partial → 3, see DESIGN.md §11).
 func main() {
-	if err := realMain(); err != nil {
-		fmt.Fprintf(os.Stderr, "surfdeform: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(cliutil.ReportRunError("surfdeform", os.Stderr, realMain()))
 }
 
 func realMain() (err error) {
@@ -61,6 +60,7 @@ func realMain() (err error) {
 	flag.IntVar(&opt.PointWorkers, "point-workers", 1, "grid points run concurrently (never changes results)")
 	storePath := flag.String("store", "", "persist per-point results to this JSONL store")
 	flag.BoolVar(&opt.Resume, "resume", false, "serve points already complete in -store instead of recomputing")
+	storeSync := cliutil.AddStoreSyncFlag()
 	storeLS := flag.Bool("store-ls", false, "list the contents of -store and exit")
 	storeGC := flag.Bool("store-gc", false, "compact -store (merge segments, drop corrupt lines) and exit")
 	targetRSE := flag.Float64("target-rse", 0, "adaptive early stopping for sweep/calibrate points (0 = fixed budget)")
@@ -110,7 +110,7 @@ func realMain() (err error) {
 		opt = q
 	}
 	if *storePath != "" {
-		st, serr := cliutil.OpenStore("surfdeform", *storePath)
+		st, serr := cliutil.OpenStore("surfdeform", *storePath, *storeSync)
 		if serr != nil {
 			return serr
 		}
@@ -129,6 +129,13 @@ func realMain() (err error) {
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
+
+	// SIGINT/SIGTERM cancel the context: grids stop dispatching at the
+	// next point boundary, in-flight points drain, and the deferred store
+	// Close syncs every committed point before the process exits 3.
+	ctx, stopSignals := cliutil.SignalContext("surfdeform", os.Stderr)
+	defer stopSignals()
+	opt.Ctx = ctx
 
 	stop, err := prof.Start("surfdeform")
 	if err != nil {
@@ -163,8 +170,9 @@ func realMain() (err error) {
 
 	opt.Stats = &experiments.RunStats{}
 	start := time.Now()
-	if err := run(name, opt, format, *targetRSE, *reweightFactor, tracer); err != nil {
-		return err
+	runErr := run(name, opt, format, *targetRSE, *reweightFactor, tracer)
+	if runErr != nil && cliutil.ExitCode(runErr) != cliutil.ExitPartial {
+		return runErr
 	}
 	if opt.Store != nil {
 		fmt.Fprintf(os.Stderr, "[%s computed %d point(s), skipped %d (store %s)]\n",
@@ -179,6 +187,14 @@ func realMain() (err error) {
 		fmt.Fprintf(os.Stderr, "[dem cache: %d hits, %d misses, %d clears, %d entries]\n",
 			cs.Hits, cs.Misses, cs.Clears, cs.Entries)
 		cliutil.PrintSnapshot(os.Stderr)
+	}
+	if runErr != nil {
+		// Interrupted or partially failed: everything completed so far is
+		// committed (and synced by the deferred Close); tell the user how
+		// to compute only what is missing.
+		cliutil.ResumeHint("surfdeform", os.Stderr, *storePath, opt.Resume)
+		fmt.Fprintf(os.Stderr, "[%s stopped after %v]\n", name, time.Since(start).Round(time.Millisecond))
+		return runErr
 	}
 	fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	return nil
@@ -284,12 +300,26 @@ func run(name string, opt experiments.Options, format report.Format, targetRSE, 
 	case "sweep":
 		rows, err := experiments.MemorySweep(opt, experiments.DefaultSweepGrid(opt),
 			experiments.SweepEngine{TargetRSE: targetRSE})
-		if err != nil {
+		if err != nil && rows == nil {
 			return err
+		}
+		if err != nil {
+			// Isolated point failures: render only the rows that completed
+			// (a zero D marks a never-filled slot), then surface the error.
+			kept := rows[:0:0]
+			for _, r := range rows {
+				if r.D != 0 {
+					kept = append(kept, r)
+				}
+			}
+			rows = kept
 		}
 		if textOnly {
 			experiments.RenderSweep(w, rows)
-		} else if err := structured(experiments.SweepTable(rows)); err != nil {
+		} else if rerr := structured(experiments.SweepTable(rows)); rerr != nil {
+			return rerr
+		}
+		if err != nil {
 			return err
 		}
 	case "traj":
@@ -320,8 +350,8 @@ func run(name string, opt experiments.Options, format report.Format, targetRSE, 
 			[]float64{3e-3, 4e-3, 6e-3}, []int{3, 5, 7},
 			estimator.CalibrateOptions{
 				Rounds: opt.Rounds, Shots: opt.Shots, TargetRSE: targetRSE,
-				PointWorkers: opt.PointWorkers,
-				Factory:      decoder.UnionFindFactory(), Decoder: "uf",
+				PointWorkers: opt.PointWorkers, Ctx: opt.Ctx,
+				Factory: decoder.UnionFindFactory(), Decoder: "uf",
 				Seed: opt.Seed, Store: opt.Store, Resume: opt.Resume,
 				Progress: opt.Progress,
 				OnPoint: func(fromStore bool) {

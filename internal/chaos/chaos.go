@@ -1,0 +1,120 @@
+// Package chaos provides deterministic fault injectors for the pipeline's
+// crash-safety tests: seeded store write errors, panics and process kills
+// at exact trigger points, and torn-tail file surgery. Each injector is
+// deterministic — a fixed seed and call sequence always fault the same
+// way — so the fault-injection tests extend the byte-identical-resume
+// contract (DESIGN.md §7) to crashes: sweep → inject fault → resume must
+// reproduce an uninterrupted run exactly (DESIGN.md §11).
+//
+// The injection seam into the store is store.Options.BeforeAppend, which
+// runs just before a row's bytes are written; injectors built here are
+// hooks for it. Nothing in this package is imported outside tests and the
+// CI chaos job.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"surfdeformer/internal/mc"
+)
+
+// chaosSalt keeps injector RNG streams disjoint from every results stream
+// (negative leading path element, like all non-shard streams).
+const chaosSalt = int64(-0x4348) // "CH"
+
+// PanicOnAppend returns a store hook that panics on the n-th append
+// (1-based) — a deterministic stand-in for a worker panic mid-point. The
+// panic fires before any bytes are written, so the store never sees the
+// faulted row; mc.ForEach isolates the failure to the one point whose
+// append it was.
+func PanicOnAppend(n int64) func([]byte) error {
+	var calls atomic.Int64
+	return func([]byte) error {
+		if calls.Add(1) == n {
+			panic(fmt.Sprintf("chaos: injected panic at append %d", n))
+		}
+		return nil
+	}
+}
+
+// PanicAt wraps a ForEach point function so that point index i panics —
+// the direct form of worker-panic injection for pool-level tests.
+func PanicAt(i int, fn func(int) error) func(int) error {
+	return func(j int) error {
+		if j == i {
+			panic(fmt.Sprintf("chaos: injected panic at point %d", i))
+		}
+		return fn(j)
+	}
+}
+
+// WriteErrors returns a store hook failing each append with the given
+// probability, drawn from a seeded stream so a fixed (seed, call
+// sequence) faults identically every run. Failures are transient in the
+// sense of mc.Transient: the point pool retries them with deterministic
+// backoff, and a retried point re-appends byte-identical rows — which is
+// how the write-error leg of the chaos matrix verifies that retries never
+// leak into results.
+func WriteErrors(seed int64, rate float64) func([]byte) error {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(mc.DeriveSeed(seed, chaosSalt)))
+	return func([]byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if rng.Float64() < rate {
+			return mc.Transient(fmt.Errorf("chaos: injected write error"))
+		}
+		return nil
+	}
+}
+
+// KillAfter returns a store hook that SIGKILLs the current process just
+// before the n-th append (1-based) — the hard-crash leg of the matrix,
+// used from a re-exec'd child so the test process itself survives. The
+// kill fires before any bytes of row n are written: rows 1..n-1 are
+// committed, row n and everything after must be recomputed on resume.
+func KillAfter(n int64) func([]byte) error {
+	var calls atomic.Int64
+	return func([]byte) error {
+		if calls.Add(1) == n {
+			p, err := os.FindProcess(os.Getpid())
+			if err == nil {
+				p.Kill()
+			}
+			select {} // SIGKILL is not synchronous; never let the append proceed
+		}
+		return nil
+	}
+}
+
+// CancelOnAppend returns a store hook that calls cancel just after the
+// n-th append (1-based) is allowed through — the deterministic equivalent
+// of SIGINT arriving while point n commits: n points land in the store,
+// dispatch stops at the next point boundary.
+func CancelOnAppend(n int64, cancel func()) func([]byte) error {
+	var calls atomic.Int64
+	return func([]byte) error {
+		if calls.Add(1) == n {
+			cancel()
+		}
+		return nil
+	}
+}
+
+// TearTail truncates cut bytes off the end of the file at path,
+// simulating an append torn mid-write by a crash (power loss landing
+// inside the final row). store.OpenWith repairs exactly this shape.
+func TearTail(path string, cut int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if cut <= 0 || cut > info.Size() {
+		return fmt.Errorf("chaos: cut %d out of range for %d-byte %s", cut, info.Size(), path)
+	}
+	return os.Truncate(path, info.Size()-cut)
+}

@@ -1,0 +1,382 @@
+// The deterministic fault-injection matrix: every fault class — worker
+// panic, transient write errors, process kill, torn tail, cooperative
+// cancel — is injected into a real store-backed sweep, the sweep is
+// resumed, and the result is byte-compared against an uninterrupted
+// reference run. This is the crash-safety half of the determinism
+// contract: a fault plus a resume must be invisible in the output.
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"surfdeformer/internal/chaos"
+	"surfdeformer/internal/experiments"
+	"surfdeformer/internal/mc"
+	"surfdeformer/internal/obs"
+	"surfdeformer/internal/store"
+)
+
+// sweepOpts builds the quick store-backed sweep configuration every leg
+// shares. PointWorkers stays 1 so append order is grid order and raw file
+// bytes are comparable across legs; determinism for PointWorkers > 1 is
+// covered by the experiments package's own tests.
+func sweepOpts(st *store.Store, ctx context.Context) experiments.Options {
+	opt := experiments.QuickOptions()
+	opt.Shots = 512
+	opt.Store = st
+	opt.Resume = true
+	opt.Ctx = ctx
+	return opt
+}
+
+func runSweep(st *store.Store, ctx context.Context) ([]experiments.SweepRow, error) {
+	opt := sweepOpts(st, ctx)
+	return experiments.MemorySweep(opt, experiments.DefaultSweepGrid(opt), experiments.SweepEngine{Workers: 1})
+}
+
+func renderTable(rows []experiments.SweepRow) string {
+	var sb strings.Builder
+	experiments.RenderSweep(&sb, rows)
+	return sb.String()
+}
+
+func readBytes(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func sortedLines(t *testing.T, path string) []string {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(string(readBytes(t, path)), "\n"), "\n")
+	sort.Strings(lines)
+	return lines
+}
+
+// gcBytes compacts the store at path in place and returns the canonical
+// (key-sorted, one row per point) file bytes.
+func gcBytes(t *testing.T, path string) []byte {
+	t.Helper()
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return readBytes(t, path)
+}
+
+// reference runs the sweep uninterrupted into a fresh store and returns
+// the store path, its raw bytes, and the rendered table.
+func reference(t *testing.T) (path string, raw []byte, table string) {
+	t.Helper()
+	path = filepath.Join(t.TempDir(), "ref.jsonl")
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := runSweep(st, nil)
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw = readBytes(t, path)
+	if len(bytes.TrimSpace(raw)) == 0 {
+		t.Fatal("reference sweep committed nothing")
+	}
+	return path, raw, renderTable(rows)
+}
+
+// resumeAndCompare reopens the faulted store with no injection, resumes
+// the sweep, and asserts the rendered table and canonical store bytes
+// match the reference exactly.
+func resumeAndCompare(t *testing.T, path, refPath, refTable string) {
+	t.Helper()
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := runSweep(st, nil)
+	if err != nil {
+		t.Fatalf("resume sweep: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := renderTable(rows); got != refTable {
+		t.Errorf("resumed table diverges from uninterrupted run:\n--- resumed\n%s--- reference\n%s", got, refTable)
+	}
+	if got, want := sortedLines(t, path), sortedLines(t, refPath); !equalStrings(got, want) {
+		t.Errorf("resumed store rows diverge:\n resumed:   %v\n reference: %v", got, want)
+	}
+	if got, want := gcBytes(t, path), gcBytes(t, refPath); !bytes.Equal(got, want) {
+		t.Error("canonical (compacted) store bytes diverge after resume")
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Worker panic: a point whose append panics is isolated — the sweep
+// finishes the rest of the grid and reports the failure — and a resume
+// recomputes only that point, reproducing the uninterrupted run.
+func TestPanicFaultResume(t *testing.T) {
+	refPath, _, refTable := reference(t)
+	panics := obs.Default().Counter("mc.worker_panics").Value()
+
+	path := filepath.Join(t.TempDir(), "faulted.jsonl")
+	st, err := store.OpenWith(path, store.Options{BeforeAppend: chaos.PanicOnAppend(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := runSweep(st, nil)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var perrs *mc.PointErrors
+	if !errors.As(err, &perrs) || len(perrs.Failures) != 1 {
+		t.Fatalf("faulted sweep err = %v, want one isolated point failure", err)
+	}
+	if rows == nil {
+		t.Fatal("isolated failure voided the surviving rows")
+	}
+	if got := obs.Default().Counter("mc.worker_panics").Value() - panics; got < 1 {
+		t.Fatalf("mc.worker_panics delta = %d, want >= 1", got)
+	}
+	resumeAndCompare(t, path, refPath, refTable)
+}
+
+// Transient write errors: injected append failures are retried with the
+// whole point recomputed; however many attempts it takes, the final
+// store and table are byte-identical to a run that never faulted.
+func TestWriteErrorFaultResume(t *testing.T) {
+	refPath, _, refTable := reference(t)
+	retries := obs.Default().Counter("mc.point_retries").Value()
+
+	path := filepath.Join(t.TempDir(), "faulted.jsonl")
+	st, err := store.OpenWith(path, store.Options{BeforeAppend: chaos.WriteErrors(1, 0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = runSweep(st, nil)
+	if cerr := st.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	// Exhausted retries are allowed (isolated, resumable); anything else is not.
+	var perrs *mc.PointErrors
+	if err != nil && !errors.As(err, &perrs) {
+		t.Fatalf("faulted sweep err = %v, want nil or isolated failures", err)
+	}
+	if got := obs.Default().Counter("mc.point_retries").Value() - retries; got < 1 {
+		t.Fatalf("mc.point_retries delta = %d, want >= 1 (injection never fired)", got)
+	}
+	resumeAndCompare(t, path, refPath, refTable)
+}
+
+// Cooperative cancel (the SIGINT path minus the signal): cancellation
+// after a committed point stops dispatch at the next boundary, commits
+// nothing partial, and the resumed store is byte-identical to the
+// reference — including raw append order.
+func TestCancelFaultResume(t *testing.T) {
+	refPath, refRaw, refTable := reference(t)
+
+	path := filepath.Join(t.TempDir(), "faulted.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st, err := store.OpenWith(path, store.Options{BeforeAppend: chaos.CancelOnAppend(1, cancel)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := runSweep(st, ctx)
+	if cerr := st.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if !errors.Is(err, mc.ErrCanceled) {
+		t.Fatalf("canceled sweep err = %v, want ErrCanceled", err)
+	}
+	if rows != nil {
+		t.Fatal("canceled sweep returned rows; cancellation must return none")
+	}
+	faulted := readBytes(t, path)
+	if len(faulted) == 0 || !bytes.HasPrefix(refRaw, faulted) {
+		t.Fatalf("interrupted store is not a committed prefix of the reference:\n%q", faulted)
+	}
+	resumeAndCompare(t, path, refPath, refTable)
+	if !bytes.Equal(sortRaw(readBytes(t, path)), sortRaw(refRaw)) {
+		t.Error("resumed raw store diverges from reference")
+	}
+}
+
+func sortRaw(b []byte) []byte {
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	sort.Strings(lines)
+	return []byte(strings.Join(lines, "\n"))
+}
+
+// Torn tail: cutting a crash-torn final row is repaired on open (reported,
+// not silent), and a resume recomputes the lost point, reproducing the
+// uninterrupted file byte for byte — raw, not just canonical.
+func TestTornTailFaultResume(t *testing.T) {
+	refPath, refRaw, refTable := reference(t)
+
+	path := filepath.Join(t.TempDir(), "faulted.jsonl")
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runSweep(st, nil); err != nil {
+		t.Fatalf("initial sweep: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := chaos.TearTail(path, 5); err != nil {
+		t.Fatal(err)
+	}
+	repaired := obs.Default().Counter("store.rows_repaired").Value()
+	st, err = store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := st.Repair()
+	if rep.DroppedLines != 1 || rep.TruncatedBytes == 0 {
+		t.Fatalf("repair report = %+v, want one dropped tail row", rep)
+	}
+	if got := obs.Default().Counter("store.rows_repaired").Value() - repaired; got != 1 {
+		t.Fatalf("store.rows_repaired delta = %d, want 1", got)
+	}
+	rows, err := runSweep(st, nil)
+	if err != nil {
+		t.Fatalf("resume after repair: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := renderTable(rows); got != refTable {
+		t.Errorf("table after repair diverges:\n--- repaired\n%s--- reference\n%s", got, refTable)
+	}
+	if !bytes.Equal(readBytes(t, path), refRaw) {
+		t.Error("repaired + resumed store is not byte-identical to the uninterrupted file")
+	}
+	_ = refPath
+}
+
+// Process kill: a re-exec'd child runs the sweep and is SIGKILLed before
+// its second append. The parent reopens the store — committed rows
+// intact, nothing to repair (the kill fired between rows) — resumes, and
+// byte-compares against the uninterrupted run.
+func TestKillFaultResume(t *testing.T) {
+	if path := os.Getenv("CHAOS_KILL_STORE"); path != "" {
+		runKillChild(path) // never returns
+	}
+	refPath, refRaw, refTable := reference(t)
+
+	path := filepath.Join(t.TempDir(), "faulted.jsonl")
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestKillFaultResume$")
+	cmd.Env = append(os.Environ(), "CHAOS_KILL_STORE="+path)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("child survived its own SIGKILL:\n%s", out)
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != -1 {
+		t.Fatalf("child exit = %v (want killed by signal):\n%s", err, out)
+	}
+
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repair().Repaired() {
+		t.Fatalf("kill between appends should need no repair: %+v", st.Repair())
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d point(s) after KillAfter(2), want 1", st.Len())
+	}
+	rows, err := runSweep(st, nil)
+	if err != nil {
+		t.Fatalf("resume after kill: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := renderTable(rows); got != refTable {
+		t.Errorf("table after kill+resume diverges:\n--- resumed\n%s--- reference\n%s", got, refTable)
+	}
+	if !bytes.Equal(readBytes(t, path), refRaw) {
+		t.Error("killed + resumed store is not byte-identical to the uninterrupted file")
+	}
+	_ = refPath
+}
+
+// runKillChild is the re-exec'd half of TestKillFaultResume: it runs the
+// sweep against a store wired to SIGKILL the process before append 2.
+func runKillChild(path string) {
+	st, err := store.OpenWith(path, store.Options{
+		Sync:         store.SyncAlways,
+		BeforeAppend: chaos.KillAfter(2),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	runSweep(st, nil)
+	fmt.Fprintln(os.Stderr, "chaos child: sweep finished without being killed")
+	os.Exit(1)
+}
+
+// The injectors themselves must be deterministic: the same seed yields
+// the same error sequence, a different seed a different one.
+func TestWriteErrorsDeterministic(t *testing.T) {
+	sequence := func(seed int64) string {
+		hook := chaos.WriteErrors(seed, 0.5)
+		var sb strings.Builder
+		for i := 0; i < 64; i++ {
+			if hook(nil) != nil {
+				sb.WriteByte('x')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		return sb.String()
+	}
+	if sequence(7) != sequence(7) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	if sequence(7) == sequence(8) {
+		t.Fatal("different seeds produced the same fault sequence")
+	}
+	if !strings.Contains(sequence(7), "x") || !strings.Contains(sequence(7), ".") {
+		t.Fatalf("rate 0.5 produced a degenerate sequence: %s", sequence(7))
+	}
+	if err := chaos.WriteErrors(7, 1.0)(nil); !mc.IsTransient(err) {
+		t.Fatalf("injected write error is not transient: %v", err)
+	}
+}

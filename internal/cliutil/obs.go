@@ -92,22 +92,29 @@ func NewProgress(enabled bool, unitsLabel, unitsCounter string) *obs.Progress {
 	}
 }
 
-// WarnDegraded prints a one-line warning when the run's decode path hit
-// silent-degradation conditions: truncated decodes (the union-find ran out
-// of iterations on a pathological graph) or clamped/dropped decoding-graph
-// edges (reweighted priors the graph could not fully represent). Each is
-// invisible at the point of occurrence by design — the decode still
-// returns — so the end of the run is the one place they must surface.
+// WarnDegraded prints one-line warnings when the run hit silent-
+// degradation conditions: truncated decodes (the union-find ran out of
+// iterations on a pathological graph), clamped/dropped decoding-graph
+// edges (reweighted priors the graph could not fully represent), or store
+// damage that Open tolerated or repaired (mid-file corrupt lines, torn
+// tail rows truncated away). Each is invisible at the point of occurrence
+// by design — the decode still returns, the store still opens — so the
+// end of the run is the one place they must surface.
 func WarnDegraded(cmd string, w io.Writer) {
 	r := obs.Default()
 	trunc := r.Counter("decoder.truncations").Value()
 	clamped := r.Counter("decoder.graph.edges_clamped").Value()
 	dropped := r.Counter("decoder.graph.edges_dropped").Value()
-	if trunc == 0 && clamped == 0 && dropped == 0 {
-		return
+	if trunc != 0 || clamped != 0 || dropped != 0 {
+		fmt.Fprintf(w, "%s: warning: degraded decoding — %d truncated decode(s), %d clamped edge(s), %d dropped edge(s)\n",
+			cmd, trunc, clamped, dropped)
 	}
-	fmt.Fprintf(w, "%s: warning: degraded decoding — %d truncated decode(s), %d clamped edge(s), %d dropped edge(s)\n",
-		cmd, trunc, clamped, dropped)
+	corrupt := r.Counter("store.corrupted_lines").Value()
+	repaired := r.Counter("store.rows_repaired").Value()
+	if corrupt != 0 || repaired != 0 {
+		fmt.Fprintf(w, "%s: warning: degraded store — %d corrupt line(s) tolerated, %d torn tail row(s) repaired away (recomputed on resume)\n",
+			cmd, corrupt, repaired)
+	}
 }
 
 // PrintSnapshot writes the full obs registry snapshot as sorted

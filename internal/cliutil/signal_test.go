@@ -1,0 +1,95 @@
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"surfdeformer/internal/mc"
+)
+
+func TestExitCodeMapping(t *testing.T) {
+	perrs := &mc.PointErrors{Total: 4, Failures: []mc.PointFailure{{Index: 1, Err: errors.New("x"), Attempts: 1}}}
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{errors.New("boom"), ExitFailure},
+		{fmt.Errorf("run: %w", mc.ErrCanceled), ExitPartial},
+		{perrs, ExitPartial},
+		{errors.Join(fmt.Errorf("%w after 2 of 4", mc.ErrCanceled), perrs), ExitPartial},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestReportRunError(t *testing.T) {
+	perrs := &mc.PointErrors{Total: 4, Failures: []mc.PointFailure{{Index: 1, Err: errors.New("flaky"), Attempts: 3}}}
+	var sb strings.Builder
+	if got := ReportRunError("prog", &sb, perrs); got != ExitPartial {
+		t.Fatalf("exit = %d, want %d", got, ExitPartial)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "point 1") || !strings.Contains(out, "3 attempt(s)") {
+		t.Fatalf("report missing failure detail:\n%s", out)
+	}
+
+	sb.Reset()
+	if got := ReportRunError("prog", &sb, fmt.Errorf("run: %w", mc.ErrCanceled)); got != ExitPartial {
+		t.Fatalf("exit = %d, want %d", got, ExitPartial)
+	}
+	if !strings.Contains(sb.String(), "interrupted") {
+		t.Fatalf("cancellation not reported as interruption: %s", sb.String())
+	}
+
+	sb.Reset()
+	if got := ReportRunError("prog", &sb, errors.New("boom")); got != ExitFailure {
+		t.Fatalf("exit = %d, want %d", got, ExitFailure)
+	}
+}
+
+func TestResumeHint(t *testing.T) {
+	var sb strings.Builder
+	ResumeHint("prog", &sb, "", false)
+	if !strings.Contains(sb.String(), "-store FILE -resume") {
+		t.Fatalf("storeless hint unhelpful: %s", sb.String())
+	}
+	sb.Reset()
+	ResumeHint("prog", &sb, "sweep.jsonl", false)
+	out := sb.String()
+	if !strings.Contains(out, "sweep.jsonl") || !strings.Contains(out, " -resume") {
+		t.Fatalf("hint does not name the store or add -resume: %s", out)
+	}
+	sb.Reset()
+	ResumeHint("prog", &sb, "sweep.jsonl", true)
+	if strings.Contains(sb.String(), "-resume -resume") {
+		t.Fatalf("hint duplicated -resume: %s", sb.String())
+	}
+}
+
+// The first SIGINT cancels the context (graceful drain) without killing
+// the process — the process-killing second-signal path is exercised
+// manually and by the CI walkthrough, not here.
+func TestSignalContextCancelsOnInterrupt(t *testing.T) {
+	var sb strings.Builder
+	ctx, stop := SignalContext("prog", &sb)
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not canceled by SIGINT")
+	}
+	if !strings.Contains(sb.String(), "draining in-flight points") {
+		t.Fatalf("no drain announcement: %q", sb.String())
+	}
+}

@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -9,17 +10,39 @@ import (
 )
 
 // OpenStore opens (or creates) the result store at path, reporting any
-// tolerated corrupt lines to stderr prefixed with the program name. Both
-// CLIs share this so the corruption warning reads the same everywhere.
-func OpenStore(prog, path string) (*store.Store, error) {
-	st, err := store.Open(path)
+// tolerated corrupt lines and any crash repairs (torn tail truncated,
+// stale GC temps removed) to stderr prefixed with the program name. Both
+// CLIs share this so the warnings read the same everywhere. syncPolicy is
+// the -store-sync flag value ("never", "interval", "always").
+func OpenStore(prog, path, syncPolicy string) (*store.Store, error) {
+	policy, err := store.ParseSyncPolicy(syncPolicy)
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.OpenWith(path, store.Options{Sync: policy})
 	if err != nil {
 		return nil, err
 	}
 	if n := st.Corrupted(); n > 0 {
 		fmt.Fprintf(os.Stderr, "%s: store %s: tolerated %d corrupt line(s)\n", prog, path, n)
 	}
+	if rep := st.Repair(); rep.Repaired() {
+		if rep.TruncatedBytes > 0 || rep.DroppedLines > 0 {
+			fmt.Fprintf(os.Stderr, "%s: store %s: repaired torn tail — truncated %d byte(s), dropped %d uncommitted row(s) (recomputed on resume)\n",
+				prog, path, rep.TruncatedBytes, rep.DroppedLines)
+		}
+		if rep.TempsRemoved > 0 {
+			fmt.Fprintf(os.Stderr, "%s: store %s: removed %d stale gc temp file(s)\n", prog, path, rep.TempsRemoved)
+		}
+	}
 	return st, nil
+}
+
+// AddStoreSyncFlag registers the shared -store-sync flag. Call before
+// flag.Parse.
+func AddStoreSyncFlag() *string {
+	return flag.String("store-sync", "interval",
+		"store fsync policy: never, interval (at most ~1/s), always (per append)")
 }
 
 // StoreMaintenance runs the -store-ls/-store-gc maintenance modes shared

@@ -21,6 +21,7 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -97,7 +98,11 @@ type CalibrateOptions struct {
 	// (p, d) points out concurrently. Neither changes results.
 	Workers      int
 	PointWorkers int
-	Factory      sim.DecoderFactory
+	// Ctx, when non-nil, cancels the calibration sweep cooperatively at
+	// point and shard boundaries; CalibrateOpts then returns an error
+	// wrapping mc.ErrCanceled (completed points stay in the store).
+	Ctx     context.Context
+	Factory sim.DecoderFactory
 	// Decoder names the factory for the store's config hash ("uf",
 	// "greedy", "exact"); required when Store is set.
 	Decoder string
@@ -169,7 +174,7 @@ func CalibrateOpts(ps []float64, ds []int, o CalibrateOptions) (*LambdaModel, []
 	lambdas := make([]float64, len(grid))
 	o.Progress.Begin(len(grid))
 	defer o.Progress.End()
-	err := mc.ForEach(o.PointWorkers, len(grid), func(i int) error {
+	err := mc.ForEach(o.Ctx, o.PointWorkers, len(grid), func(i int) error {
 		defer o.Progress.PointDone()
 		pt := grid[i]
 		c := code.FromPatch(lattice.NewPatch(lattice.Coord{Row: 0, Col: 0}, pt.d))
@@ -181,6 +186,7 @@ func CalibrateOpts(ps []float64, ds []int, o CalibrateOptions) (*LambdaModel, []
 			Workers:   o.Workers,
 			TargetRSE: o.TargetRSE,
 			Seed:      seed,
+			Ctx:       o.Ctx,
 		}, sim.StoreOptions{
 			Store:  o.Store,
 			Resume: o.Resume,

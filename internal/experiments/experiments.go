@@ -21,6 +21,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -50,6 +51,11 @@ type Options struct {
 	// instead of the recorded defaults. Slower but self-contained.
 	FitLosses bool
 
+	// Ctx, when non-nil, cancels a running grid cooperatively at point and
+	// shard boundaries: completed points stay committed to the store,
+	// in-flight points drain and are discarded, and the experiment returns
+	// an error wrapping mc.ErrCanceled. A nil Ctx is never canceled.
+	Ctx context.Context
 	// PointWorkers sizes the grid-point worker pool (<= 1 runs points
 	// serially). Results are bit-identical for any value: every point is
 	// seeded from its own content, never from execution order.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"surfdeformer/internal/deform"
 	"surfdeformer/internal/detect"
 	"surfdeformer/internal/lattice"
+	"surfdeformer/internal/mc"
 	"surfdeformer/internal/noise"
 	"surfdeformer/internal/sim"
 )
@@ -320,6 +322,7 @@ func MemorySweep(opt Options, grid []SweepPoint, eng SweepEngine) ([]SweepRow, e
 			Workers:   eng.Workers,
 			TargetRSE: eng.TargetRSE,
 			Seed:      opt.pointSeed(kindSweep, append(pt.seedParts(), 1)...),
+			Ctx:       opt.Ctx,
 		}, sim.StoreOptions{
 			Store:  opt.Store,
 			Resume: opt.Resume,
@@ -346,6 +349,16 @@ func MemorySweep(opt Options, grid []SweepPoint, eng SweepEngine) ([]SweepRow, e
 		return nil
 	})
 	if err != nil {
+		// Isolated point failures (a panicking worker, exhausted transient
+		// retries) do not void the rest of the grid: every other row is
+		// valid and already committed to the store, so return them
+		// alongside the aggregate error — callers render what completed
+		// and surface the failure report. Anything else (cancellation, a
+		// permanent error) returns no rows.
+		var perrs *mc.PointErrors
+		if errors.As(err, &perrs) && !errors.Is(err, mc.ErrCanceled) {
+			return rows, err
+		}
 		return nil, err
 	}
 	return rows, nil

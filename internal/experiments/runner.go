@@ -51,11 +51,11 @@ func (o Options) pointRNG(kind int64, parts ...int64) *rand.Rand {
 // the duration of the grid.
 func (o Options) forEachPoint(n int, fn func(i int) error) error {
 	if o.Progress == nil {
-		return mc.ForEach(o.PointWorkers, n, fn)
+		return mc.ForEach(o.Ctx, o.PointWorkers, n, fn)
 	}
 	o.Progress.Begin(n)
 	defer o.Progress.End()
-	return mc.ForEach(o.PointWorkers, n, func(i int) error {
+	return mc.ForEach(o.Ctx, o.PointWorkers, n, func(i int) error {
 		err := fn(i)
 		o.Progress.PointDone()
 		return err

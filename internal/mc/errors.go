@@ -1,0 +1,117 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrCanceled is the typed interruption error of the engine: Run/RunBatch
+// return it (wrapped) when Config.Ctx is canceled between shards, and
+// ForEach returns it when its context is canceled between points or a
+// point function reports a canceled engine run. Callers use errors.Is to
+// distinguish a cooperative interrupt — partial work is valid, resume will
+// finish it — from a genuine failure.
+var ErrCanceled = errors.New("mc: canceled")
+
+// PanicError is a worker panic captured at the recovery site, with the
+// goroutine stack at the point of panic. The engine converts panics into
+// PanicErrors instead of crashing the process: inside Run/RunBatch a panic
+// fails only that run, and ForEach isolates it to the one grid point that
+// panicked.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the formatted goroutine stack captured by the recover site.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("worker panic: %v", e.Value)
+}
+
+// PointFailure is one isolated grid-point failure of a ForEach run.
+type PointFailure struct {
+	// Index is the point's ForEach index.
+	Index int
+	// Err is the final error after retries — a *PanicError for panics.
+	Err error
+	// Attempts counts how many times the point ran (1 = no retries).
+	Attempts int
+}
+
+// PointErrors aggregates the isolated per-point failures of a ForEach run:
+// points that panicked or exhausted their transient-error retries while the
+// rest of the grid kept running. Failures are sorted by point index, so the
+// report is deterministic regardless of completion order.
+type PointErrors struct {
+	// Total is the number of points in the run.
+	Total int
+	// Failures holds one entry per failed point, sorted by Index.
+	Failures []PointFailure
+}
+
+func (e *PointErrors) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d of %d point(s) failed:", len(e.Failures), e.Total)
+	for i, f := range e.Failures {
+		if i == 3 && len(e.Failures) > 4 {
+			fmt.Fprintf(&sb, " … (+%d more)", len(e.Failures)-i)
+			break
+		}
+		fmt.Fprintf(&sb, " [%d] %v;", f.Index, f.Err)
+	}
+	return strings.TrimSuffix(sb.String(), ";")
+}
+
+// Report renders the end-of-run failure report: one block per failed
+// point, including the captured stack for panics. Intended for stderr
+// after the surviving points have been rendered.
+func (e *PointErrors) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d of %d point(s) failed (remaining points completed):\n", len(e.Failures), e.Total)
+	for _, f := range e.Failures {
+		fmt.Fprintf(&sb, "  point %d (after %d attempt(s)): %v\n", f.Index, f.Attempts, f.Err)
+		var pe *PanicError
+		if errors.As(f.Err, &pe) && len(pe.Stack) > 0 {
+			for _, line := range strings.Split(strings.TrimRight(string(pe.Stack), "\n"), "\n") {
+				sb.WriteString("    ")
+				sb.WriteString(line)
+				sb.WriteByte('\n')
+			}
+		}
+	}
+	return sb.String()
+}
+
+func (e *PointErrors) sort() {
+	sort.Slice(e.Failures, func(i, j int) bool { return e.Failures[i].Index < e.Failures[j].Index })
+}
+
+// transientError marks an error as temporary in the sense of the defect
+// taxonomy the pipeline borrows from Siegel et al.: worth a bounded,
+// deterministic retry before the point is written off as failed.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err as a transient (retryable) point error. ForEach
+// retries transient point failures up to a bounded attempt count with
+// deterministic backoff; everything else fails fast. Retries are
+// observation-only (the mc.point_retries counter) — a retried point
+// recomputes the exact same streams, so results never depend on how many
+// attempts it took.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+// IsTransient reports whether err is (or wraps) a transient point error.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}

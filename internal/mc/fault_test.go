@@ -1,0 +1,286 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Panic isolation: one panicking point must not take down the run — every
+// other point completes and the failure comes back as a *PointErrors with
+// the captured stack.
+func TestForEachPanicIsolated(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 12
+		var done [n]atomic.Bool
+		err := ForEach(context.Background(), workers, n, func(i int) error {
+			if i == 5 {
+				panic("injected")
+			}
+			done[i].Store(true)
+			return nil
+		})
+		var perrs *PointErrors
+		if !errors.As(err, &perrs) {
+			t.Fatalf("workers=%d: err = %v, want *PointErrors", workers, err)
+		}
+		if len(perrs.Failures) != 1 || perrs.Failures[0].Index != 5 || perrs.Total != n {
+			t.Fatalf("workers=%d: failures = %+v", workers, perrs.Failures)
+		}
+		var pe *PanicError
+		if !errors.As(perrs.Failures[0].Err, &pe) || pe.Value != "injected" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: failure err = %v, want PanicError with stack", workers, perrs.Failures[0].Err)
+		}
+		for i := 0; i < n; i++ {
+			if i != 5 && !done[i].Load() {
+				t.Fatalf("workers=%d: point %d did not complete after isolated panic", workers, i)
+			}
+		}
+		if rep := perrs.Report(); !strings.Contains(rep, "point 5") || !strings.Contains(rep, "goroutine") {
+			t.Fatalf("workers=%d: report missing point/stack:\n%s", workers, rep)
+		}
+	}
+}
+
+// A transient error is retried with the full point recomputed; a point
+// that recovers within the attempt budget is not a failure at all.
+func TestForEachTransientRetried(t *testing.T) {
+	var calls [8]int32
+	var mu sync.Mutex
+	err := ForEach(context.Background(), 1, len(calls), func(i int) error {
+		mu.Lock()
+		calls[i]++
+		c := calls[i]
+		mu.Unlock()
+		if i == 3 && c < 3 {
+			return Transient(fmt.Errorf("flaky"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEach = %v, want nil (transient recovered)", err)
+	}
+	if calls[3] != 3 {
+		t.Fatalf("point 3 ran %d times, want 3", calls[3])
+	}
+	for i, c := range calls {
+		if i != 3 && c != 1 {
+			t.Fatalf("point %d ran %d times, want 1", i, c)
+		}
+	}
+}
+
+// Exhausted retries isolate the point like a panic: the run finishes, the
+// failure carries its attempt count, and the original cause stays
+// reachable through the wrap chain.
+func TestForEachTransientExhausted(t *testing.T) {
+	cause := errors.New("disk full")
+	var ran int32
+	err := ForEach(context.Background(), 2, 6, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 2 {
+			return Transient(cause)
+		}
+		return nil
+	})
+	var perrs *PointErrors
+	if !errors.As(err, &perrs) || len(perrs.Failures) != 1 {
+		t.Fatalf("err = %v, want one isolated failure", err)
+	}
+	f := perrs.Failures[0]
+	if f.Index != 2 || f.Attempts != maxPointAttempts {
+		t.Fatalf("failure = %+v, want index 2 after %d attempts", f, maxPointAttempts)
+	}
+	if !errors.Is(f.Err, cause) {
+		t.Fatalf("cause lost: %v", f.Err)
+	}
+	if got := atomic.LoadInt32(&ran); got != 5+maxPointAttempts {
+		t.Fatalf("total invocations = %d, want %d", got, 5+maxPointAttempts)
+	}
+}
+
+// Context cancellation stops dispatch at the next point boundary and is
+// reported as ErrCanceled, never as a point failure.
+func TestForEachCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := ForEach(ctx, 1, 10, func(i int) error {
+		ran++
+		if i == 4 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if ran != 5 {
+		t.Fatalf("ran %d points, want 5 (dispatch stops at the boundary after cancel)", ran)
+	}
+	var perrs *PointErrors
+	if errors.As(err, &perrs) {
+		t.Fatalf("cancellation misclassified as point failures: %v", err)
+	}
+}
+
+// A point function reporting a canceled engine run (its RunBatch returned
+// ErrCanceled) cancels the whole pool the same way ctx does.
+func TestForEachPropagatesEngineCancel(t *testing.T) {
+	ran := 0
+	err := ForEach(context.Background(), 1, 10, func(i int) error {
+		ran++
+		if i == 2 {
+			return fmt.Errorf("engine: %w", ErrCanceled)
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d points, want 3", ran)
+	}
+}
+
+// Cancellation arriving after isolated failures must lose neither signal:
+// errors.Is sees the cancel, errors.As sees the failures.
+func TestForEachCancelJoinsIsolatedFailures(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := ForEach(ctx, 1, 10, func(i int) error {
+		switch i {
+		case 1:
+			panic("injected")
+		case 3:
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled in chain", err)
+	}
+	var perrs *PointErrors
+	if !errors.As(err, &perrs) || len(perrs.Failures) != 1 || perrs.Failures[0].Index != 1 {
+		t.Fatalf("err = %v, want joined PointErrors for point 1", err)
+	}
+}
+
+// A permanent (plain) error still wins over isolated failures: the run
+// aborts with the lowest-index fatal error, not a PointErrors.
+func TestForEachFatalBeatsIsolated(t *testing.T) {
+	fatal := errors.New("bad config")
+	err := ForEach(context.Background(), 1, 10, func(i int) error {
+		switch i {
+		case 1:
+			panic("injected")
+		case 2:
+			return fatal
+		}
+		return nil
+	})
+	if !errors.Is(err, fatal) {
+		t.Fatalf("err = %v, want the fatal error", err)
+	}
+}
+
+// Engine-level cancellation: a canceled Ctx stops RunBatch at a shard
+// boundary with a nil Result — no partial aggregate ever escapes.
+func TestRunBatchCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var batches atomic.Int32
+	res, err := RunBatch(Config{
+		Workers: 1, MaxShots: 100 * 64, ShardSize: 64, Seed: 7, Ctx: ctx,
+	}, func() (ShotBatchFunc, error) {
+		return func(rng *rand.Rand, n int) int {
+			if batches.Add(1) == 3 {
+				cancel()
+			}
+			return 0
+		}, nil
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res != nil {
+		t.Fatalf("res = %+v, want nil (partial aggregates are discarded)", res)
+	}
+}
+
+// A Ctx canceled only after the budget completed is not an interruption:
+// the result is whole and must be returned.
+func TestRunBatchCompleteIgnoresLateCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var batches atomic.Int32
+	res, err := RunBatch(Config{
+		Workers: 1, MaxShots: 4 * 64, ShardSize: 64, Seed: 7, Ctx: ctx,
+	}, func() (ShotBatchFunc, error) {
+		return func(rng *rand.Rand, n int) int {
+			if batches.Add(1) == 4 {
+				cancel() // fires while the final shard commits — budget still completes
+			}
+			return 0
+		}, nil
+	})
+	if err != nil {
+		t.Fatalf("RunBatch = %v, want nil for a completed budget", err)
+	}
+	if res.Shots != 4*64 {
+		t.Fatalf("Shots = %d, want %d", res.Shots, 4*64)
+	}
+}
+
+// A panic inside a shard worker fails the run as a *PanicError instead of
+// crashing the process.
+func TestRunBatchWorkerPanicContained(t *testing.T) {
+	res, err := RunBatch(Config{
+		Workers: 2, MaxShots: 10 * 32, ShardSize: 32, Seed: 7,
+	}, func() (ShotBatchFunc, error) {
+		return func(rng *rand.Rand, n int) int {
+			panic("shard blew up")
+		}, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "shard blew up" {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if res != nil {
+		t.Fatalf("res = %+v, want nil", res)
+	}
+}
+
+// Retries must be invisible in results: a run whose points fail
+// transiently on their first attempt produces exactly the values of an
+// undisturbed run.
+func TestForEachRetryInvisibleInResults(t *testing.T) {
+	compute := func(flaky bool) []int64 {
+		out := make([]int64, 16)
+		attempt := make([]int, 16)
+		var mu sync.Mutex
+		err := ForEach(context.Background(), 4, len(out), func(i int) error {
+			mu.Lock()
+			attempt[i]++
+			first := attempt[i] == 1
+			mu.Unlock()
+			if flaky && first && i%2 == 1 {
+				return Transient(fmt.Errorf("flaky %d", i))
+			}
+			out[i] = DeriveSeed(99, int64(i)) // stands in for a point's content-derived result
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ForEach(flaky=%v) = %v", flaky, err)
+		}
+		return out
+	}
+	clean := compute(false)
+	faulted := compute(true)
+	for i := range clean {
+		if clean[i] != faulted[i] {
+			t.Fatalf("point %d: retried run diverged: %d != %d", i, faulted[i], clean[i])
+		}
+	}
+}

@@ -39,10 +39,12 @@
 package mc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"surfdeformer/internal/obs"
@@ -50,13 +52,17 @@ import (
 
 // Engine metrics, resolved once so commits pay one atomic add each. They
 // observe only committed (non-speculative) work, so their values are as
-// deterministic as the results themselves.
+// deterministic as the results themselves. The fault counters
+// (worker_panics, point_retries) observe failure handling and are, like
+// every obs metric, forbidden from feeding back into results.
 var (
-	obsShots      = obs.Default().Counter("mc.shots_committed")
-	obsShards     = obs.Default().Counter("mc.shards_committed")
-	obsEarlyStops = obs.Default().Counter("mc.early_stops")
-	obsPoolActive = obs.Default().Gauge("mc.pool.active")
-	obsPoolDone   = obs.Default().Counter("mc.pool.points_done")
+	obsShots        = obs.Default().Counter("mc.shots_committed")
+	obsShards       = obs.Default().Counter("mc.shards_committed")
+	obsEarlyStops   = obs.Default().Counter("mc.early_stops")
+	obsPoolActive   = obs.Default().Gauge("mc.pool.active")
+	obsPoolDone     = obs.Default().Counter("mc.pool.points_done")
+	obsWorkerPanics = obs.Default().Counter("mc.worker_panics")
+	obsPointRetries = obs.Default().Counter("mc.point_retries")
 )
 
 // DefaultShardSize is the number of shots per shard. It is a fixed
@@ -104,6 +110,13 @@ type Config struct {
 	ShardSize int
 	// Seed selects the deterministic RNG stream family.
 	Seed int64
+	// Ctx, when non-nil, cancels the run cooperatively: dispatch stops at
+	// the next shard boundary, in-flight shards drain, and RunBatch
+	// returns a nil Result with an error wrapping ErrCanceled. The
+	// partial aggregate is discarded, never persisted — an interrupted
+	// point is recomputed whole on resume, which is what keeps resumed
+	// stores byte-identical to uninterrupted runs.
+	Ctx context.Context
 }
 
 // Result is the aggregate of one engine run. All fields except Workers are
@@ -174,19 +187,31 @@ func RunBatch(cfg Config, newWorker BatchWorkerFactory) (*Result, error) {
 		workers = numShards
 	}
 
+	// A nil Ctx yields a nil Done channel, which never selects — the
+	// uncancellable fast path costs nothing.
+	var ctxDone <-chan struct{}
+	if cfg.Ctx != nil {
+		ctxDone = cfg.Ctx.Done()
+	}
+
 	jobs := make(chan int)
 	results := make(chan shardResult, workers)
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	cancel := func() { stopOnce.Do(func() { close(stop) }) }
 
-	// Dispatcher: hand out shard indices in order until done or cancelled.
+	// Dispatcher: hand out shard indices in order until done, cancelled,
+	// or the run's context expires. On context cancellation dispatch just
+	// stops — in-flight shards drain and commit, so the run ends at a
+	// clean shard boundary.
 	go func() {
 		defer close(jobs)
 		for i := 0; i < numShards; i++ {
 			select {
 			case jobs <- i:
 			case <-stop:
+				return
+			case <-ctxDone:
 				return
 			}
 		}
@@ -198,6 +223,17 @@ func RunBatch(cfg Config, newWorker BatchWorkerFactory) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A panicking worker must not crash the process: recover,
+			// capture the stack, and fail the run like a factory error.
+			// ForEach then isolates the failure to the one grid point
+			// whose engine run this was.
+			defer func() {
+				if r := recover(); r != nil {
+					obsWorkerPanics.Inc()
+					errc <- &PanicError{Value: r, Stack: debug.Stack()}
+					cancel()
+				}
+			}()
 			batch, err := newWorker()
 			if err != nil {
 				errc <- err
@@ -260,6 +296,12 @@ func RunBatch(cfg Config, newWorker BatchWorkerFactory) (*Result, error) {
 	case err := <-errc:
 		return nil, err
 	default:
+	}
+	// Cancellation that raced with completion is not an interruption: if
+	// every shard committed (or the run early-stopped on its own), the
+	// result is whole and the context no longer matters.
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil && !res.EarlyStopped && res.Shots < cfg.MaxShots {
+		return nil, fmt.Errorf("%w after %d of %d shots", ErrCanceled, res.Shots, cfg.MaxShots)
 	}
 	res.Rate = float64(res.Failures) / float64(res.Shots)
 	res.RSE = RSE(res.Failures, res.Shots)

@@ -1,7 +1,11 @@
 package mc
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"surfdeformer/internal/obs"
@@ -40,5 +44,64 @@ func TestRunObservationInvariant(t *testing.T) {
 	}
 	if !reflect.DeepEqual(observed, baseline) {
 		t.Errorf("run under registry churn diverges:\n observed: %+v\n baseline: %+v", observed, baseline)
+	}
+}
+
+// The fault counters (mc.worker_panics, mc.point_retries) are observation
+// only like every other metric: a faulted ForEach run — transient retries
+// plus an isolated panic — under registry churn computes exactly the
+// values of an undisturbed faulted run, and returns the same failure
+// classification.
+func TestForEachFaultObservationInvariant(t *testing.T) {
+	faultedRun := func() ([]int64, error) {
+		out := make([]int64, 24)
+		var mu sync.Mutex
+		attempts := make([]int, len(out))
+		err := ForEach(context.Background(), 4, len(out), func(i int) error {
+			mu.Lock()
+			attempts[i]++
+			first := attempts[i] == 1
+			mu.Unlock()
+			if i == 7 {
+				panic("injected")
+			}
+			if first && i%5 == 0 {
+				return Transient(fmt.Errorf("flaky %d", i))
+			}
+			out[i] = DeriveSeed(41, int64(i))
+			return nil
+		})
+		return out, err
+	}
+	baseline, berr := faultedRun()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				obs.Default().Snapshot()
+				obs.Default().Reset()
+			}
+		}
+	}()
+	observed, oerr := faultedRun()
+	close(stop)
+	<-done
+
+	if !reflect.DeepEqual(observed, baseline) {
+		t.Errorf("faulted run under registry churn diverges:\n observed: %v\n baseline: %v", observed, baseline)
+	}
+	var bp, op *PointErrors
+	if !errors.As(berr, &bp) || !errors.As(oerr, &op) {
+		t.Fatalf("fault classification changed: baseline %v, observed %v", berr, oerr)
+	}
+	if bp.Total != op.Total || len(bp.Failures) != len(op.Failures) ||
+		bp.Failures[0].Index != op.Failures[0].Index {
+		t.Errorf("failure report diverges under churn:\n observed: %v\n baseline: %v", op, bp)
 	}
 }

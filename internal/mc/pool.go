@@ -1,21 +1,58 @@
 package mc
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
 
-// ForEach runs fn(i) for every i in [0, n) on a pool of workers goroutines
-// and returns the first error encountered (by lowest index). It is the
-// point-level counterpart of the shard pool inside Run/RunBatch: grid
-// sweeps hand each independent configuration point to ForEach, and each
-// point derives all of its randomness from (seed, point content) via
+// Bounded retry of transient point errors: maxPointAttempts runs total per
+// point, with a fixed, deterministic backoff ladder between attempts. The
+// schedule is a constant — never derived from timing or randomness — so a
+// faulted run retries identically every time; and because a retried point
+// recomputes the exact same content-derived streams, retry count can never
+// leak into results (it is observed by mc.point_retries only).
+const (
+	maxPointAttempts = 3
+	pointRetryDelay  = 10 * time.Millisecond
+)
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of workers goroutines.
+// It is the point-level counterpart of the shard pool inside Run/RunBatch:
+// grid sweeps hand each independent configuration point to ForEach, and
+// each point derives all of its randomness from (seed, point content) via
 // DeriveSeed, so results are bit-identical for any worker count and any
 // subset/resume order — parallelism is purely a throughput knob.
 //
 // fn must write its result only to caller-owned storage indexed by i (a
 // pre-sized slice slot); ForEach itself imposes no ordering on completions.
-// After an error, remaining indices may be skipped.
-func ForEach(workers, n int, fn func(i int) error) error {
+//
+// Failure semantics follow the temporary/permanent defect taxonomy the rest
+// of the pipeline uses:
+//
+//   - A panic inside fn is recovered, counted (mc.worker_panics), and
+//     isolated to its point: remaining points keep running and the run
+//     returns a *PointErrors aggregating the failures (stacks included).
+//   - An error wrapped with Transient is retried up to maxPointAttempts
+//     with deterministic backoff (mc.point_retries); if retries are
+//     exhausted the point is isolated like a panic.
+//   - A plain error is permanent and fatal: dispatch stops, in-flight
+//     points drain, and the lowest-index error is returned.
+//   - Cancellation — ctx done, or fn returning an error wrapping
+//     ErrCanceled — stops dispatch at the next point boundary, drains
+//     in-flight points, and returns an error wrapping ErrCanceled (joined
+//     with any isolated failures so neither signal is lost).
+//
+// A nil ctx behaves like context.Background().
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = 1
@@ -23,41 +60,16 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	st := &poolState{ctx: ctx, n: n}
+
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			obsPoolActive.Add(1)
-			err := fn(i)
-			obsPoolActive.Add(-1)
-			obsPoolDone.Inc()
-			if err != nil {
-				return err
+			if st.stopped() {
+				break
 			}
+			st.record(i, runPoint(ctx, i, fn))
 		}
-		return nil
-	}
-
-	var (
-		next     int
-		mu       sync.Mutex
-		firstErr error
-		errIdx   int
-	)
-	takeJob := func() (int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr != nil || next >= n {
-			return 0, false
-		}
-		i := next
-		next++
-		return i, true
-	}
-	fail := func(i int, err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr == nil || i < errIdx {
-			firstErr, errIdx = err, i
-		}
+		return st.finish()
 	}
 
 	var wg sync.WaitGroup
@@ -66,20 +78,134 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
-				i, ok := takeJob()
+				i, ok := st.take()
 				if !ok {
 					return
 				}
-				obsPoolActive.Add(1)
-				err := fn(i)
-				obsPoolActive.Add(-1)
-				obsPoolDone.Inc()
-				if err != nil {
-					fail(i, err)
-				}
+				st.record(i, runPoint(ctx, i, fn))
 			}
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	return st.finish()
+}
+
+// runPoint executes one point with panic recovery and bounded transient
+// retry, returning the final outcome and the attempt count.
+func runPoint(ctx context.Context, i int, fn func(i int) error) pointOutcome {
+	defer obsPoolDone.Inc()
+	for attempt := 1; ; attempt++ {
+		err := callPoint(i, fn)
+		if err == nil {
+			return pointOutcome{attempts: attempt}
+		}
+		if !IsTransient(err) || attempt >= maxPointAttempts || ctx.Err() != nil {
+			return pointOutcome{err: err, attempts: attempt}
+		}
+		obsPointRetries.Inc()
+		time.Sleep(time.Duration(attempt) * pointRetryDelay)
+	}
+}
+
+// callPoint invokes fn(i) with the pool bookkeeping and converts a panic
+// into a *PanicError carrying the stack captured at the recovery site.
+func callPoint(i int, fn func(i int) error) (err error) {
+	obsPoolActive.Add(1)
+	defer func() {
+		obsPoolActive.Add(-1)
+		if r := recover(); r != nil {
+			obsWorkerPanics.Inc()
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+type pointOutcome struct {
+	err      error
+	attempts int
+}
+
+// poolState is the shared dispatch + classification state of one ForEach
+// run. Dispatch stops (draining in-flight points) on a permanent error or
+// cancellation; isolated failures accumulate without stopping anything.
+type poolState struct {
+	ctx context.Context
+	n   int
+
+	mu       sync.Mutex
+	next     int
+	done     int
+	fatal    error
+	fatalIdx int
+	canceled bool
+	isolated []PointFailure
+}
+
+func (st *poolState) stopped() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.fatal != nil || st.canceled || st.ctx.Err() != nil
+}
+
+func (st *poolState) take() (int, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.fatal != nil || st.canceled || st.next >= st.n || st.ctx.Err() != nil {
+		return 0, false
+	}
+	i := st.next
+	st.next++
+	return i, true
+}
+
+func (st *poolState) record(i int, out pointOutcome) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch {
+	case out.err == nil:
+		st.done++
+	case errors.Is(out.err, ErrCanceled):
+		// The point's engine run was interrupted mid-flight: nothing was
+		// committed for it, resume will recompute it whole.
+		st.canceled = true
+	case isIsolated(out.err):
+		st.isolated = append(st.isolated, PointFailure{Index: i, Err: out.err, Attempts: out.attempts})
+	default:
+		if st.fatal == nil || i < st.fatalIdx {
+			st.fatal, st.fatalIdx = out.err, i
+		}
+	}
+}
+
+// isIsolated reports whether a final point error should be contained to
+// its point rather than aborting the run: panics and exhausted transient
+// retries qualify, plain errors are permanent and fatal.
+func isIsolated(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe) || IsTransient(err)
+}
+
+func (st *poolState) finish() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.fatal != nil {
+		return st.fatal
+	}
+	var perrs *PointErrors
+	if len(st.isolated) > 0 {
+		perrs = &PointErrors{Total: st.n, Failures: st.isolated}
+		perrs.sort()
+	}
+	if st.canceled || st.ctx.Err() != nil {
+		cerr := fmt.Errorf("%w after %d of %d point(s)", ErrCanceled, st.done, st.n)
+		if perrs != nil {
+			return errors.Join(cerr, perrs)
+		}
+		return cerr
+	}
+	if perrs != nil {
+		return perrs
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -11,7 +12,7 @@ func TestForEachCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 16} {
 		n := 97
 		hits := make([]atomic.Int32, n)
-		if err := ForEach(workers, n, func(i int) error {
+		if err := ForEach(context.Background(), workers, n, func(i int) error {
 			hits[i].Add(1)
 			return nil
 		}); err != nil {
@@ -26,14 +27,14 @@ func TestForEachCoversAllIndices(t *testing.T) {
 }
 
 func TestForEachEmpty(t *testing.T) {
-	if err := ForEach(4, 0, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
+	if err := ForEach(context.Background(), 4, 0, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestForEachReturnsLowestIndexError(t *testing.T) {
 	wantA, wantB := errors.New("boom-3"), errors.New("boom-7")
-	err := ForEach(4, 16, func(i int) error {
+	err := ForEach(context.Background(), 4, 16, func(i int) error {
 		switch i {
 		case 3:
 			return wantA
@@ -49,7 +50,7 @@ func TestForEachReturnsLowestIndexError(t *testing.T) {
 
 func TestForEachStopsDispatchAfterError(t *testing.T) {
 	var ran atomic.Int32
-	err := ForEach(1, 1000, func(i int) error {
+	err := ForEach(context.Background(), 1, 1000, func(i int) error {
 		ran.Add(1)
 		if i == 4 {
 			return fmt.Errorf("stop")

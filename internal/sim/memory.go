@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -77,6 +78,10 @@ type RunOptions struct {
 	// error of the failure rate (0 disables).
 	TargetRSE float64
 	Seed      int64
+	// Ctx, when non-nil, cancels the engine run cooperatively at shard
+	// boundaries (see mc.Config.Ctx); the run returns an error wrapping
+	// mc.ErrCanceled and nothing is committed for the point.
+	Ctx context.Context
 	// Cache overrides the shared DEM cache (tests); DisableCache forces a
 	// fresh build, the pre-engine behavior.
 	Cache        *DEMCache
@@ -124,6 +129,7 @@ func RunMemoryOpts(c *code.Code, sampleModel, decodeModel *noise.Model, o RunOpt
 		MaxShots:  o.Shots,
 		TargetRSE: o.TargetRSE,
 		Seed:      o.Seed,
+		Ctx:       o.Ctx,
 	}, func() (mc.ShotBatchFunc, error) {
 		dec, err := o.Factory(decodeDEM)
 		if err != nil {

@@ -1,0 +1,339 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"surfdeformer/internal/obs"
+)
+
+func mustAppend(t *testing.T, s *Store, r Row) {
+	t.Helper()
+	if err := s.Append(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fileBytes(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// Every appended row carries the v2 CRC32C suffix, and the checksum
+// actually binds the bytes: flipping anything — payload or checksum —
+// makes the line unreadable.
+func TestRowChecksumBindsBytes(t *testing.T) {
+	s := tempStore(t)
+	mustAppend(t, s, Row{Key: "k1", Seq: 0, Shots: 100, Failures: 3})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	line := bytes.TrimRight(fileBytes(t, s.Path()), "\n")
+	i := bytes.LastIndexByte(line, '\t')
+	if i < 0 || len(line)-i-1 != 8 {
+		t.Fatalf("line lacks tab + 8-hex checksum suffix: %q", line)
+	}
+	if _, ok := decodeLine(line); !ok {
+		t.Fatalf("freshly written line does not decode: %q", line)
+	}
+	for _, flip := range []int{2, len(line) - 1} { // a JSON byte, a checksum digit
+		mut := append([]byte(nil), line...)
+		mut[flip] ^= 1
+		if _, ok := decodeLine(mut); ok {
+			t.Fatalf("flipped byte %d went undetected: %q", flip, mut)
+		}
+	}
+}
+
+// Stores written before the checksum format (bare JSON rows) stay
+// readable, and new appends to them use the v2 format alongside.
+func TestV1LegacyRowsReadable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.jsonl")
+	v1 := `{"key":"old","kind":"sweep","seq":0,"shots":800,"failures":9,"complete":true}` + "\n"
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Corrupted() != 0 || s.Repair().Repaired() {
+		t.Fatalf("legacy row misread: corrupted=%d repair=%+v", s.Corrupted(), s.Repair())
+	}
+	p, ok := s.Get("old")
+	if !ok || p.Shots != 800 || p.Failures != 9 || !p.Complete {
+		t.Fatalf("legacy point mangled: %+v (ok=%v)", p, ok)
+	}
+	mustAppend(t, s, Row{Key: "old", Seq: 1, Shots: 200, Failures: 2})
+	s.Close()
+	reopen, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopen.Close()
+	p, _ = reopen.Get("old")
+	if p.Shots != 1000 || p.Segments != 2 {
+		t.Fatalf("v1+v2 merge mangled: %+v", p)
+	}
+}
+
+// A checksum-failing line in the middle of the file — followed by valid
+// rows, so not a crash tail — is tolerated and counted, never truncated.
+func TestChecksumMismatchMidFileTolerated(t *testing.T) {
+	s := tempStore(t)
+	mustAppend(t, s, Row{Key: "a", Seq: 0, Shots: 10})
+	mustAppend(t, s, Row{Key: "b", Seq: 0, Shots: 20})
+	s.Close()
+	data := fileBytes(t, s.Path())
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	lines[0][2] ^= 1 // corrupt row "a", leaving row "b" as a valid tail
+	if err := os.WriteFile(s.Path(), bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	size := int64(len(data))
+	reopen, err := Open(s.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopen.Close()
+	if reopen.Corrupted() != 1 {
+		t.Fatalf("Corrupted() = %d, want 1", reopen.Corrupted())
+	}
+	if reopen.Repair().Repaired() {
+		t.Fatalf("mid-file corruption misdiagnosed as torn tail: %+v", reopen.Repair())
+	}
+	if info, _ := os.Stat(s.Path()); info.Size() != size {
+		t.Fatalf("file truncated from %d to %d bytes", size, info.Size())
+	}
+	if _, ok := reopen.Get("b"); !ok {
+		t.Fatal("valid row after corruption lost")
+	}
+}
+
+// A torn tail — an append cut short mid-line by a crash — is truncated
+// back to the last committed row, reported, and gone on the next open.
+func TestTornTailRepaired(t *testing.T) {
+	s := tempStore(t)
+	mustAppend(t, s, Row{Key: "a", Seq: 0, Shots: 10})
+	mustAppend(t, s, Row{Key: "b", Seq: 0, Shots: 20})
+	s.Close()
+	whole := fileBytes(t, s.Path())
+	const cut = 7
+	if err := os.Truncate(s.Path(), int64(len(whole)-cut)); err != nil {
+		t.Fatal(err)
+	}
+	reopen, err := Open(s.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reopen.Repair()
+	if rep.DroppedLines != 1 {
+		t.Fatalf("DroppedLines = %d, want 1", rep.DroppedLines)
+	}
+	lastLine := whole[bytes.LastIndexByte(whole[:len(whole)-1], '\n')+1:]
+	if want := int64(len(lastLine) - cut); rep.TruncatedBytes != want {
+		t.Fatalf("TruncatedBytes = %d, want %d", rep.TruncatedBytes, want)
+	}
+	if _, ok := reopen.Get("a"); !ok {
+		t.Fatal("committed row lost by tail repair")
+	}
+	if _, ok := reopen.Get("b"); ok {
+		t.Fatal("torn row resurrected")
+	}
+	// The repaired file must be appendable and cleanly re-openable.
+	mustAppend(t, reopen, Row{Key: "b", Seq: 0, Shots: 20})
+	reopen.Close()
+	again, err := Open(s.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if again.Repair().Repaired() || again.Corrupted() != 0 {
+		t.Fatalf("second open still repairing: %+v", again.Repair())
+	}
+	if !bytes.Equal(fileBytes(t, s.Path()), whole) {
+		t.Fatal("repair + re-append does not reproduce the uninterrupted file")
+	}
+}
+
+// A terminated-but-corrupt final run of lines is also a crash tail (the
+// newline made it, the payload did not) and is truncated the same way.
+func TestCorruptTerminatedTailRepaired(t *testing.T) {
+	s := tempStore(t)
+	mustAppend(t, s, Row{Key: "a", Seq: 0, Shots: 10})
+	s.Close()
+	good := fileBytes(t, s.Path())
+	f, err := os.OpenFile(s.Path(), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(f, "{\"key\":\"zzz\"garbage\n{also bad\n")
+	f.Close()
+	reopen, err := Open(s.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopen.Close()
+	rep := reopen.Repair()
+	if rep.DroppedLines != 2 || reopen.Corrupted() != 0 {
+		t.Fatalf("repair = %+v corrupted = %d, want 2 dropped tail lines", rep, reopen.Corrupted())
+	}
+	if !bytes.Equal(fileBytes(t, s.Path()), good) {
+		t.Fatal("truncation did not restore the committed prefix")
+	}
+}
+
+// The GC crash window: a crash between temp-file write and rename leaves
+// an orphaned temp beside an untouched store. Open must remove the temps
+// and lose no committed row.
+func TestGCCrashWindowCleanup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, Row{Key: "a", Seq: 0, Shots: 10, Failures: 1})
+	mustAppend(t, s, Row{Key: "b", Seq: 0, Shots: 20, Failures: 2})
+	s.Close()
+	committed := fileBytes(t, path)
+
+	// One junk temp (crash early in GC) and one complete temp (crash just
+	// before the rename) — both are dead weight once Open runs.
+	for i, content := range []string{"partial junk", string(committed)} {
+		tmp := filepath.Join(dir, fmt.Sprintf(".gc-results.jsonl.%06d", i))
+		if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reopen, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopen.Close()
+	if got := reopen.Repair().TempsRemoved; got != 2 {
+		t.Fatalf("TempsRemoved = %d, want 2", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".gc-") {
+			t.Fatalf("stale temp survived: %s", e.Name())
+		}
+	}
+	for _, key := range []string{"a", "b"} {
+		if _, ok := reopen.Get(key); !ok {
+			t.Fatalf("committed row %q lost in GC crash cleanup", key)
+		}
+	}
+	if !bytes.Equal(fileBytes(t, path), committed) {
+		t.Fatal("store bytes changed by temp cleanup")
+	}
+}
+
+// A failed BeforeAppend hook (the fault-injection seam) must fail the
+// append before anything reaches the file or the index, so a retried
+// point re-appends the identical bytes a clean run would have written.
+func TestBeforeAppendFailureLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	fail := true
+	s, err := OpenWith(filepath.Join(dir, "hooked.jsonl"), Options{
+		BeforeAppend: func([]byte) error {
+			if fail {
+				return fmt.Errorf("injected")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	row := Row{Key: "k", Seq: 0, Shots: 100, Failures: 5}
+	if err := s.Append(row); err == nil {
+		t.Fatal("hooked append unexpectedly succeeded")
+	}
+	if len(fileBytes(t, s.Path())) != 0 {
+		t.Fatal("failed append wrote bytes")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("failed append reached the index")
+	}
+	fail = false
+	mustAppend(t, s, row)
+	s.Sync()
+
+	clean, err := Open(filepath.Join(dir, "clean.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	mustAppend(t, clean, row)
+	clean.Sync()
+	if !bytes.Equal(fileBytes(t, s.Path()), fileBytes(t, clean.Path())) {
+		t.Fatal("retried append diverges from a clean store")
+	}
+}
+
+// The sync policies differ only in when fsync happens, observable via the
+// store.syncs counter: always syncs per append, never leaves it to Close.
+func TestSyncPolicies(t *testing.T) {
+	syncs := obs.Default().Counter("store.syncs")
+	dir := t.TempDir()
+
+	always, err := OpenWith(filepath.Join(dir, "always.jsonl"), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := syncs.Value()
+	mustAppend(t, always, Row{Key: "a", Seq: 0, Shots: 1})
+	mustAppend(t, always, Row{Key: "b", Seq: 0, Shots: 1})
+	if got := syncs.Value() - before; got != 2 {
+		t.Fatalf("SyncAlways issued %d fsyncs for 2 appends, want 2", got)
+	}
+	always.Close()
+
+	never, err := OpenWith(filepath.Join(dir, "never.jsonl"), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = syncs.Value()
+	mustAppend(t, never, Row{Key: "a", Seq: 0, Shots: 1})
+	mustAppend(t, never, Row{Key: "b", Seq: 0, Shots: 1})
+	if got := syncs.Value() - before; got != 0 {
+		t.Fatalf("SyncNever issued %d fsyncs on append, want 0", got)
+	}
+	if err := never.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := syncs.Value() - before; got != 1 {
+		t.Fatalf("Close issued %d fsyncs, want exactly 1", got)
+	}
+}
+
+// ParseSyncPolicy round-trips the flag spellings and rejects junk.
+func TestParseSyncPolicy(t *testing.T) {
+	for _, want := range []SyncPolicy{SyncInterval, SyncNever, SyncAlways} {
+		got, err := ParseSyncPolicy(want.String())
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", want.String(), got, err)
+		}
+	}
+	if p, err := ParseSyncPolicy(""); err != nil || p != SyncInterval {
+		t.Fatalf("empty policy = %v, %v, want default interval", p, err)
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("junk policy accepted")
+	}
+}

@@ -6,9 +6,13 @@
 //
 // The store exists so sweeps can resume and grow across sessions. Appends
 // are the only write operation, so an interrupted run never corrupts
-// earlier rows — at worst the final line is truncated, and Open tolerates
-// (and counts) unparsable lines instead of failing. Segments of the same
-// key accumulate: a session that needs more shots than the store holds
+// earlier rows — at worst the final line is torn, and Open repairs that by
+// truncating the tail back to the last committed row (reported, never
+// silent) while merely counting mid-file corruption. Every row carries a
+// CRC32C suffix (the v2 line format; bare-JSON v1 rows stay readable), an
+// fsync policy bounds what power loss can take, and GC compaction is
+// crash-atomic (temp + fsync + rename). Segments of the same key
+// accumulate: a session that needs more shots than the store holds
 // computes only the remainder under a fresh segment-derived RNG stream and
 // appends it, and Get merges all segments into one aggregate with the
 // Wilson confidence interval recomputed from the merged counts.
@@ -27,23 +31,112 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"surfdeformer/internal/mc"
 	"surfdeformer/internal/obs"
 )
 
 // Store metrics: segments merged into the index (from disk or appends),
-// rows written, merged points served to resume, and GC compactions.
+// rows written, merged points served to resume, GC compactions, fsyncs
+// issued, and tail rows dropped by torn-tail repair.
 var (
 	obsRowsAppended   = obs.Default().Counter("store.rows_appended")
 	obsRowsServed     = obs.Default().Counter("store.rows_served")
 	obsSegmentsMerged = obs.Default().Counter("store.segments_merged")
 	obsGCRuns         = obs.Default().Counter("store.gc_runs")
+	obsSyncs          = obs.Default().Counter("store.syncs")
+	obsRowsRepaired   = obs.Default().Counter("store.rows_repaired")
+	obsCorruptLines   = obs.Default().Counter("store.corrupted_lines")
 )
+
+// crcTable is the Castagnoli polynomial (CRC32C) used by the v2 row
+// format — the same polynomial filesystems and storage protocols use for
+// end-to-end integrity checking.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when Append fsyncs the backing file. Whatever the
+// policy, Close and Sync always flush to stable storage, and a clean OS
+// with a dirty page cache loses nothing on process death (even SIGKILL) —
+// the policy only matters for power loss / kernel crashes.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) fsyncs on append at most once per
+	// SyncEvery: bounded data loss at near-SyncNever throughput.
+	SyncInterval SyncPolicy = iota
+	// SyncNever leaves durability to Close/Sync and the OS.
+	SyncNever
+	// SyncAlways fsyncs after every append: a committed row survives
+	// anything, at one fsync per point.
+	SyncAlways
+)
+
+// ParseSyncPolicy parses the -store-sync flag spelling.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "interval", "":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	case "always":
+		return SyncAlways, nil
+	}
+	return 0, fmt.Errorf("store: unknown sync policy %q (want never, interval or always)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNever:
+		return "never"
+	case SyncAlways:
+		return "always"
+	default:
+		return "interval"
+	}
+}
+
+// Options tunes durability and testing hooks of an open store. The zero
+// value is the production default: interval fsync, no injection.
+type Options struct {
+	// Sync is the fsync policy for appends.
+	Sync SyncPolicy
+	// SyncEvery is the minimum spacing of interval-policy fsyncs
+	// (default 1s). Ignored by the other policies.
+	SyncEvery time.Duration
+	// BeforeAppend, when non-nil, runs under the store lock just before a
+	// row's bytes are written, with the exact line (checksum and newline
+	// included) about to be appended. Returning an error fails the append
+	// before anything reaches the file — the fault-injection seam used by
+	// internal/chaos. Never set in production.
+	BeforeAppend func(line []byte) error
+}
+
+// RepairReport describes what Open had to fix: a torn tail truncated away
+// (an append cut short by a crash) and stale GC temp files removed (a GC
+// killed between temp-file write and rename).
+type RepairReport struct {
+	// TruncatedBytes is how many trailing bytes were cut to restore the
+	// last-line invariant.
+	TruncatedBytes int64
+	// DroppedLines is how many (partial or corrupt) tail lines those bytes
+	// held; each is one uncommitted row lost, recomputed on resume.
+	DroppedLines int
+	// TempsRemoved counts orphaned GC temp files deleted.
+	TempsRemoved int
+}
+
+// Repaired reports whether the report contains any repair action.
+func (r RepairReport) Repaired() bool {
+	return r.TruncatedBytes > 0 || r.DroppedLines > 0 || r.TempsRemoved > 0
+}
 
 // Row is one JSONL line: a committed segment of one point. Seq numbers the
 // segments of a key; segment 0 is the stream an uninterrupted storeless run
@@ -114,44 +207,185 @@ type Store struct {
 	mu        sync.Mutex
 	path      string
 	f         *os.File
+	opts      Options
 	points    map[string]*Point
 	seen      map[string]bool // key\x00seq dedup — identical segments replay identically
 	corrupted int
+	repair    RepairReport
+	lastSync  time.Time
 }
 
-// Open reads (or creates) the store at path, merging every parsable row
-// into the in-memory index. Unparsable lines — a torn final append, stray
-// garbage — are tolerated and counted, never fatal: an append-only store
-// must survive its own interruptions.
+// encodeRow renders one v2 store line: the row's JSON, a tab, and the
+// 8-hex CRC32C of the JSON, newline-terminated. JSON escapes tabs inside
+// strings, so the separator is unambiguous.
+func encodeRow(r Row) ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	line := make([]byte, 0, len(b)+10)
+	line = append(line, b...)
+	line = append(line, '\t')
+	line = appendCRCHex(line, crc32.Checksum(b, crcTable))
+	return append(line, '\n'), nil
+}
+
+func appendCRCHex(dst []byte, crc uint32) []byte {
+	const hexDigits = "0123456789abcdef"
+	for shift := 28; shift >= 0; shift -= 4 {
+		dst = append(dst, hexDigits[(crc>>shift)&0xf])
+	}
+	return dst
+}
+
+// decodeLine parses one store line in either row format. A v2 line (tab +
+// 8-hex CRC32C suffix) is verified against its checksum; anything else is
+// read as a bare v1 JSON row, so stores written before the checksum format
+// stay readable. ok is false for torn, corrupt, or checksum-failing lines.
+func decodeLine(line []byte) (Row, bool) {
+	var r Row
+	data := line
+	if i := strings.LastIndexByte(string(line), '\t'); i >= 0 {
+		suffix := line[i+1:]
+		if len(suffix) != 8 {
+			return r, false
+		}
+		var crc uint32
+		for _, c := range suffix {
+			switch {
+			case c >= '0' && c <= '9':
+				crc = crc<<4 | uint32(c-'0')
+			case c >= 'a' && c <= 'f':
+				crc = crc<<4 | uint32(c-'a'+10)
+			default:
+				return r, false
+			}
+		}
+		data = line[:i]
+		if crc32.Checksum(data, crcTable) != crc {
+			return r, false
+		}
+	}
+	if err := json.Unmarshal(data, &r); err != nil || r.Key == "" {
+		return Row{}, false
+	}
+	return r, true
+}
+
+// Open reads (or creates) the store at path with default Options.
 func Open(path string) (*Store, error) {
+	return OpenWith(path, Options{})
+}
+
+// OpenWith reads (or creates) the store at path, merging every parsable
+// row into the in-memory index and repairing crash damage:
+//
+//   - Unparsable lines in the middle of the file — followed by valid rows,
+//     so not a crash tail — are tolerated and counted (Corrupted), never
+//     fatal.
+//   - A torn tail (an append cut short by a crash: an unterminated or
+//     checksum-failing final run of lines) is truncated away so the file
+//     ends on a committed row again; the loss is reported via Repair and
+//     recomputed on resume.
+//   - Orphaned GC temp files (a GC killed between temp write and rename)
+//     are deleted; the original store file was never touched, so no
+//     committed row is lost.
+func OpenWith(path string, opts Options) (*Store, error) {
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = time.Second
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{path: path, f: f, points: make(map[string]*Point), seen: make(map[string]bool)}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	s := &Store{path: path, f: f, opts: opts, points: make(map[string]*Point), seen: make(map[string]bool)}
+	s.repair.TempsRemoved = removeStaleGCTemps(path)
+
+	// Scan with explicit offsets so the end of the last committed row is
+	// known: validEnd advances over parsable (or blank) complete lines,
+	// pendingBad counts unparsable ones since the last good line. Bad
+	// lines followed by good ones are mid-file corruption (tolerated);
+	// bad lines at EOF are a torn tail (truncated).
+	br := bufio.NewReaderSize(f, 1<<16)
+	var offset, validEnd int64
+	pendingBad := 0
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) > 0 {
+			complete := line[len(line)-1] == '\n'
+			offset += int64(len(line))
+			content := strings.TrimRight(string(line), "\r\n")
+			switch {
+			case !complete:
+				pendingBad++ // unterminated final line: never committed
+			case strings.TrimSpace(content) == "":
+				validEnd = offset
+			default:
+				if r, ok := decodeLine([]byte(content)); ok {
+					s.index(r)
+					s.corrupted += pendingBad
+					pendingBad = 0
+					validEnd = offset
+				} else {
+					pendingBad++
+				}
+			}
 		}
-		var r Row
-		if err := json.Unmarshal([]byte(line), &r); err != nil || r.Key == "" {
-			s.corrupted++
-			continue
+		if rerr == io.EOF {
+			break
 		}
-		s.index(r)
+		if rerr != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: reading %s: %w", path, rerr)
+		}
 	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	if pendingBad > 0 || validEnd < offset {
+		s.repair.DroppedLines = pendingBad
+		s.repair.TruncatedBytes = offset - validEnd
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: repairing torn tail of %s: %w", path, err)
+		}
+		obsRowsRepaired.Add(int64(pendingBad))
 	}
-	if _, err := f.Seek(0, 2); err != nil {
+	obsCorruptLines.Add(int64(s.corrupted))
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	return s, nil
+}
+
+// gcTempPrefix names the GC temp files of the store at path; it doubles
+// as the stale-temp cleanup match.
+func gcTempPrefix(path string) string { return ".gc-" + filepath.Base(path) + "." }
+
+// removeStaleGCTemps deletes GC temp files orphaned by a crash between
+// temp-file write and rename, returning how many were removed. Cleanup is
+// best-effort: an unreadable directory just skips it.
+func removeStaleGCTemps(path string) int {
+	dir := filepath.Dir(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	prefix := gcTempPrefix(path)
+	removed := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), prefix) {
+			if os.Remove(filepath.Join(dir, e.Name())) == nil {
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// Repair reports what Open had to fix (zero value: nothing).
+func (s *Store) Repair() RepairReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repair
 }
 
 // index merges r into the in-memory view, dropping duplicate (key, seq)
@@ -185,15 +419,17 @@ func (s *Store) Get(key string) (Point, bool) {
 	return *p, true
 }
 
-// Append commits one segment row: one JSON line written and flushed before
-// the in-memory index is updated. Duplicate (key, seq) rows are ignored.
+// Append commits one segment row: one checksummed JSON line written (and
+// fsynced per the store's SyncPolicy) before the in-memory index is
+// updated. Duplicate (key, seq) rows are ignored. A failed append leaves
+// the index untouched, so a retried point re-appends the identical bytes.
 func (s *Store) Append(r Row) error {
 	if r.Key == "" {
 		return fmt.Errorf("store: row has empty key")
 	}
-	b, err := json.Marshal(r)
+	line, err := encodeRow(r)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -201,11 +437,46 @@ func (s *Store) Append(r Row) error {
 	if s.seen[id] {
 		return nil
 	}
-	if _, err := s.f.Write(append(b, '\n')); err != nil {
+	if s.opts.BeforeAppend != nil {
+		if err := s.opts.BeforeAppend(line); err != nil {
+			return fmt.Errorf("store: appending to %s: %w", s.path, err)
+		}
+	}
+	if _, err := s.f.Write(line); err != nil {
 		return fmt.Errorf("store: appending to %s: %w", s.path, err)
+	}
+	switch s.opts.Sync {
+	case SyncAlways:
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
+	case SyncInterval:
+		if time.Since(s.lastSync) >= s.opts.SyncEvery {
+			if err := s.syncLocked(); err != nil {
+				return err
+			}
+		}
 	}
 	s.index(r)
 	obsRowsAppended.Inc()
+	return nil
+}
+
+// Sync flushes appended rows to stable storage regardless of the fsync
+// policy — the graceful-shutdown path calls it so every committed point
+// survives whatever comes next.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", s.path, err)
+	}
+	s.lastSync = time.Now()
+	obsSyncs.Inc()
 	return nil
 }
 
@@ -238,11 +509,21 @@ func (s *Store) Corrupted() int {
 // Path returns the backing file path.
 func (s *Store) Path() string { return s.path }
 
-// Close releases the backing file.
+// Close syncs committed rows to stable storage and releases the backing
+// file. The sync happens regardless of SyncPolicy, so a cleanly closed
+// store is always durable.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.f.Close()
+	serr := s.syncLocked()
+	cerr := s.f.Close()
+	if serr != nil {
+		return serr
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: closing %s: %w", s.path, cerr)
+	}
+	return nil
 }
 
 // GC compacts the store in place: one merged row per key (summed counts,
@@ -266,7 +547,7 @@ func (s *Store) GC() error {
 	}
 	sort.Strings(keys)
 
-	tmp, err := os.CreateTemp(dirOf(s.path), ".store-gc-*")
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), gcTempPrefix(s.path)+"*")
 	if err != nil {
 		return fmt.Errorf("store: gc: %w", err)
 	}
@@ -285,12 +566,12 @@ func (s *Store) GC() error {
 			Shots: p.Shots, Failures: p.Failures,
 			Complete: p.Complete, Config: p.Config, Payload: p.Payload,
 		}
-		b, err := json.Marshal(row)
+		line, err := encodeRow(row)
 		if err != nil {
 			tmp.Close()
 			return fmt.Errorf("store: gc: %w", err)
 		}
-		if _, err := w.Write(append(b, '\n')); err != nil {
+		if _, err := w.Write(line); err != nil {
 			tmp.Close()
 			return fmt.Errorf("store: gc: %w", err)
 		}
@@ -303,12 +584,22 @@ func (s *Store) GC() error {
 		tmp.Close()
 		return fmt.Errorf("store: gc: %w", err)
 	}
+	// Pin the crash window: the temp file reaches stable storage before
+	// the rename publishes it, and the directory entry is fsynced after —
+	// a kill at any instant leaves either the complete old file or the
+	// complete new one (plus, at worst, an orphaned temp that the next
+	// Open removes).
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: gc: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: gc: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), s.path); err != nil {
 		return fmt.Errorf("store: gc: %w", err)
 	}
+	syncDir(filepath.Dir(s.path))
 	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: gc: reopening %s: %w", s.path, err)
@@ -322,13 +613,16 @@ func (s *Store) GC() error {
 	return nil
 }
 
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' || path[i] == os.PathSeparator {
-			return path[:i+1]
-		}
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Best-effort: some platforms/filesystems reject directory fsync, and the
+// rename itself is already crash-atomic for process death.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
 	}
-	return "."
+	d.Sync()
+	d.Close()
 }
 
 // Key computes the content address of a point configuration: the SHA-256
