@@ -33,6 +33,7 @@ import (
 	"surfdeformer/internal/decoder"
 	"surfdeformer/internal/lattice"
 	"surfdeformer/internal/noise"
+	"surfdeformer/internal/obs"
 	"surfdeformer/internal/sim"
 	"surfdeformer/internal/traj"
 )
@@ -58,13 +59,19 @@ type EnginePoint struct {
 
 // TrajPoint is one closed-loop trajectory-engine measurement: full
 // detect → deform → recover trajectories at quick scale, reported as
-// simulated QEC cycles per second.
+// simulated QEC cycles per second. DEMBuilds and DEMPatches are the
+// sim.dem.builds / sim.dem.patches counter deltas over the timed loop:
+// builds are full merge-and-propagate DEM constructions, patches are the
+// incremental re-rates that replaced them on the hot path, so the ratio is
+// the tracked evidence the patch fast path is actually engaged.
 type TrajPoint struct {
 	D            int     `json:"d"`
 	Horizon      int64   `json:"horizon"`
 	Trajectories int     `json:"trajectories"`
 	CyclesSec    float64 `json:"cycles_per_sec"`
 	NsCycle      float64 `json:"ns_per_cycle"`
+	DEMBuilds    int64   `json:"dem_builds"`
+	DEMPatches   int64   `json:"dem_patches"`
 }
 
 // Run is one full harness invocation.
@@ -112,6 +119,7 @@ func realMain() (err error) {
 	engine := flag.Bool("engine", true, "also measure the mc engine batch path")
 	trajN := flag.Int("traj", 8, "closed-loop trajectories to time (0 disables)")
 	reweightN := flag.Int("reweight", 8, "reweight-only drift trajectories to time (0 disables)")
+	gate := flag.Float64("gate", 0, "compare-only regression gate: fail if measured trajectory cycles/sec falls below this fraction of the committed -out file's current slot (no file write)")
 	prof := cliutil.AddProfileFlags()
 	flag.Parse()
 
@@ -128,6 +136,15 @@ func realMain() (err error) {
 	ds, err := cliutil.ParseInts(*dArg)
 	if err != nil {
 		return err
+	}
+	if *gate > 0 {
+		// Gate mode measures the trajectory slot only and compares against
+		// the committed file instead of rewriting it, so CI can fail a PR
+		// that regresses the hot path without churning the tracked baseline.
+		if *trajN <= 0 {
+			return fmt.Errorf("-gate requires -traj > 0")
+		}
+		return gateTraj(*out, *gate, *trajN)
 	}
 	run := &Run{
 		Label: *label,
@@ -162,8 +179,8 @@ func realMain() (err error) {
 			return err
 		}
 		run.Traj = append(run.Traj, tp)
-		fmt.Printf("traj d=%-3d horizon=%-5d      %12.0f cycles/sec %9.0f ns/cycle\n",
-			tp.D, tp.Horizon, tp.CyclesSec, tp.NsCycle)
+		fmt.Printf("traj d=%-3d horizon=%-5d      %12.0f cycles/sec %9.0f ns/cycle  %d dem builds, %d patches\n",
+			tp.D, tp.Horizon, tp.CyclesSec, tp.NsCycle, tp.DEMBuilds, tp.DEMPatches)
 	}
 	if *reweightN > 0 {
 		rp, err := measureReweight(*reweightN)
@@ -171,8 +188,8 @@ func realMain() (err error) {
 			return err
 		}
 		run.Reweight = append(run.Reweight, rp)
-		fmt.Printf("rewt d=%-3d horizon=%-5d      %12.0f cycles/sec %9.0f ns/cycle\n",
-			rp.D, rp.Horizon, rp.CyclesSec, rp.NsCycle)
+		fmt.Printf("rewt d=%-3d horizon=%-5d      %12.0f cycles/sec %9.0f ns/cycle  %d dem builds, %d patches\n",
+			rp.D, rp.Horizon, rp.CyclesSec, rp.NsCycle, rp.DEMBuilds, rp.DEMPatches)
 	}
 	if *out == "" {
 		return nil
@@ -210,6 +227,37 @@ func realMain() (err error) {
 				}
 			}
 		}
+	}
+	return nil
+}
+
+// gateTraj is the -gate path: measure the trajectory slot, read the
+// committed bench file, and fail when the measured throughput drops below
+// the given fraction of the tracked current slot. Read-only by design — a
+// gate must never move its own goalposts.
+func gateTraj(out string, gate float64, trajN int) error {
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		return fmt.Errorf("-gate needs the committed bench file: %v", err)
+	}
+	var f File
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return fmt.Errorf("%s is not a bench file: %v", out, err)
+	}
+	if f.Current == nil || len(f.Current.Traj) == 0 {
+		return fmt.Errorf("%s has no current trajectory slot to gate against", out)
+	}
+	committed := f.Current.Traj[0].CyclesSec
+	tp, err := measureTraj(trajN)
+	if err != nil {
+		return err
+	}
+	floor := gate * committed
+	fmt.Printf("traj gate: measured %.0f cycles/sec, committed %.0f, floor %.0f (%.0f%%)\n",
+		tp.CyclesSec, committed, floor, 100*gate)
+	if tp.CyclesSec < floor {
+		return fmt.Errorf("trajectory throughput regressed: %.0f cycles/sec < %.0f%% of committed %.0f",
+			tp.CyclesSec, 100*gate, committed)
 	}
 	return nil
 }
@@ -290,42 +338,35 @@ func measureEngine(d int, p float64, rounds, shots int) (EnginePoint, error) {
 // amortizes nothing across runs, matching a cold scan start).
 func measureTraj(n int) (TrajPoint, error) {
 	cfg := traj.QuickConfig()
-	cfg.Cache = sim.NewDEMCache(0)
-	if _, err := traj.Run(cfg, traj.ModeSurfDeformer, 1); err != nil {
-		return TrajPoint{}, err
-	}
-	var cycles int64
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		res, err := traj.Run(cfg, traj.ModeSurfDeformer, int64(i+1))
-		if err != nil {
-			return TrajPoint{}, err
-		}
-		cycles += res.ElapsedCycles
-	}
-	elapsed := time.Since(start)
-	return TrajPoint{
-		D: cfg.D, Horizon: cfg.Horizon, Trajectories: n,
-		CyclesSec: float64(cycles) / elapsed.Seconds(),
-		NsCycle:   float64(elapsed.Nanoseconds()) / float64(cycles),
-	}, nil
+	return measureTrajLoop(cfg, traj.ModeSurfDeformer, n)
 }
 
 // measureReweight times the decoder-prior reweight tier end to end: n
 // reweight-only trajectories on a sustained drift-only timeline, so the
 // number includes window rate estimation, overlay construction, and the
-// reweighted decode-DEM builds the tier adds over a plain trajectory.
+// reweighted decode-DEM patches/builds the tier adds over a plain
+// trajectory.
 func measureReweight(n int) (TrajPoint, error) {
 	cfg := traj.DriftOnlyConfig()
 	cfg.Horizon = 400 // quick-scale trajectories, like measureTraj
+	return measureTrajLoop(cfg, traj.ModeReweightOnly, n)
+}
+
+// measureTrajLoop runs n trajectories of one arm on a private DEM cache and
+// reports cycle throughput plus the DEM build/patch counter deltas of the
+// timed loop.
+func measureTrajLoop(cfg traj.Config, mode traj.Mode, n int) (TrajPoint, error) {
 	cfg.Cache = sim.NewDEMCache(0)
-	if _, err := traj.Run(cfg, traj.ModeReweightOnly, 1); err != nil {
+	if _, err := traj.Run(cfg, mode, 1); err != nil {
 		return TrajPoint{}, err
 	}
+	builds := obs.Default().Counter("sim.dem.builds")
+	patches := obs.Default().Counter("sim.dem.patches")
+	builds0, patches0 := builds.Value(), patches.Value()
 	var cycles int64
 	start := time.Now()
 	for i := 0; i < n; i++ {
-		res, err := traj.Run(cfg, traj.ModeReweightOnly, int64(i+1))
+		res, err := traj.Run(cfg, mode, int64(i+1))
 		if err != nil {
 			return TrajPoint{}, err
 		}
@@ -334,7 +375,9 @@ func measureReweight(n int) (TrajPoint, error) {
 	elapsed := time.Since(start)
 	return TrajPoint{
 		D: cfg.D, Horizon: cfg.Horizon, Trajectories: n,
-		CyclesSec: float64(cycles) / elapsed.Seconds(),
-		NsCycle:   float64(elapsed.Nanoseconds()) / float64(cycles),
+		CyclesSec:  float64(cycles) / elapsed.Seconds(),
+		NsCycle:    float64(elapsed.Nanoseconds()) / float64(cycles),
+		DEMBuilds:  builds.Value() - builds0,
+		DEMPatches: patches.Value() - patches0,
 	}, nil
 }

@@ -54,4 +54,19 @@ func TestBenchFileSchema(t *testing.T) {
 			t.Errorf("reweight point has non-positive throughput: %+v", p)
 		}
 	}
+	// The incremental-DEM counters must be populated on both trajectory
+	// sections: builds > 0 (a cold scan always constructs the nominal DEMs)
+	// and patches > 0 (the overlay fast path is engaged — a refresh where
+	// patches read zero means the trajectory hot path fell back to full
+	// rebuilds and the tracked speedup is fiction).
+	for _, sec := range [][]TrajPoint{cur.Traj, cur.Reweight} {
+		for _, p := range sec {
+			if p.DEMBuilds <= 0 {
+				t.Errorf("trajectory point d=%d records no DEM builds: %+v", p.D, p)
+			}
+			if p.DEMPatches <= 0 {
+				t.Errorf("trajectory point d=%d records no DEM patches (incremental path disengaged): %+v", p.D, p)
+			}
+		}
+	}
 }

@@ -65,6 +65,8 @@ func realMain() (err error) {
 	storeGC := flag.Bool("store-gc", false, "compact -store (merge segments, drop corrupt lines) and exit")
 	targetRSE := flag.Float64("target-rse", 0, "adaptive early stopping for sweep/calibrate points (0 = fixed budget)")
 	reweightFactor := flag.Float64("reweight-factor", 0, "traj: rate-multiplier gate of the decoder-prior reweight tier (0 = default)")
+	flag.BoolVar(&opt.AdaptiveStop, "adaptive-stop", false, "traj: retire an arm once its failure CI separates from every other arm's (deterministic; store-compatible with fixed runs)")
+	flag.IntVar(&opt.MinTrials, "min-trials", 0, "traj: per-arm trajectory floor before -adaptive-stop may retire an arm (0 = default)")
 	cacheStats := flag.Bool("stats", false, "report the full obs metrics snapshot (DEM cache, decoder, store, traj counters) on stderr after the run")
 	progress := flag.Bool("progress", false, "report grid progress (points done, throughput, ETA) on stderr while running")
 	traceOut := flag.String("trace-out", "", "traj: write one JSONL trace event per epoch transition to this file")
@@ -95,6 +97,8 @@ func realMain() (err error) {
 		q.FitLosses = opt.FitLosses
 		q.PointWorkers = opt.PointWorkers
 		q.Resume = opt.Resume
+		q.AdaptiveStop = opt.AdaptiveStop
+		q.MinTrials = opt.MinTrials
 		// Explicitly-set budget flags survive the quick preset, so smoke
 		// runs can still size themselves (e.g. -quick -trials 2 traj).
 		flag.Visit(func(f *flag.Flag) {

@@ -10,6 +10,7 @@ import (
 var (
 	obsGraphCacheHits   = obs.Default().Counter("decoder.graph_cache.hits")
 	obsGraphCacheMisses = obs.Default().Counter("decoder.graph_cache.misses")
+	obsGraphRederives   = obs.Default().Counter("decoder.graph.rederives")
 )
 
 // The graph cache memoizes NewGraph per DEM identity. The Monte-Carlo
@@ -33,6 +34,17 @@ const graphCacheLimit = 256
 // once per DEM identity. Safe for concurrent use; the returned graph is
 // immutable and may be shared by any number of decoder instances.
 func SharedGraph(dem *sim.DEM) *Graph {
+	return SharedGraphFrom(dem, nil)
+}
+
+// SharedGraphFrom is SharedGraph with a structural fast path: on a cache
+// miss, when base is a DEM sharing dem's patch core (sim.SamePatchCore —
+// same mechanism/detector structure by construction) whose graph is
+// already cached, the new graph is derived by replaying that graph's merge
+// skeleton with dem's probabilities instead of re-running the full merge.
+// The result is identical to NewGraph(dem) — rederive bails to the full
+// build whenever it cannot guarantee that — and is cached like any other.
+func SharedGraphFrom(dem, base *sim.DEM) *Graph {
 	graphCacheMu.Lock()
 	defer graphCacheMu.Unlock()
 	if g, ok := graphCache[dem]; ok {
@@ -42,7 +54,17 @@ func SharedGraph(dem *sim.DEM) *Graph {
 	if len(graphCache) >= graphCacheLimit {
 		graphCache = make(map[*sim.DEM]*Graph)
 	}
-	g := NewGraph(dem)
+	var g *Graph
+	if base != nil && base != dem && sim.SamePatchCore(dem, base) {
+		if bg, ok := graphCache[base]; ok {
+			if g = bg.rederive(dem); g != nil {
+				obsGraphRederives.Inc()
+			}
+		}
+	}
+	if g == nil {
+		g = NewGraph(dem)
+	}
 	graphCache[dem] = g
 	obsGraphCacheMisses.Inc()
 	return g

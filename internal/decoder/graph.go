@@ -61,6 +61,32 @@ type Graph struct {
 	// represent instead of losing it silently.
 	Clamped int
 	Dropped int
+
+	// skel records how this graph's edges were merged from DEM mechanisms,
+	// enabling rederive to produce the graph of a structurally identical
+	// DEM (same mechanism set, different probabilities) without re-running
+	// the merge. Nil when any merged edge was dropped: a drop depends on
+	// probabilities, so the edge set itself would no longer be structural.
+	skel *graphSkel
+}
+
+// skelContrib is one mechanism's contribution to a merged edge: the
+// mechanism supplies the probability at replay time, obs is the flag the
+// original addPair carried (false for the non-leading pairs of a
+// decomposed mechanism).
+type skelContrib struct {
+	mech int32
+	obs  bool
+}
+
+// graphSkel is the merge skeleton: per emitted edge (CSR via edgeOff) the
+// mechanism contributions in original merge order, plus the mechanisms
+// folded into FreeLogicalP.
+type graphSkel struct {
+	nMechs   int
+	edgeOff  []int32
+	contribs []skelContrib
+	free     []int32
 }
 
 // MaxEdgeProb is the edge-probability ceiling of the decoding graph. An
@@ -76,8 +102,13 @@ const MaxEdgeProb = 0.4999
 func NewGraph(dem *sim.DEM) *Graph {
 	g := &Graph{NumDets: dem.NumDets}
 	type key struct{ u, v int32 }
-	acc := map[key]*Edge{}
-	addPair := func(u, v int32, p float64, obs bool) {
+	type accEnt struct {
+		e        Edge
+		contribs []skelContrib
+	}
+	acc := map[key]*accEnt{}
+	var free []int32
+	addPair := func(u, v int32, p float64, obs bool, mech int32) {
 		// Canonical order: boundary always in V, otherwise ascending.
 		if u == Boundary {
 			u, v = v, u
@@ -89,36 +120,43 @@ func NewGraph(dem *sim.DEM) *Graph {
 			return // boundary-boundary mechanisms carry no decodable info
 		}
 		k := key{u, v}
-		if e, ok := acc[k]; ok {
+		if ent, ok := acc[k]; ok {
 			// Merge parallel mechanisms; keep the dominant observable flag.
+			e := &ent.e
 			newP := e.P + p - 2*e.P*p
 			if p > e.P {
 				e.Obs = obs
 			}
 			e.P = newP
+			ent.contribs = append(ent.contribs, skelContrib{mech: mech, obs: obs})
 			return
 		}
-		acc[k] = &Edge{U: u, V: v, Obs: obs, P: p}
+		acc[k] = &accEnt{
+			e:        Edge{U: u, V: v, Obs: obs, P: p},
+			contribs: []skelContrib{{mech: mech, obs: obs}},
+		}
 	}
-	for _, m := range dem.Mechs {
+	for mi, m := range dem.Mechs {
+		mech := int32(mi)
 		switch len(m.Dets) {
 		case 0:
 			if m.Obs {
 				g.FreeLogicalP = g.FreeLogicalP + m.P - 2*g.FreeLogicalP*m.P
+				free = append(free, mech)
 			}
 		case 1:
-			addPair(m.Dets[0], Boundary, m.P, m.Obs)
+			addPair(m.Dets[0], Boundary, m.P, m.Obs, mech)
 		case 2:
-			addPair(m.Dets[0], m.Dets[1], m.P, m.Obs)
+			addPair(m.Dets[0], m.Dets[1], m.P, m.Obs, mech)
 		default:
 			g.Decomposed++
 			// Pair consecutive detectors; attach the observable flip to the
 			// first pair only (the decomposition keeps total parity).
 			for i := 0; i+1 < len(m.Dets); i += 2 {
-				addPair(m.Dets[i], m.Dets[i+1], m.P, m.Obs && i == 0)
+				addPair(m.Dets[i], m.Dets[i+1], m.P, m.Obs && i == 0, mech)
 			}
 			if len(m.Dets)%2 == 1 {
-				addPair(m.Dets[len(m.Dets)-1], Boundary, m.P, false)
+				addPair(m.Dets[len(m.Dets)-1], Boundary, m.P, false, mech)
 			}
 		}
 	}
@@ -132,8 +170,11 @@ func NewGraph(dem *sim.DEM) *Graph {
 		}
 		return keys[i].v < keys[j].v
 	})
+	sk := &graphSkel{nMechs: len(dem.Mechs), edgeOff: make([]int32, 0, len(keys)+1), free: free}
+	sk.edgeOff = append(sk.edgeOff, 0)
 	for _, k := range keys {
-		e := acc[k]
+		ent := acc[k]
+		e := ent.e
 		p := e.P
 		if p <= 0 {
 			g.Dropped++
@@ -144,13 +185,75 @@ func NewGraph(dem *sim.DEM) *Graph {
 			p = MaxEdgeProb
 		}
 		e.Weight = math.Log((1 - p) / p)
-		g.Edges = append(g.Edges, *e)
+		g.Edges = append(g.Edges, e)
+		sk.contribs = append(sk.contribs, ent.contribs...)
+		sk.edgeOff = append(sk.edgeOff, int32(len(sk.contribs)))
+	}
+	if g.Dropped == 0 {
+		g.skel = sk
 	}
 	g.buildAdj()
 	obsGraphBuilds.Inc()
 	obsGraphClamped.Add(int64(g.Clamped))
 	obsGraphDropped.Add(int64(g.Dropped))
 	return g
+}
+
+// rederive builds the decoding graph of dem by replaying this graph's
+// merge skeleton with dem's mechanism probabilities — identical output to
+// NewGraph(dem) whenever dem shares this graph's DEM structure (same
+// mechanism detector sets in the same order, probabilities free to
+// differ). The CSR adjacency and the skeleton itself are shared with the
+// template: both are pure functions of the edge endpoints. Returns nil —
+// caller falls back to NewGraph — when no skeleton was recorded, the
+// detector count differs, or a replayed probability reaches a regime the
+// template never saw (a drop, which changes the edge set).
+func (g *Graph) rederive(dem *sim.DEM) *Graph {
+	sk := g.skel
+	if sk == nil || dem.NumDets != g.NumDets || len(dem.Mechs) != sk.nMechs {
+		return nil
+	}
+	ng := &Graph{
+		NumDets:    g.NumDets,
+		Edges:      make([]Edge, len(g.Edges)),
+		adjOff:     g.adjOff,
+		adjList:    g.adjList,
+		Decomposed: g.Decomposed,
+		skel:       sk,
+	}
+	for _, mi := range sk.free {
+		p := dem.Mechs[mi].P
+		ng.FreeLogicalP = ng.FreeLogicalP + p - 2*ng.FreeLogicalP*p
+	}
+	for ei := range g.Edges {
+		e := g.Edges[ei]
+		accP, accObs := 0.0, false
+		for ci := sk.edgeOff[ei]; ci < sk.edgeOff[ei+1]; ci++ {
+			c := sk.contribs[ci]
+			p := dem.Mechs[c.mech].P
+			if ci == sk.edgeOff[ei] {
+				accP, accObs = p, c.obs
+				continue
+			}
+			if p > accP {
+				accObs = c.obs
+			}
+			accP = accP + p - 2*accP*p
+		}
+		if accP <= 0 {
+			return nil // this probability regime drops the edge: not structural
+		}
+		e.Obs = accObs
+		e.P = accP
+		if accP >= 0.5 {
+			ng.Clamped++
+			accP = MaxEdgeProb
+		}
+		e.Weight = math.Log((1 - accP) / accP)
+		ng.Edges[ei] = e
+	}
+	obsGraphClamped.Add(int64(ng.Clamped))
+	return ng
 }
 
 // buildAdj (re)builds the CSR adjacency index from Edges. Rows list edge

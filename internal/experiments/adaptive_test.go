@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"surfdeformer/internal/store"
+	"surfdeformer/internal/traj"
+)
+
+// TestAdaptiveStopDecisions unit-tests the barrier logic against a stub
+// trajectory runner with known outcomes: an arm that always fails must
+// separate from two arms that never fail and retire at exactly the
+// MinTrials floor — never before it — while the two statistically
+// indistinguishable arms (identical, overlapping intervals) run their full
+// budget. The retired arm's frozen interval stays in play: it is what the
+// surviving arms separated from.
+func TestAdaptiveStopDecisions(t *testing.T) {
+	opt := Options{Trials: 32, AdaptiveStop: true, MinTrials: 8}
+	modes := []traj.Mode{traj.ModeSurfDeformer, traj.ModeASC, traj.ModeUntreated}
+	results := make([][]traj.Result, len(modes))
+	calls := make([]int, len(modes))
+	runPoint := func(mi, j int) (traj.Result, error) {
+		if j != calls[mi] {
+			t.Errorf("arm %d ran trajectory %d out of order (want %d)", mi, j, calls[mi])
+		}
+		calls[mi]++
+		r := traj.Result{FirstFailCycle: -1}
+		if mi == 0 {
+			r.FirstFailCycle = 5 // this arm always fails
+		}
+		return r, nil
+	}
+	if err := trajectoryScanAdaptive(opt, modes, results, runPoint); err != nil {
+		t.Fatal(err)
+	}
+	if len(results[0]) != opt.MinTrials {
+		t.Errorf("always-failing arm committed %d trajectories, want exactly the floor %d",
+			len(results[0]), opt.MinTrials)
+	}
+	for mi := 1; mi < len(modes); mi++ {
+		if len(results[mi]) != opt.Trials {
+			t.Errorf("arm %d committed %d trajectories, want the full budget %d (its interval never separated from arm %d's)",
+				mi, len(results[mi]), opt.Trials, 3-mi)
+		}
+	}
+	for mi := range modes {
+		if calls[mi] != len(results[mi]) {
+			t.Errorf("arm %d: %d runs but %d committed results", mi, calls[mi], len(results[mi]))
+		}
+		if len(results[mi]) < opt.MinTrials {
+			t.Errorf("arm %d stopped before the MinTrials floor: %d < %d", mi, len(results[mi]), opt.MinTrials)
+		}
+	}
+}
+
+// TestAdaptiveStopMinTrialsClamp pins the floor clamp: a MinTrials above
+// the trial budget degenerates to a single full block with no decision
+// point, so every arm runs exactly Trials trajectories.
+func TestAdaptiveStopMinTrialsClamp(t *testing.T) {
+	opt := Options{Trials: 4, AdaptiveStop: true, MinTrials: 100}
+	modes := []traj.Mode{traj.ModeSurfDeformer, traj.ModeUntreated}
+	results := make([][]traj.Result, len(modes))
+	runPoint := func(mi, j int) (traj.Result, error) {
+		// Maximally separable outcomes: only the clamp keeps both arms alive.
+		fc := int64(-1)
+		if mi == 0 {
+			fc = 1
+		}
+		return traj.Result{FirstFailCycle: fc}, nil
+	}
+	if err := trajectoryScanAdaptive(opt, modes, results, runPoint); err != nil {
+		t.Fatal(err)
+	}
+	for mi := range modes {
+		if len(results[mi]) != opt.Trials {
+			t.Errorf("arm %d committed %d trajectories, want %d", mi, len(results[mi]), opt.Trials)
+		}
+	}
+}
+
+// TestTrajectoryAdaptiveDeterministicAndShared is the integration gate of
+// adaptive stopping on real trajectories: the adaptive scan is bit-identical
+// for any PointWorkers value; setting the floor equal to the budget
+// reproduces the fixed scan exactly; and because the per-trajectory store
+// identity is unchanged, an adaptive scan resumed against a store written by
+// a fixed run computes nothing and renders byte-identically — including any
+// arm the adaptive pass retired early.
+func TestTrajectoryAdaptiveDeterministicAndShared(t *testing.T) {
+	opt := trajTestOptions()
+	opt.Trials = 4
+	opt.AdaptiveStop = true
+	opt.MinTrials = 2
+	cfg := DefaultTrajConfig(opt)
+	modes := DefaultTrajModes()
+
+	serial, err := TrajectoryScan(opt, cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := opt
+	par.PointWorkers = 4
+	parallel, err := TrajectoryScan(par, cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("worker count changed the adaptive scan:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+	for _, r := range serial {
+		if r.Trajectories < opt.MinTrials || r.Trajectories > opt.Trials {
+			t.Errorf("%s committed %d trajectories outside [floor %d, budget %d]",
+				r.Mode, r.Trajectories, opt.MinTrials, opt.Trials)
+		}
+	}
+
+	// Floor == budget: the adaptive scan has no decision point and must
+	// reproduce the fixed scan bit-for-bit.
+	fixed := opt
+	fixed.AdaptiveStop = false
+	fixedRows, err := TrajectoryScan(fixed, cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := opt
+	floor.MinTrials = opt.Trials
+	floorRows, err := TrajectoryScan(floor, cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fixedRows, floorRows) {
+		t.Fatalf("MinTrials==Trials adaptive scan differs from the fixed scan:\nfixed    %+v\nadaptive %+v", fixedRows, floorRows)
+	}
+
+	// Store sharing: seed the store with the fixed run, then resume the
+	// adaptive scan against it. Every trajectory the adaptive pass wants is
+	// a prefix of what the fixed run committed, so nothing recomputes and
+	// the rows — stopped arms included — replay byte-identically.
+	st, err := store.Open(filepath.Join(t.TempDir(), "traj.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	seed := fixed
+	seed.Store = st
+	if _, err := TrajectoryScan(seed, cfg, modes); err != nil {
+		t.Fatal(err)
+	}
+	resumed := opt
+	resumed.Store = st
+	resumed.Resume = true
+	resumed.Stats = &RunStats{}
+	rows, err := TrajectoryScan(resumed, cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := resumed.Stats.Computed(); c != 0 {
+		t.Errorf("adaptive resume against a fixed-run store computed %d trajectories, want 0", c)
+	}
+	want := 0
+	for _, r := range serial {
+		want += r.Trajectories
+	}
+	if s := resumed.Stats.Skipped(); s != want {
+		t.Errorf("adaptive resume served %d trajectories from the store, want %d", s, want)
+	}
+	if !reflect.DeepEqual(serial, rows) {
+		t.Fatalf("store-resumed adaptive scan differs from fresh:\nfresh   %+v\nresumed %+v", serial, rows)
+	}
+	var fresh, again bytes.Buffer
+	RenderTraj(&fresh, cfg.Horizon, serial)
+	RenderTraj(&again, cfg.Horizon, rows)
+	if !bytes.Equal(fresh.Bytes(), again.Bytes()) {
+		t.Error("rendered tables differ between fresh and store-resumed adaptive scans")
+	}
+}

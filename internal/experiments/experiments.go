@@ -71,7 +71,26 @@ type Options struct {
 	// done/total, throughput, ETA) to its writer while a grid runs.
 	// Observation-only: it never affects results.
 	Progress *obs.Progress
+
+	// AdaptiveStop lets TrajectoryScan retire an arm early once its
+	// survival confidence interval separates from every other arm's: the
+	// scan runs trajectories in barrier-synchronized blocks and, at each
+	// barrier, stops any arm whose Wilson failure CI over its committed
+	// in-order prefix is disjoint from every other arm's. Decisions depend
+	// only on committed prefixes, so they are bit-identical for any
+	// PointWorkers value; stopped arms keep their store rows (the per-
+	// trajectory identity is unchanged), so adaptive and fixed runs share
+	// the store. No effect on experiments other than the trajectory scan.
+	AdaptiveStop bool
+	// MinTrials is the minimum trajectories every arm must complete before
+	// AdaptiveStop may retire it (<= 0 selects DefaultMinTrials; clamped
+	// to Trials).
+	MinTrials int
 }
+
+// DefaultMinTrials is the per-arm floor of trajectories before adaptive
+// stopping may retire an arm (Options.MinTrials <= 0 selects it).
+const DefaultMinTrials = 8
 
 // Defaults returns CLI-scale options.
 func Defaults() Options {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"surfdeformer/internal/mc"
 	"surfdeformer/internal/report"
 	"surfdeformer/internal/traj"
 )
@@ -164,7 +165,6 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 	if len(modes) == 0 {
 		modes = DefaultTrajModes()
 	}
-	n := len(modes) * opt.Trials
 
 	// Per-arm live survival for the progress note: read by the reporter's
 	// ticker while the pool runs, so atomics, not plain ints.
@@ -190,11 +190,8 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 		}
 	}
 
-	results := make([]traj.Result, n)
-	err := opt.forEachPoint(n, func(i int) error {
-		mi := i / opt.Trials
+	runPoint := func(mi, j int) (traj.Result, error) {
 		mode := modes[mi]
-		j := i % opt.Trials
 		// The seed is shared across modes on purpose: trajectory j of every
 		// arm draws the identical defect timeline, so arm differences are
 		// policy, not timeline sampling noise (a paired comparison).
@@ -213,29 +210,51 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 			return *r, nil
 		})
 		if err != nil {
-			return err
+			return traj.Result{}, err
 		}
-		results[i] = res
 		live[mi].done.Add(1)
 		if res.FirstFailCycle < 0 {
 			live[mi].survived.Add(1)
 		}
-		return nil
-	})
-	if err != nil {
+		return res, nil
+	}
+
+	// results holds each arm's committed in-order prefix: with adaptive
+	// stopping off (or a single arm, where separation is undefined) every
+	// arm runs the full Trials; otherwise arms may retire early and hold
+	// shorter prefixes.
+	results := make([][]traj.Result, len(modes))
+	if !opt.AdaptiveStop || len(modes) < 2 {
+		n := len(modes) * opt.Trials
+		flat := make([]traj.Result, n)
+		err := opt.forEachPoint(n, func(i int) error {
+			res, err := runPoint(i/opt.Trials, i%opt.Trials)
+			if err != nil {
+				return err
+			}
+			flat[i] = res
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for mi := range modes {
+			results[mi] = flat[mi*opt.Trials : (mi+1)*opt.Trials]
+		}
+	} else if err := trajectoryScanAdaptive(opt, modes, results, runPoint); err != nil {
 		return nil, err
 	}
 
 	rows := make([]TrajRow, len(modes))
 	for mi, mode := range modes {
-		row := TrajRow{Mode: mode.String(), Trajectories: opt.Trials}
+		armRes := results[mi]
+		row := TrajRow{Mode: mode.String(), Trajectories: len(armRes)}
 		var latency, detected, removable int64
 		var deforms, recovers, failures, reweights, overlayBuilds int
 		var blocked, distance, elapsed, scored int64
 		var reweighted, mismatch int64
 		var rateErr float64
-		for j := 0; j < opt.Trials; j++ {
-			r := results[mi*opt.Trials+j]
+		for _, r := range armRes {
 			for q := 0; q < 4; q++ {
 				cp := cfg.Horizon * int64(q+1) / 4
 				// A severed trajectory always carries a FirstFailCycle, so
@@ -263,7 +282,7 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 				row.Severed++
 			}
 		}
-		trials := float64(opt.Trials)
+		trials := float64(len(armRes))
 		for q := range row.Survival {
 			row.Survival[q] /= trials
 		}
@@ -296,6 +315,113 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 		rows[mi] = row
 	}
 	return rows, nil
+}
+
+// trajectoryScanAdaptive runs the arms in barrier-synchronized blocks and
+// retires an arm once its failure confidence interval separates from every
+// other arm's. The first barrier sits at MinTrials (so no arm can stop on
+// fewer trajectories than the floor), later barriers every max(1,
+// MinTrials/2) trajectories. Within a block the (arm, index) tasks fan out
+// over the point pool like any grid, but a stop decision reads only the
+// committed prefixes at a barrier — results every worker schedule has
+// fully materialized — so the stopping pattern, and with it every row, is
+// bit-identical for any PointWorkers value. A stopped arm's interval stays
+// in play at its frozen count: later arms still have to separate from it.
+func trajectoryScanAdaptive(opt Options, modes []traj.Mode, results [][]traj.Result, runPoint func(mi, j int) (traj.Result, error)) error {
+	minT := opt.MinTrials
+	if minT <= 0 {
+		minT = DefaultMinTrials
+	}
+	if minT > opt.Trials {
+		minT = opt.Trials
+	}
+	step := minT / 2
+	if step < 1 {
+		step = 1
+	}
+	for mi := range results {
+		results[mi] = make([]traj.Result, 0, opt.Trials)
+	}
+	stopped := make([]bool, len(modes))
+	type task struct{ mi, j int }
+	for start := 0; start < opt.Trials; {
+		end := start + step
+		if start == 0 {
+			end = minT
+		}
+		if end > opt.Trials {
+			end = opt.Trials
+		}
+		var tasks []task
+		for mi := range modes {
+			if stopped[mi] {
+				continue
+			}
+			for j := start; j < end; j++ {
+				tasks = append(tasks, task{mi, j})
+			}
+		}
+		if len(tasks) == 0 {
+			break
+		}
+		block := make([]traj.Result, len(tasks))
+		err := opt.forEachPoint(len(tasks), func(i int) error {
+			res, err := runPoint(tasks[i].mi, tasks[i].j)
+			if err != nil {
+				return err
+			}
+			block[i] = res
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// Commit in task order: per arm the js are contiguous and ascending,
+		// so each prefix stays in trajectory-index order.
+		for i, t := range tasks {
+			results[t.mi] = append(results[t.mi], block[i])
+		}
+		if end < opt.Trials {
+			lo := make([]float64, len(modes))
+			hi := make([]float64, len(modes))
+			for mi := range modes {
+				lo[mi], hi[mi] = armFailureCI(results[mi])
+			}
+			for mi := range modes {
+				if stopped[mi] {
+					continue
+				}
+				separated := true
+				for oi := range modes {
+					if oi == mi {
+						continue
+					}
+					if hi[mi] >= lo[oi] && hi[oi] >= lo[mi] {
+						separated = false
+						break
+					}
+				}
+				if separated {
+					stopped[mi] = true
+				}
+			}
+		}
+		start = end
+	}
+	return nil
+}
+
+// armFailureCI is the Wilson 95% confidence interval of an arm's failure
+// fraction over its committed prefix (a failed trajectory is one with a
+// FirstFailCycle).
+func armFailureCI(rs []traj.Result) (lo, hi float64) {
+	fails := 0
+	for _, r := range rs {
+		if r.FirstFailCycle >= 0 {
+			fails++
+		}
+	}
+	return mc.WilsonInterval(fails, len(rs), mc.DefaultZ)
 }
 
 // RenderTraj prints the trajectory-scan comparison table: the closed-loop

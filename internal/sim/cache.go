@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -64,18 +65,48 @@ func SharedDEMCache() *DEMCache { return sharedDEMCache }
 // BuildDEM returns the cached DEM for the configuration, building and
 // inserting it on first use.
 func (dc *DEMCache) BuildDEM(c *code.Code, model *noise.Model, rounds int, basis lattice.CheckType) (*DEM, error) {
+	dem, _, err := dc.BuildDEMPatched(nil, nil, c, model, rounds, basis)
+	return dem, err
+}
+
+// BuildDEMKeyed is BuildDEM plus the canonical cache key of the
+// configuration. The key is a full serialization (never a hash), so it
+// doubles as a content identity: two DEMs obtained under the same key are
+// value-identical even when a wholesale clear or a build race handed out
+// different pointers. The trajectory engine keys its per-DEM memo on it.
+func (dc *DEMCache) BuildDEMKeyed(c *code.Code, model *noise.Model, rounds int, basis lattice.CheckType) (*DEM, string, error) {
+	return dc.BuildDEMPatched(nil, nil, c, model, rounds, basis)
+}
+
+// BuildDEMPatched is BuildDEMKeyed with an incremental fast path: on a
+// cache miss, when pt and base are non-nil and base's contribution plan
+// covers model (a pure site-rate variant of base's model), the DEM is
+// derived by pt.Patch instead of a full BuildDEM — value-identical output
+// (pinned by the equivalence suite) at a fraction of the cost. The caller
+// must pass a base built for the same (code, rounds, basis); the patch only
+// re-rates it. Hit/miss accounting is the same either way: a patch fill is
+// still a miss.
+func (dc *DEMCache) BuildDEMPatched(pt *Patcher, base *DEM, c *code.Code, model *noise.Model, rounds int, basis lattice.CheckType) (*DEM, string, error) {
 	key := demCacheKey(c, model, rounds, basis)
 	dc.mu.Lock()
 	if dem, ok := dc.entries[key]; ok {
 		dc.hits++
 		dc.mu.Unlock()
 		obsCacheHits.Inc()
-		return dem, nil
+		return dem, key, nil
 	}
 	dc.mu.Unlock()
-	dem, err := BuildDEM(c, model, rounds, basis)
-	if err != nil {
-		return nil, err
+	var dem *DEM
+	var ok bool
+	if pt != nil {
+		dem, ok = pt.Patch(base, model)
+	}
+	if !ok {
+		var err error
+		dem, err = BuildDEM(c, model, rounds, basis)
+		if err != nil {
+			return nil, "", err
+		}
 	}
 	dc.mu.Lock()
 	defer dc.mu.Unlock()
@@ -84,7 +115,7 @@ func (dc *DEMCache) BuildDEM(c *code.Code, model *noise.Model, rounds int, basis
 		// consumers (the decoder graph cache) stay coherent.
 		dc.hits++
 		obsCacheHits.Inc()
-		return existing, nil
+		return existing, key, nil
 	}
 	if len(dc.entries) >= dc.limit {
 		dc.entries = make(map[string]*DEM)
@@ -96,7 +127,7 @@ func (dc *DEMCache) BuildDEM(c *code.Code, model *noise.Model, rounds int, basis
 	dc.byPtr[dem] = struct{}{}
 	dc.misses++
 	obsCacheMisses.Inc()
-	return dem, nil
+	return dem, key, nil
 }
 
 // CacheStats is a point-in-time snapshot of a DEMCache. Hits, Misses and
@@ -191,7 +222,13 @@ func writeModelFingerprint(sb *strings.Builder, m *noise.Model) {
 		}
 		lattice.SortCoords(sites)
 		for _, q := range sites {
-			fmt.Fprintf(sb, "%d.%d=%g,", q.Row, q.Col, m.SiteRates[q])
+			// Exact (hex-float) rate encoding: site rates are products of
+			// quantized power-of-two multipliers and physical rates, and the
+			// key must never identify two models whose rates differ in any
+			// bit — nor split one overlay into two keys by formatting.
+			fmt.Fprintf(sb, "%d.%d=", q.Row, q.Col)
+			sb.WriteString(strconv.FormatFloat(m.SiteRates[q], 'x', -1, 64))
+			sb.WriteByte(',')
 		}
 	}
 }

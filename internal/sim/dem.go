@@ -13,8 +13,9 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 	"sort"
-	"strings"
+	"strconv"
 	"time"
 
 	"surfdeformer/internal/circuit"
@@ -58,6 +59,13 @@ type DEM struct {
 	// Decomposed counts mechanisms whose signature touched more than two
 	// detectors and had to be split for the matching decoder.
 	rawMechs int
+
+	// plan, when non-nil, records how each mechanism's probability was
+	// folded from elementary fault contributions, enabling Patcher.Patch to
+	// derive site-rate variants of this DEM without re-running the fault
+	// enumeration (see patch.go). Recorded only for builds whose model can
+	// serve as a patch base.
+	plan *demPlan
 }
 
 // RawMechanisms returns the number of fault components enumerated before
@@ -111,17 +119,46 @@ type ObsInfo struct {
 	Ancillas []lattice.Coord
 }
 
+// mergedMech accumulates one signature's merged probability during fault
+// enumeration, along with the sorted detector list (kept so emission never
+// re-parses the key) and, for patch-base builds, the ordered elementary
+// contributions whose XOR-composition produced the probability.
+type mergedMech struct {
+	p        float64
+	dets     []int32
+	obs      bool
+	contribs []planContrib
+}
+
 // BuildDEM constructs the detector error model of a memory experiment in
 // the given basis (lattice.ZCheck = memory-Z protecting the logical Z,
 // exercising Z-type detectors against X errors) over the given number of
 // syndrome-extraction rounds.
 func BuildDEM(c *code.Code, model *noise.Model, rounds int, basis lattice.CheckType) (*DEM, error) {
-	return buildDEM(c, func(int) *noise.Model { return model }, rounds, basis)
+	return buildDEM(c, func(int) *noise.Model { return model }, rounds, basis, patchableBase(model))
+}
+
+// patchableBase reports whether a constant-model build from m can serve as
+// a patch base, returning m itself when it can. A base must carry no
+// per-site overrides (so every enumerated contribution evaluates to one of
+// the positive scalar rates, and any site-rate variant can only re-weight —
+// never create or erase — contributions) and strictly positive scalar rates
+// (so the recorded contribution set is exactly the positive-probability
+// set under every such variant).
+func patchableBase(m *noise.Model) *noise.Model {
+	if len(m.SiteRates) == 0 && len(m.Defective) == 0 && m.P1 > 0 && m.P2 > 0 && m.PM > 0 {
+		return m
+	}
+	return nil
 }
 
 // buildDEM is the shared implementation; modelAt selects the noise model of
 // each round (constant for BuildDEM, phase-dependent for BuildPhasedDEM).
-func buildDEM(c *code.Code, modelAt func(int) *noise.Model, rounds int, basis lattice.CheckType) (*DEM, error) {
+// When record is non-nil the build additionally records the per-mechanism
+// contribution plan keyed to that base model (patch.go); phased builds pass
+// nil — their rates are round-dependent and cannot be replayed from a
+// single model.
+func buildDEM(c *code.Code, modelAt func(int) *noise.Model, rounds int, basis lattice.CheckType, record *noise.Model) (*DEM, error) {
 	if rounds < 2 {
 		return nil, fmt.Errorf("sim: need at least 2 rounds, got %d", rounds)
 	}
@@ -283,55 +320,85 @@ func buildDEM(c *code.Code, modelAt func(int) *noise.Model, rounds int, basis la
 		obsRec[rec] = true
 	}
 
-	// Fault enumeration.
-	type sig struct {
-		dets string
-		obs  bool
-	}
-	merged := map[sig]float64{}
-	addMech := func(p float64, dets []int32, obs bool) {
+	// Fault enumeration. Signatures key on the sorted detector list plus the
+	// observable flag, serialized as "<det>,<det>,...,\x00<obs>" — the NUL
+	// separator sorts below every digit, so lexicographic key order
+	// reproduces the (dets string, obs) emission order exactly, which fixes
+	// the Mechs order the samplers' draw streams depend on.
+	merged := map[string]*mergedMech{}
+	var keyBuf []byte
+	addMech := func(p float64, dets []int32, obs bool, contrib planContrib) {
 		if p <= 0 || (len(dets) == 0 && !obs) {
 			return
 		}
 		dem.rawMechs++
-		sort.Slice(dets, func(i, j int) bool { return dets[i] < dets[j] })
-		var sb strings.Builder
+		slices.Sort(dets)
+		keyBuf = keyBuf[:0]
 		for _, d := range dets {
-			fmt.Fprintf(&sb, "%d,", d)
+			keyBuf = strconv.AppendInt(keyBuf, int64(d), 10)
+			keyBuf = append(keyBuf, ',')
 		}
-		k := sig{sb.String(), obs}
-		q := merged[k]
-		merged[k] = q + p - 2*q*p
+		keyBuf = append(keyBuf, 0)
+		if obs {
+			keyBuf = append(keyBuf, 1)
+		} else {
+			keyBuf = append(keyBuf, 0)
+		}
+		m, ok := merged[string(keyBuf)]
+		if !ok {
+			m = &mergedMech{dets: append([]int32(nil), dets...), obs: obs}
+			merged[string(keyBuf)] = m
+		}
+		m.p = m.p + p - 2*m.p*p
+		if record != nil {
+			m.contribs = append(m.contribs, contrib)
+		}
 	}
 
-	// propagate seeds a Pauli frame right after op index i and returns the
-	// flipped detectors and observable flip.
-	frame := map[int32]uint8{} // bit0: X component, bit1: Z component
-	detAcc := map[int32]int{}
-	propagate := func(start int, seeds map[int32]uint8) ([]int32, bool) {
-		for k := range frame {
-			delete(frame, k)
+	// propagate seeds a single-qubit Pauli frame right after op index start
+	// and returns the flipped detectors (sorted) and the observable flip.
+	// Scratch is dense: a per-qubit frame array with a touched list and a
+	// live-frame counter (the enumeration calls this thousands of times per
+	// build, and the former map-based scratch dominated build time).
+	frame := make([]uint8, len(coords))
+	touchedQ := make([]int32, 0, len(coords))
+	live := 0
+	setQ := func(q int32, v uint8) {
+		old := frame[q]
+		if old == v {
+			return
 		}
-		for k := range detAcc {
-			delete(detAcc, k)
+		if old == 0 {
+			live++
+			touchedQ = append(touchedQ, q)
+		} else if v == 0 {
+			live--
 		}
-		for q, f := range seeds {
-			if f != 0 {
-				frame[q] = f
-			}
+		frame[q] = v
+	}
+	detCnt := make([]int32, dem.NumDets)
+	touchedD := make([]int32, 0, 64)
+	propagate := func(start int, seedQ int32, seedV uint8) ([]int32, bool) {
+		for _, q := range touchedQ {
+			frame[q] = 0
 		}
-		obs := false
-		for i := start; i < len(ops) && len(frame) > 0; i++ {
+		touchedQ = touchedQ[:0]
+		live = 0
+		if seedV != 0 {
+			setQ(seedQ, seedV)
+		}
+		obsFlip := false
+		for i := start; i < len(ops) && live > 0; i++ {
 			op := ops[i]
 			switch op.kind {
 			case opReset:
-				delete(frame, op.a)
+				setQ(op.a, 0)
 			case opCX:
 				fa, fb := frame[op.a], frame[op.b]
 				nb := fb ^ (fa & 1) // X propagates control -> target
 				na := fa ^ (fb & 2) // Z propagates target -> control
-				setFrame(frame, op.a, na)
-				setFrame(frame, op.b, nb)
+				setQ(op.a, na)
+				setQ(op.b, nb)
 			case opMeas:
 				f := frame[op.a]
 				flip := false
@@ -342,21 +409,27 @@ func buildDEM(c *code.Code, modelAt func(int) *noise.Model, rounds int, basis la
 				}
 				if flip {
 					for _, d := range recDets[op.rec] {
-						detAcc[d]++
+						if detCnt[d] == 0 {
+							touchedD = append(touchedD, d)
+						}
+						detCnt[d]++
 					}
 					if obsRec[op.rec] {
-						obs = !obs
+						obsFlip = !obsFlip
 					}
 				}
 			}
 		}
 		var dets []int32
-		for d, n := range detAcc {
-			if n%2 == 1 {
+		for _, d := range touchedD {
+			if detCnt[d]%2 == 1 {
 				dets = append(dets, d)
 			}
+			detCnt[d] = 0
 		}
-		return dets, obs
+		touchedD = touchedD[:0]
+		slices.Sort(dets)
+		return dets, obsFlip
 	}
 
 	flipRecord := func(rec int32) ([]int32, bool) {
@@ -365,20 +438,25 @@ func buildDEM(c *code.Code, modelAt func(int) *noise.Model, rounds int, basis la
 		return dets, obsRec[rec]
 	}
 
+	// xorSig is the symmetric difference of two sorted detector lists.
 	xorSig := func(a, b []int32, oa, ob bool) ([]int32, bool) {
-		seen := map[int32]int{}
-		for _, d := range a {
-			seen[d]++
-		}
-		for _, d := range b {
-			seen[d]++
-		}
 		var out []int32
-		for d, n := range seen {
-			if n%2 == 1 {
-				out = append(out, d)
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				out = append(out, a[i])
+				i++
+			case b[j] < a[i]:
+				out = append(out, b[j])
+				j++
+			default:
+				i++
+				j++
 			}
 		}
+		out = append(out, a[i:]...)
+		out = append(out, b[j:]...)
 		return out, oa != ob
 	}
 
@@ -392,13 +470,13 @@ func buildDEM(c *code.Code, modelAt func(int) *noise.Model, rounds int, basis la
 			if op.basis == lattice.XCheck {
 				seed = 2
 			}
-			dets, obs := propagate(i+1, map[int32]uint8{op.a: seed})
-			addMech(p, dets, obs)
+			dets, obs := propagate(i+1, op.a, seed)
+			addMech(p, dets, obs, planContrib{kind: contribMeasReset, a: op.a})
 		case opMeas:
 			// Classical measurement flip.
 			p := modelAt(int(op.round)).RateM(coords[op.a])
 			dets, obs := flipRecord(op.rec)
-			addMech(p, dets, obs)
+			addMech(p, dets, obs, planContrib{kind: contribMeasReset, a: op.a})
 		case opCX:
 			model := modelAt(int(op.round))
 			p2 := model.Rate2(coords[op.a], coords[op.b])
@@ -408,11 +486,14 @@ func buildDEM(c *code.Code, modelAt func(int) *noise.Model, rounds int, basis la
 				obs  bool
 			}
 			gen := [4]comp{}
-			seeds := [4]map[int32]uint8{
-				{op.a: 1}, {op.b: 1}, {op.a: 2}, {op.b: 2},
+			seeds := [4]struct {
+				q int32
+				v uint8
+			}{
+				{op.a, 1}, {op.b, 1}, {op.a, 2}, {op.b, 2},
 			}
 			for gi, sd := range seeds {
-				d, o := propagate(i+1, sd)
+				d, o := propagate(i+1, sd.q, sd.v)
 				gen[gi] = comp{d, o}
 			}
 			for mask := 1; mask < 16; mask++ {
@@ -423,14 +504,14 @@ func buildDEM(c *code.Code, modelAt func(int) *noise.Model, rounds int, basis la
 						dets, obs = xorSig(dets, gen[gi].dets, obs, gen[gi].obs)
 					}
 				}
-				addMech(p2/15, dets, obs)
+				addMech(p2/15, dets, obs, planContrib{kind: contribCX, a: op.a, b: op.b})
 			}
 			if model.PCorrelated > 0 {
 				// Correlated X⊗X and Z⊗Z with equal shares.
 				dxx, oxx := xorSig(gen[0].dets, gen[1].dets, gen[0].obs, gen[1].obs)
-				addMech(model.PCorrelated/2, dxx, oxx)
+				addMech(model.PCorrelated/2, dxx, oxx, planContrib{kind: contribCorr})
 				dzz, ozz := xorSig(gen[2].dets, gen[3].dets, gen[2].obs, gen[3].obs)
-				addMech(model.PCorrelated/2, dzz, ozz)
+				addMech(model.PCorrelated/2, dzz, ozz, planContrib{kind: contribCorr})
 			}
 		}
 	}
@@ -446,45 +527,42 @@ func buildDEM(c *code.Code, modelAt func(int) *noise.Model, rounds int, basis la
 				continue
 			}
 			qi := qIdx[q]
-			dx, ox := propagate(start, map[int32]uint8{qi: 1})
-			dz, oz := propagate(start, map[int32]uint8{qi: 2})
+			dx, ox := propagate(start, qi, 1)
+			dz, oz := propagate(start, qi, 2)
 			dy, oy := xorSig(dx, dz, ox, oz)
-			addMech(p1/3, dx, ox)
-			addMech(p1/3, dz, oz)
-			addMech(p1/3, dy, oy)
+			addMech(p1/3, dx, ox, planContrib{kind: contribIdle, a: qi})
+			addMech(p1/3, dz, oz, planContrib{kind: contribIdle, a: qi})
+			addMech(p1/3, dy, oy, planContrib{kind: contribIdle, a: qi})
 		}
 	}
 
-	// Emit merged mechanisms deterministically.
-	keys := make([]sig, 0, len(merged))
+	// Emit merged mechanisms deterministically (lexicographic key order —
+	// see the key-format comment above).
+	keys := make([]string, 0, len(merged))
 	for k := range merged {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].dets != keys[j].dets {
-			return keys[i].dets < keys[j].dets
-		}
-		return !keys[i].obs && keys[j].obs
-	})
+	sort.Strings(keys)
+	dem.Mechs = make([]Mechanism, 0, len(keys))
 	for _, k := range keys {
-		var dets []int32
-		for _, part := range strings.Split(k.dets, ",") {
-			if part == "" {
-				continue
-			}
-			var v int32
-			fmt.Sscanf(part, "%d", &v)
-			dets = append(dets, v)
+		m := merged[k]
+		dem.Mechs = append(dem.Mechs, Mechanism{P: m.p, Dets: m.dets, Obs: m.obs})
+	}
+
+	if record != nil {
+		core := &planCore{coords: coords, qIdx: qIdx}
+		core.mechOff = make([]int32, len(keys)+1)
+		total := 0
+		for _, k := range keys {
+			total += len(merged[k].contribs)
 		}
-		dem.Mechs = append(dem.Mechs, Mechanism{P: merged[k], Dets: dets, Obs: k.obs})
+		core.contribs = make([]planContrib, 0, total)
+		for mi, k := range keys {
+			core.contribs = append(core.contribs, merged[k].contribs...)
+			core.mechOff[mi+1] = int32(len(core.contribs))
+		}
+		core.buildSiteIndex()
+		dem.plan = &demPlan{core: core, base: record}
 	}
 	return dem, nil
-}
-
-func setFrame(frame map[int32]uint8, q int32, v uint8) {
-	if v == 0 {
-		delete(frame, q)
-	} else {
-		frame[q] = v
-	}
 }

@@ -49,5 +49,7 @@ func BuildPhasedDEM(c *code.Code, phases []Phase, basis lattice.CheckType) (*DEM
 		}
 		return phases[len(phases)-1].Model
 	}
-	return buildDEM(c, modelAt, total, basis)
+	// Phased rates are round-dependent, so no single model can serve as a
+	// patch base: build without a contribution plan.
+	return buildDEM(c, modelAt, total, basis, nil)
 }

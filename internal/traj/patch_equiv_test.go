@@ -1,0 +1,77 @@
+package traj
+
+import (
+	"reflect"
+	"testing"
+
+	"surfdeformer/internal/obs"
+	"surfdeformer/internal/sim"
+)
+
+// TestTrajectoryIncrementalMatchesFull pins whole-trajectory Result
+// equality between the incremental path (site-rate DEMs patched from the
+// chunk's nominal DEM, decode graphs re-derived from the nominal merge
+// skeleton) and the full-rebuild reference (every DEM through buildDEM,
+// every graph through NewGraph), across all four arms and several seeds.
+// The patch path must be invisible: not one field of one Result may move.
+func TestTrajectoryIncrementalMatchesFull(t *testing.T) {
+	modes := []Mode{ModeSurfDeformer, ModeASC, ModeReweightOnly, ModeUntreated}
+	run := func(patched bool) map[string][]*Result {
+		t.Helper()
+		old := patchDEMs
+		patchDEMs = patched
+		defer func() { patchDEMs = old }()
+		out := map[string][]*Result{}
+		for _, mode := range modes {
+			cfg := QuickConfig()
+			cfg.Cache = sim.NewDEMCache(0)
+			for seed := int64(1); seed <= 3; seed++ {
+				res, err := Run(cfg, mode, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out[mode.String()] = append(out[mode.String()], res)
+			}
+		}
+		return out
+	}
+	patches := obs.Default().Counter("sim.dem.patches")
+	full := run(false)
+	p0 := patches.Value()
+	fast := run(true)
+	if patches.Value() == p0 {
+		t.Fatal("incremental leg never patched a DEM; the fast path is unexercised")
+	}
+	for mode, want := range full {
+		got := fast[mode]
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("%s seed %d: incremental trajectory diverged from full rebuild:\nfull %+v\nfast %+v",
+					mode, i+1, want[i], got[i])
+			}
+		}
+	}
+
+	// Drift-heavy timelines exercise the reweight overlays hardest; pin
+	// that arm too.
+	driftRun := func(patched bool) []*Result {
+		t.Helper()
+		old := patchDEMs
+		patchDEMs = patched
+		defer func() { patchDEMs = old }()
+		var out []*Result
+		cfg := DriftOnlyConfig()
+		cfg.Cache = sim.NewDEMCache(0)
+		for seed := int64(1); seed <= 2; seed++ {
+			res, err := Run(cfg, ModeReweightOnly, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+	if want, got := driftRun(false), driftRun(true); !reflect.DeepEqual(got, want) {
+		t.Errorf("drift-only reweight arm diverged between incremental and full rebuild:\nfull %+v\nfast %+v", want, got)
+	}
+}

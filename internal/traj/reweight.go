@@ -271,83 +271,83 @@ func siteSet(c *code.Code) map[lattice.Coord]bool {
 	return set
 }
 
-// demMemo memoizes the per-DEM runtime objects of one trajectory —
-// decoders, samplers, and observable stats — keyed on *sim.DEM pointers
-// handed out by the DEM caches. The caches evict wholesale past their
-// entry limit and then mint fresh pointers for rebuilt configurations, so
-// an unpruned memo would grow without bound over a long horizon (one dead
-// entry per evicted DEM, forever). prune watches the caches' clear
-// counters and drops every entry no longer backed by either cache; the
-// current chunk's objects are re-memoized right after, so pruning never
-// changes results — decoders and samplers are pure functions of their DEM.
+// demMemoLimit bounds the per-trajectory memo's entry count; past it the
+// memo resets wholesale, mirroring the DEM caches' eviction policy.
+// Variable so tests can squeeze it.
+var demMemoLimit = 256
+
+// memoEntry holds the runtime objects derived from one DEM configuration:
+// the decoder, the sampler, and the observable stats — all pure functions
+// of the DEM's values.
+type memoEntry struct {
+	dem     *sim.DEM
+	dec     *decoder.UnionFind
+	sampler *sim.Sampler
+	stats   *obsStats
+}
+
+// demMemo memoizes the per-DEM runtime objects of one trajectory, keyed on
+// the canonical DEM cache key (the full configuration serialization the
+// caches key on). Content keying is what makes the memo survive cache
+// churn: the reweight tier's quantized power-of-two multiplier overlays
+// revisit a small set of configurations, and when a cache clear (or the
+// patch fast path) mints a fresh *DEM pointer for a configuration already
+// memoized, the entry adopts the new pointer and keeps its objects —
+// decoders, samplers and stats depend only on DEM values, which the
+// canonical key fixes. A pointer-keyed memo would rebuild the decoder
+// graph on every such identity change. The memo bounds itself at
+// demMemoLimit with a wholesale reset; resets never change results, only
+// re-derive objects on next use.
 type demMemo struct {
-	shared, hot *sim.DEMCache
-	decoders    map[*sim.DEM]*decoder.UnionFind
-	samplers    map[*sim.DEM]*sim.Sampler
-	stats       map[*sim.DEM]*obsStats
-	clears      int
+	entries map[string]*memoEntry
 }
 
-func newDEMMemo(shared, hot *sim.DEMCache) *demMemo {
-	return &demMemo{
-		shared:   shared,
-		hot:      hot,
-		decoders: map[*sim.DEM]*decoder.UnionFind{},
-		samplers: map[*sim.DEM]*sim.Sampler{},
-		stats:    map[*sim.DEM]*obsStats{},
-		clears:   shared.Clears() + hot.Clears(),
-	}
+func newDEMMemo() *demMemo {
+	return &demMemo{entries: map[string]*memoEntry{}}
 }
 
-// prune drops memo entries whose DEM is no longer cached. It is a no-op
-// until a cache actually cleared, so the steady state pays two counter
-// loads per chunk and nothing else.
-func (m *demMemo) prune() {
-	c := m.shared.Clears() + m.hot.Clears()
-	if c == m.clears {
-		return
-	}
-	m.clears = c
-	for dem := range m.decoders {
-		if !m.shared.Has(dem) && !m.hot.Has(dem) {
-			delete(m.decoders, dem)
+// entry returns the memo entry for the configuration key, minting (and, at
+// the bound, wholesale-resetting) as needed. When the configuration comes
+// back under a fresh pointer the entry adopts it: the canonical key
+// guarantees identical DEM values, so the derived objects stay valid.
+func (m *demMemo) entry(key string, dem *sim.DEM) *memoEntry {
+	e := m.entries[key]
+	if e == nil {
+		if len(m.entries) >= demMemoLimit {
+			m.entries = make(map[string]*memoEntry)
 		}
+		e = &memoEntry{dem: dem}
+		m.entries[key] = e
+	} else if e.dem != dem {
+		e.dem = dem
 	}
-	for dem := range m.samplers {
-		if !m.shared.Has(dem) && !m.hot.Has(dem) {
-			delete(m.samplers, dem)
-		}
-	}
-	for dem := range m.stats {
-		if !m.shared.Has(dem) && !m.hot.Has(dem) {
-			delete(m.stats, dem)
-		}
-	}
+	return e
 }
 
-func (m *demMemo) decoder(dem *sim.DEM) *decoder.UnionFind {
-	dec := m.decoders[dem]
-	if dec == nil {
-		dec = decoder.NewUnionFind(decoder.SharedGraph(dem))
-		m.decoders[dem] = dec
+// decoder returns the memoized union-find decoder for the configuration;
+// base (the chunk's nominal DEM, may be nil) lets a first build re-derive
+// the decoding graph from the nominal template's merge skeleton when the
+// DEM was patched from it.
+func (m *demMemo) decoder(key string, dem, base *sim.DEM) *decoder.UnionFind {
+	e := m.entry(key, dem)
+	if e.dec == nil {
+		e.dec = decoder.NewUnionFind(decoder.SharedGraphFrom(dem, base))
 	}
-	return dec
+	return e.dec
 }
 
-func (m *demMemo) sampler(dem *sim.DEM) *sim.Sampler {
-	s := m.samplers[dem]
-	if s == nil {
-		s = sim.NewSampler(dem)
-		m.samplers[dem] = s
+func (m *demMemo) sampler(key string, dem *sim.DEM) *sim.Sampler {
+	e := m.entry(key, dem)
+	if e.sampler == nil {
+		e.sampler = sim.NewSampler(dem)
 	}
-	return s
+	return e.sampler
 }
 
-func (m *demMemo) obsStats(dem *sim.DEM) *obsStats {
-	st := m.stats[dem]
-	if st == nil {
-		st = newObsStats(dem)
-		m.stats[dem] = st
+func (m *demMemo) obsStats(key string, dem *sim.DEM) *obsStats {
+	e := m.entry(key, dem)
+	if e.stats == nil {
+		e.stats = newObsStats(dem)
 	}
-	return st
+	return e.stats
 }

@@ -285,6 +285,16 @@ const (
 // never changes results.
 var hotCacheLimit = 0
 
+// patchDEMs selects the incremental DEM path: site-rate variants (true
+// defect rates on the sample side, estimated-prior overlays on the decode
+// side) are derived by patching the chunk's nominal DEM — clone-on-write of
+// the probability vector, shared mechanism/detector structure — instead of
+// re-running the full fault enumeration, and decoding graphs are re-derived
+// from the nominal graph's merge skeleton. Value-identical by construction;
+// a variable only so the equivalence suite can pin the patch path against
+// the full-rebuild reference.
+var patchDEMs = true
+
 // event is one defect occurrence normalized across species.
 type event struct {
 	start, end int64
@@ -413,10 +423,13 @@ func run(cfg Config, mode Mode, seed int64) (*Result, error) {
 	// private cache keeps them from churning the shared cache's nominal
 	// entries (which every trajectory of the fan-out reuses) through its
 	// wholesale-clear eviction. The memo layers the per-DEM decoders,
-	// samplers and observable stats on both caches and prunes itself after
-	// cache clears, so long horizons cannot leak dead *DEM entries.
+	// samplers and observable stats over both caches, keyed on canonical
+	// configuration keys, and bounds itself — cache clears cannot leak dead
+	// entries or cost the memo its working set.
 	hotCache := sim.NewDEMCache(hotCacheLimit)
-	memo := newDEMMemo(cache, hotCache)
+	memo := newDEMMemo()
+	patcher := &sim.Patcher{}
+	var roundScratch [][]int32
 	// The pristine (undeformed) patch is the one code whose DEMs recur
 	// across every trajectory of a fan-out; DEMs of deformed codes encode
 	// this trajectory's seed-specific defect regions and would only churn
@@ -503,38 +516,44 @@ func run(cfg Config, mode Mode, seed int64) (*Result, error) {
 		if curCode != pristine {
 			codeCache = hotCache // deformed code: seed-specific, build privately
 		}
-		sampleModel := nominal
-		sampleCache := codeCache
-		if len(rates) > 0 {
-			sampleModel = nominal.WithSiteRates(rates)
-			sampleCache = hotCache
-		}
-		sampleDEM, err := sampleCache.BuildDEM(curCode, sampleModel, int(chunk), cfg.Basis)
+		// Nominal DEM first: it is both the decode-side baseline and the
+		// patch base for this chunk's site-rate variants (true defect rates
+		// on the sample side, estimated-prior overlays on the decode side) —
+		// variants clone the probability vector and refold only the
+		// mechanisms the changed sites touch instead of re-running the full
+		// fault enumeration.
+		nominalDEM, nomKey, err := codeCache.BuildDEMKeyed(curCode, nominal, int(chunk), cfg.Basis)
 		if err != nil {
 			return nil, err
+		}
+		patchBase := nominalDEM
+		if !patchDEMs {
+			patchBase = nil // full-rebuild reference leg (equivalence suite)
+		}
+		sampleDEM, sampleKey := nominalDEM, nomKey
+		if len(rates) > 0 {
+			sampleDEM, sampleKey, err = hotCache.BuildDEMPatched(patcher, patchBase,
+				curCode, nominal.WithSiteRates(rates), int(chunk), cfg.Basis)
+			if err != nil {
+				return nil, err
+			}
 		}
 		// Decode model: nominal priors, plus — when the arm's ladder enables
 		// the reweight tier — the detector's estimated site-rate overlay.
 		// The overlay derives from window state accumulated by *previous*
 		// chunks: the detector, not the event list, drives the decode model,
 		// so it is nominal until detection and keeps sampling on true rates.
-		nominalDEM := sampleDEM
-		if sampleModel != nominal {
-			nominalDEM, err = codeCache.BuildDEM(curCode, nominal, int(chunk), cfg.Basis)
-			if err != nil {
-				return nil, err
-			}
-		}
 		var overlay map[lattice.Coord]float64
 		if mit.ReweightTier && cycle >= int64(cfg.Window) {
-			overlay = reweightOverlay(window, memo.obsStats(nominalDEM), mit,
+			overlay = reweightOverlay(window, memo.obsStats(nomKey, nominalDEM), mit,
 				cfg.PhysicalRate, reweightFactor, cfg.Threshold, cycle >= quietUntil)
 		}
-		decodeDEM := nominalDEM
+		decodeDEM, decodeKey := nominalDEM, nomKey
 		overlayBuilt := false
 		if len(overlay) > 0 {
 			preMiss := hotCache.Stats().Misses
-			decodeDEM, err = hotCache.BuildDEM(curCode, nominal.OverlaySiteRates(overlay), int(chunk), cfg.Basis)
+			decodeDEM, decodeKey, err = hotCache.BuildDEMPatched(patcher, patchBase,
+				curCode, nominal.OverlaySiteRates(overlay), int(chunk), cfg.Basis)
 			if err != nil {
 				return nil, err
 			}
@@ -557,9 +576,8 @@ func run(cfg Config, mode Mode, seed int64) (*Result, error) {
 					Overlay: len(overlay), MaxMult: maxMult, DEMBuild: overlayBuilt})
 			}
 		}
-		memo.prune()
-		dec := memo.decoder(decodeDEM)
-		sampler := memo.sampler(sampleDEM)
+		dec := memo.decoder(decodeKey, decodeDEM, nominalDEM)
+		sampler := memo.sampler(sampleKey, sampleDEM)
 		// Shot timings are measured only under tracing (two clock reads per
 		// chunk otherwise saved) and flow only into trace events, never into
 		// the Result — wall-clock is not deterministic.
@@ -589,7 +607,7 @@ func run(cfg Config, mode Mode, seed int64) (*Result, error) {
 		// absolute cycle, so no cycle is ever fed from two shots.
 		cut := int64(-1)
 		var fresh []int32
-		byRound := roundStream(sampleDEM, flagged, chunk)
+		byRound := roundStream(sampleDEM, flagged, chunk, &roundScratch)
 		for r := int64(0); r < chunk; r++ {
 			window.Feed(int(cycle+r), byRound[r])
 			// The engine acts only once a full window of history exists:
@@ -845,9 +863,22 @@ func stableID(info sim.ObsInfo) int32 {
 }
 
 // roundStream buckets a shot's flagged detectors into per-round stable-id
-// lists (index r holds the ids firing in round r of the chunk).
-func roundStream(dem *sim.DEM, flagged []int32, chunk int64) [][]int32 {
-	byRound := make([][]int32, chunk+1)
+// lists (index r holds the ids firing in round r of the chunk). Rows live
+// in the caller-owned scratch and are valid only until the next call —
+// safe because detect.Window.Feed copies the ids it retains — keeping the
+// per-chunk streaming allocation-free at steady state.
+func roundStream(dem *sim.DEM, flagged []int32, chunk int64, scratch *[][]int32) [][]int32 {
+	byRound := *scratch
+	if int64(cap(byRound)) < chunk+1 {
+		grown := make([][]int32, chunk+1)
+		copy(grown, byRound)
+		byRound = grown
+		*scratch = grown
+	}
+	byRound = byRound[:chunk+1]
+	for i := range byRound {
+		byRound[i] = byRound[i][:0]
+	}
 	for _, det := range flagged {
 		r := int64(dem.DetRound[det])
 		if r < 0 || r > chunk {
