@@ -65,7 +65,10 @@ type EnginePoint struct {
 // incremental re-rates that replaced them on the hot path, so the ratio is
 // the tracked evidence the patch fast path is actually engaged.
 type TrajPoint struct {
-	D            int     `json:"d"`
+	D int `json:"d"`
+	// Patches is the layout size of the layout-traj slot (omitted on the
+	// single-patch trajectory and reweight slots).
+	Patches      int     `json:"patches,omitempty"`
 	Horizon      int64   `json:"horizon"`
 	Trajectories int     `json:"trajectories"`
 	CyclesSec    float64 `json:"cycles_per_sec"`
@@ -86,6 +89,11 @@ type Run struct {
 	// trajectories on a sustained drift-only timeline (rate estimation,
 	// overlay construction, and reweighted decode-DEM builds included).
 	Reweight []TrajPoint `json:"reweight,omitempty"`
+	// LayoutTraj times the layout-level engine: an N-patch floorplan with
+	// routing channels and a lattice-surgery schedule, so the number
+	// includes per-patch sampling/decoding, channel bookkeeping, and the
+	// router's replanning on top of the single-patch loop.
+	LayoutTraj []TrajPoint `json:"layout_traj,omitempty"`
 }
 
 // File is the on-disk schema of BENCH_hotpath.json.
@@ -119,6 +127,7 @@ func realMain() (err error) {
 	engine := flag.Bool("engine", true, "also measure the mc engine batch path")
 	trajN := flag.Int("traj", 8, "closed-loop trajectories to time (0 disables)")
 	reweightN := flag.Int("reweight", 8, "reweight-only drift trajectories to time (0 disables)")
+	layoutTrajN := flag.Int("layout-traj", 4, "2-patch layout trajectories to time (0 disables)")
 	gate := flag.Float64("gate", 0, "compare-only regression gate: fail if measured trajectory cycles/sec falls below this fraction of the committed -out file's current slot (no file write)")
 	prof := cliutil.AddProfileFlags()
 	flag.Parse()
@@ -190,6 +199,15 @@ func realMain() (err error) {
 		run.Reweight = append(run.Reweight, rp)
 		fmt.Printf("rewt d=%-3d horizon=%-5d      %12.0f cycles/sec %9.0f ns/cycle  %d dem builds, %d patches\n",
 			rp.D, rp.Horizon, rp.CyclesSec, rp.NsCycle, rp.DEMBuilds, rp.DEMPatches)
+	}
+	if *layoutTrajN > 0 {
+		lp, err := measureLayoutTraj(*layoutTrajN)
+		if err != nil {
+			return err
+		}
+		run.LayoutTraj = append(run.LayoutTraj, lp)
+		fmt.Printf("lay  d=%-3d horizon=%-5d n=%d  %12.0f cycles/sec %9.0f ns/cycle  %d dem builds, %d patches\n",
+			lp.D, lp.Horizon, lp.Patches, lp.CyclesSec, lp.NsCycle, lp.DEMBuilds, lp.DEMPatches)
 	}
 	if *out == "" {
 		return nil
@@ -350,6 +368,18 @@ func measureReweight(n int) (TrajPoint, error) {
 	cfg := traj.DriftOnlyConfig()
 	cfg.Horizon = 400 // quick-scale trajectories, like measureTraj
 	return measureTrajLoop(cfg, traj.ModeReweightOnly, n)
+}
+
+// measureLayoutTraj times the layout-level engine: n quick-scale 2-patch
+// Surf-Deformer trajectories with a lattice-surgery schedule, reported in
+// patch-weighted simulated cycles so the slot is comparable to the
+// single-patch trajectory number.
+func measureLayoutTraj(n int) (TrajPoint, error) {
+	cfg := traj.QuickConfig()
+	cfg.Layout = &traj.LayoutConfig{Patches: 2, Program: "simon", Ops: 8}
+	tp, err := measureTrajLoop(cfg, traj.ModeSurfDeformer, n)
+	tp.Patches = cfg.Layout.Patches
+	return tp, err
 }
 
 // measureTrajLoop runs n trajectories of one arm on a private DEM cache and

@@ -54,6 +54,17 @@ func TestBenchFileSchema(t *testing.T) {
 			t.Errorf("reweight point has non-positive throughput: %+v", p)
 		}
 	}
+	if len(cur.LayoutTraj) == 0 {
+		t.Error("current run carries no layout-traj section (the layout engine is untracked)")
+	}
+	for _, p := range cur.LayoutTraj {
+		if p.CyclesSec <= 0 || p.Trajectories <= 0 {
+			t.Errorf("layout-traj point has non-positive throughput: %+v", p)
+		}
+		if p.Patches < 2 {
+			t.Errorf("layout-traj point measures %d patches; the slot exists to time a multi-patch floorplan", p.Patches)
+		}
+	}
 	// The incremental-DEM counters must be populated on both trajectory
 	// sections: builds > 0 (a cold scan always constructs the nominal DEMs)
 	// and patches > 0 (the overlay fast path is engaged — a refresh where

@@ -36,6 +36,7 @@ import (
 	"surfdeformer/internal/obs"
 	"surfdeformer/internal/report"
 	"surfdeformer/internal/sim"
+	"surfdeformer/internal/traj"
 )
 
 // main is a thin exit-code shim: all work happens in realMain so that its
@@ -50,6 +51,7 @@ func main() {
 
 func realMain() (err error) {
 	opt := experiments.Defaults()
+	var lay trajLayoutFlags
 	flag.IntVar(&opt.Shots, "shots", opt.Shots, "Monte-Carlo shots per memory experiment")
 	flag.IntVar(&opt.Trials, "trials", opt.Trials, "defect-timeline trials")
 	flag.IntVar(&opt.Rounds, "rounds", opt.Rounds, "QEC rounds per memory experiment")
@@ -65,6 +67,9 @@ func realMain() (err error) {
 	storeGC := flag.Bool("store-gc", false, "compact -store (merge segments, drop corrupt lines) and exit")
 	targetRSE := flag.Float64("target-rse", 0, "adaptive early stopping for sweep/calibrate points (0 = fixed budget)")
 	reweightFactor := flag.Float64("reweight-factor", 0, "traj: rate-multiplier gate of the decoder-prior reweight tier (0 = default)")
+	flag.IntVar(&lay.patches, "patches", 1, "traj: logical patches in the layout (1 = single-patch closed loop; >1 adds routing channels and a lattice-surgery schedule)")
+	flag.StringVar(&lay.program, "program", "", "traj: benchmark whose CNOTs the layout schedules as lattice surgery (simon, rca, qft, grover; needs -patches >= 2)")
+	flag.IntVar(&lay.ops, "ops", 0, "traj: explicit surgery-schedule length (0 = a layout-sized excerpt of -program)")
 	flag.BoolVar(&opt.AdaptiveStop, "adaptive-stop", false, "traj: retire an arm once its failure CI separates from every other arm's (deterministic; store-compatible with fixed runs)")
 	flag.IntVar(&opt.MinTrials, "min-trials", 0, "traj: per-arm trajectory floor before -adaptive-stop may retire an arm (0 = default)")
 	cacheStats := flag.Bool("stats", false, "report the full obs metrics snapshot (DEM cache, decoder, store, traj counters) on stderr after the run")
@@ -174,7 +179,7 @@ func realMain() (err error) {
 
 	opt.Stats = &experiments.RunStats{}
 	start := time.Now()
-	runErr := run(name, opt, format, *targetRSE, *reweightFactor, tracer)
+	runErr := run(name, opt, format, *targetRSE, *reweightFactor, lay, tracer)
 	if runErr != nil && cliutil.ExitCode(runErr) != cliutil.ExitPartial {
 		return runErr
 	}
@@ -204,7 +209,17 @@ func realMain() (err error) {
 	return nil
 }
 
-func run(name string, opt experiments.Options, format report.Format, targetRSE, reweightFactor float64, tracer *obs.Tracer) error {
+// trajLayoutFlags carries the layout axis of the traj experiment from the
+// flag set into run: with -patches >= 2 the trajectory simulates the whole
+// floorplan — N patches, the routing channels between them, and a
+// lattice-surgery schedule replanned around defects.
+type trajLayoutFlags struct {
+	patches int
+	program string
+	ops     int
+}
+
+func run(name string, opt experiments.Options, format report.Format, targetRSE, reweightFactor float64, lay trajLayoutFlags, tracer *obs.Tracer) error {
 	w := os.Stdout
 	structured := func(t *report.Table) error { return t.Write(w, format) }
 	textOnly := format == report.Text
@@ -330,6 +345,9 @@ func run(name string, opt experiments.Options, format report.Format, targetRSE, 
 		cfg := experiments.DefaultTrajConfig(opt)
 		cfg.ReweightFactor = reweightFactor
 		cfg.Trace = tracer
+		if lay.patches > 1 || lay.program != "" || lay.ops > 0 {
+			cfg.Layout = &traj.LayoutConfig{Patches: lay.patches, Program: lay.program, Ops: lay.ops}
+		}
 		rows, err := experiments.TrajectoryScan(opt, cfg, experiments.DefaultTrajModes())
 		if err != nil {
 			return err
@@ -379,7 +397,7 @@ func run(name string, opt experiments.Options, format report.Format, targetRSE, 
 		for _, n := range []string{"table1", "table2", "fig11a", "fig11b", "fig11c",
 			"fig12", "fig13a", "fig13b", "fig14a", "fig14b"} {
 			fmt.Fprintf(w, "\n=== %s ===\n", n)
-			if err := run(n, opt, format, targetRSE, reweightFactor, tracer); err != nil {
+			if err := run(n, opt, format, targetRSE, reweightFactor, lay, tracer); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
 		}
@@ -409,7 +427,10 @@ experiments:
             over thousands of cycles with stochastic defect arrivals; four
             arms (surf-deformer, asc-s, reweight-only, untreated) face
             identical timelines (-trials per arm; -reweight-factor tunes
-            the decoder-prior tier; supports -store/-resume/-stats)
+            the decoder-prior tier; supports -store/-resume/-stats).
+            -patches N lifts the loop to an N-patch layout with routing
+            channels and a lattice-surgery schedule (-program, -ops) that
+            replans or stalls around channel-blocking defects
   pipeline  integrated detection→deformation loop (extension study)
   calibrate refit the Λ extrapolation model from simulations
   all       everything above`)

@@ -79,7 +79,7 @@ func main() {
 					}
 				}
 			}
-			res := grid.RunTasks(ops, 600, rand.New(rand.NewSource(3)))
+			res := grid.RunTasks(ops, 600)
 			fmt.Printf("%-14.1e %-22s %-12.3f %-10v\n", rate, scheme, res.Throughput, res.Stalled)
 		}
 	}

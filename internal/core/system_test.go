@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 
 	"surfdeformer/internal/defect"
@@ -65,12 +64,11 @@ func TestSystemGridReflectsBlockage(t *testing.T) {
 		t.Error("grid must mirror blocked patches")
 	}
 	// Routing through the grid avoids the blocked patch.
-	rng := rand.New(rand.NewSource(1))
 	var pending []route.CNOT
 	if plan.Layout.N >= 4 {
 		pending = append(pending, route.CNOT{Control: 0, Target: plan.Layout.N - 1})
 	}
-	routed := g.RoutePaths(pending, rng)
+	routed := g.RoutePaths(pending, 0, nil)
 	if len(pending) > 0 && len(routed) == 0 {
 		t.Error("unblocked endpoints should remain routable")
 	}

@@ -22,12 +22,16 @@ type Fig11cRow struct {
 }
 
 // fig11cConfig is the store identity of one (task set, rate, scheme) point.
+// Rev tracks semantic changes to the point computation: rev 1 made the
+// router deterministic (RNG-free tie-breaks), shifting which contended
+// operations route first, so rev-0 rows must not be served.
 type fig11cConfig struct {
 	TaskSet int     `json:"task_set"`
 	Rate    float64 `json:"rate"`
 	Scheme  string  `json:"scheme"`
 	Samples int     `json:"samples"`
 	Seed    int64   `json:"seed"`
+	Rev     int     `json:"rev,omitempty"`
 }
 
 // Fig11c measures communication throughput on the Surf-Deformer layout
@@ -81,7 +85,7 @@ func Fig11c(opt Options) ([]Fig11cRow, error) {
 	err := opt.forEachPoint(len(grid), func(i int) error {
 		pt := grid[i]
 		cfg := fig11cConfig{TaskSet: pt.set + 1, Rate: pt.rate, Scheme: pt.scheme.String(),
-			Samples: samples, Seed: opt.Seed}
+			Samples: samples, Seed: opt.Seed, Rev: 1}
 		row, err := cachedRow(opt, "fig11c", cfg, func() (Fig11cRow, error) {
 			ops := taskSet(pt.set, gridSide, opt.pointRNG(kindFig11c, int64(pt.set)))
 			// The stream derives from the rate VALUE so a point's result
@@ -107,7 +111,7 @@ func Fig11c(opt Options) ([]Fig11cRow, error) {
 						}
 					}
 				}
-				res := grid.RunTasks(ops, 600, rng)
+				res := grid.RunTasks(ops, 600)
 				thSum += res.Throughput
 				if res.Stalled {
 					stalls++

@@ -27,8 +27,10 @@ import (
 // trajectory's store identity (rev 1: the decoder-prior reweight tier —
 // surf-deformer results changed for unchanged configs; rev 2: Result
 // gained OverlayDEMBuilds, so replayed payload bytes from older stores
-// would not match recomputed ones).
-const trajEngineRev = 2
+// would not match recomputed ones; rev 3: the layout axis — Result gained
+// the per-patch and router fields, so rev-2 payload bytes would not match
+// recomputed ones even for single-patch configs).
+const trajEngineRev = 3
 
 // DefaultTrajModes lists the arms every scan compares, in mitigation-ladder
 // order: the full ladder, removal only, reweighting only, nothing.
@@ -76,6 +78,14 @@ type trajTaskConfig struct {
 
 	ReweightFactor float64 `json:"reweight_factor,omitempty"`
 
+	// Layout axis (rev 3). All omitted for single-patch scans, so every
+	// pre-layout row keeps its identity; a 1-patch layout scan hashes
+	// differently from a single-patch scan because Patches is non-zero
+	// (their Results differ in the per-patch slice).
+	Patches int    `json:"patches,omitempty"`
+	Program string `json:"program,omitempty"`
+	Ops     int    `json:"ops,omitempty"`
+
 	Mode string `json:"mode"`
 	Traj int    `json:"traj"`
 	Seed int64  `json:"seed"`
@@ -113,6 +123,9 @@ func taskConfig(cfg traj.Config, mode traj.Mode, j int, seed int64) trajTaskConf
 	}
 	if m := cfg.Drift; m != nil {
 		tc.DriftRate, tc.DriftMult, tc.DriftDuration = m.RatePerQubit, m.Multiplier, m.MeanDurationCycles
+	}
+	if l := cfg.Layout; l != nil {
+		tc.Patches, tc.Program, tc.Ops = l.Patches, l.Program, l.Ops
 	}
 	return tc
 }
@@ -155,6 +168,22 @@ type TrajRow struct {
 	// trajectory — the reweight tier's dominant wall-clock cost (DESIGN.md
 	// §10).
 	MeanOverlayBuilds float64
+	// Router aggregates, populated only on layout scans (a surgery
+	// schedule present): ProgramDoneFrac is the fraction of trajectories
+	// that completed their schedule; MeanOpsCompleted the mean executed
+	// operations (of MeanOpsTotal scheduled); MeanStallCycles the mean
+	// cycles spent with operations pending but none routable;
+	// MeanReplans the mean operations that executed after at least one
+	// failed attempt; MeanMergeBlocked the mean operations vetoed by the
+	// merged-code distance check; ChannelBlockedFrac the fraction of
+	// elapsed cycles with at least one routing channel blocked.
+	MeanOpsTotal       float64
+	MeanOpsCompleted   float64
+	ProgramDoneFrac    float64
+	MeanStallCycles    float64
+	MeanReplans        float64
+	MeanMergeBlocked   float64
+	ChannelBlockedFrac float64
 }
 
 // TrajectoryScan runs Options.Trials closed-loop trajectories per mode and
@@ -254,6 +283,8 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 		var blocked, distance, elapsed, scored int64
 		var reweighted, mismatch int64
 		var rateErr float64
+		var opsTotal, opsDone, progDone, replans, mergeBlocked int
+		var stall, chanBlocked int64
 		for _, r := range armRes {
 			for q := 0; q < 4; q++ {
 				cp := cfg.Horizon * int64(q+1) / 4
@@ -281,6 +312,15 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 			if r.Severed {
 				row.Severed++
 			}
+			opsTotal += r.OpsTotal
+			opsDone += r.OpsCompleted
+			if r.ProgramDone {
+				progDone++
+			}
+			stall += r.StallCycles
+			replans += r.Replans
+			mergeBlocked += r.MergeBlockedOps
+			chanBlocked += r.ChannelBlockedCycles
 		}
 		trials := float64(len(armRes))
 		for q := range row.Survival {
@@ -312,6 +352,15 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 			row.MeanRateErr = rateErr / float64(reweighted)
 		}
 		row.MeanOverlayBuilds = float64(overlayBuilds) / trials
+		row.MeanOpsTotal = float64(opsTotal) / trials
+		row.MeanOpsCompleted = float64(opsDone) / trials
+		row.ProgramDoneFrac = float64(progDone) / trials
+		row.MeanStallCycles = float64(stall) / trials
+		row.MeanReplans = float64(replans) / trials
+		row.MeanMergeBlocked = float64(mergeBlocked) / trials
+		if elapsed > 0 {
+			row.ChannelBlockedFrac = float64(chanBlocked) / float64(elapsed)
+		}
 		rows[mi] = row
 	}
 	return rows, nil
@@ -447,6 +496,24 @@ func RenderTraj(w io.Writer, horizon int64, rows []TrajRow) {
 			r.Severed, 100*r.BlockedFrac, r.MeanDistance, r.FailuresPer1k,
 			r.MeanReweights, 100*r.ReweightedFrac, 100*r.MismatchFrac, rerr, r.MeanOverlayBuilds)
 	}
+	router := false
+	for _, r := range rows {
+		if r.MeanOpsTotal > 0 {
+			router = true
+			break
+		}
+	}
+	if !router {
+		return
+	}
+	fmt.Fprintf(w, "router (lattice-surgery schedule per trajectory)\n")
+	fmt.Fprintf(w, "%-14s %-7s %-11s %-8s %-8s %-8s %-9s\n",
+		"arm", "done%", "ops", "stall", "replans", "mrg-blk", "chan-blk%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-7.0f %5.1f/%-5.1f %-8.1f %-8.2f %-8.2f %-9.1f\n",
+			r.Mode, 100*r.ProgramDoneFrac, r.MeanOpsCompleted, r.MeanOpsTotal,
+			r.MeanStallCycles, r.MeanReplans, r.MeanMergeBlocked, 100*r.ChannelBlockedFrac)
+	}
 }
 
 // TrajTable converts trajectory-scan rows for CSV/JSON export.
@@ -456,14 +523,20 @@ func TrajTable(rows []TrajRow) *report.Table {
 		"detected_frac", "mean_latency", "mean_deformations", "mean_recoveries",
 		"severed", "blocked_frac", "mean_distance", "failures_per_1k",
 		"mean_reweights", "reweighted_frac", "mismatch_frac", "mean_rate_err",
-		"mean_overlay_dem_builds")
+		"mean_overlay_dem_builds",
+		"mean_ops_total", "mean_ops_completed", "program_done_frac",
+		"mean_stall_cycles", "mean_replans", "mean_merge_blocked",
+		"channel_blocked_frac")
 	for _, r := range rows {
 		t.Add(r.Mode, r.Trajectories,
 			r.Survival[0], r.Survival[1], r.Survival[2], r.Survival[3],
 			r.DetectedFrac, r.MeanLatency, r.MeanDeformations, r.MeanRecoveries,
 			r.Severed, r.BlockedFrac, r.MeanDistance, r.FailuresPer1k,
 			r.MeanReweights, r.ReweightedFrac, r.MismatchFrac, r.MeanRateErr,
-			r.MeanOverlayBuilds)
+			r.MeanOverlayBuilds,
+			r.MeanOpsTotal, r.MeanOpsCompleted, r.ProgramDoneFrac,
+			r.MeanStallCycles, r.MeanReplans, r.MeanMergeBlocked,
+			r.ChannelBlockedFrac)
 	}
 	return t
 }

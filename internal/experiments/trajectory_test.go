@@ -145,3 +145,87 @@ func TestTrajectoryScanShape(t *testing.T) {
 		t.Errorf("TrajTable has %d rows, want %d", len(tab.Rows), len(rows))
 	}
 }
+
+// TestLayoutTrajectoryScan lifts the determinism/resume acceptance gate to
+// the layout axis: a 2-patch scan with a surgery schedule is bit-identical
+// for any worker count, resumes byte-identically from a partial store, and
+// populates the router aggregates.
+func TestLayoutTrajectoryScan(t *testing.T) {
+	opt := trajTestOptions()
+	cfg := DefaultTrajConfig(opt)
+	cfg.Layout = &traj.LayoutConfig{Patches: 2, Program: "simon"}
+	modes := DefaultTrajModes()
+
+	serial, err := TrajectoryScan(opt, cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.PointWorkers = 4
+	parallel, err := TrajectoryScan(opt, cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("worker count changed the layout scan:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+	for _, r := range serial {
+		if r.MeanOpsTotal <= 0 {
+			t.Errorf("%s: layout scan without a surgery schedule: %+v", r.Mode, r)
+		}
+		if r.ProgramDoneFrac < 0 || r.ProgramDoneFrac > 1 || r.ChannelBlockedFrac < 0 || r.ChannelBlockedFrac > 1 {
+			t.Errorf("%s: router fractions outside [0,1]: %+v", r.Mode, r)
+		}
+		if r.MeanOpsCompleted > r.MeanOpsTotal {
+			t.Errorf("%s: completed %v of %v scheduled ops", r.Mode, r.MeanOpsCompleted, r.MeanOpsTotal)
+		}
+	}
+
+	// Interrupted at 2 of 3 trajectories per arm, then resumed: only the
+	// missing trajectory computes, and rows render byte-identically.
+	st, err := store.Open(filepath.Join(t.TempDir(), "layout-traj.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	partial := opt
+	partial.Trials = 2
+	partial.Store = st
+	partial.Stats = &RunStats{}
+	if _, err := TrajectoryScan(partial, cfg, modes); err != nil {
+		t.Fatal(err)
+	}
+	resumed := opt
+	resumed.Store = st
+	resumed.Resume = true
+	resumed.Stats = &RunStats{}
+	rows, err := TrajectoryScan(resumed, cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, s := resumed.Stats.Computed(), resumed.Stats.Skipped(); c != len(modes) || s != 2*len(modes) {
+		t.Fatalf("layout resume computed %d / skipped %d, want %d / %d", c, s, len(modes), 2*len(modes))
+	}
+	if !reflect.DeepEqual(serial, rows) {
+		t.Fatalf("resumed layout scan differs from fresh scan:\nfresh   %+v\nresumed %+v", serial, rows)
+	}
+	var fresh, again bytes.Buffer
+	RenderTraj(&fresh, cfg.Horizon, serial)
+	RenderTraj(&again, cfg.Horizon, rows)
+	if !bytes.Equal(fresh.Bytes(), again.Bytes()) {
+		t.Error("rendered layout tables differ between fresh and resumed scans")
+	}
+
+	// The layout axis is part of the store identity: the single-patch scan
+	// must not be served rows from the layout store.
+	single := opt
+	single.Store = st
+	single.Resume = true
+	single.Stats = &RunStats{}
+	scfg := DefaultTrajConfig(opt)
+	if _, err := TrajectoryScan(single, scfg, modes); err != nil {
+		t.Fatal(err)
+	}
+	if s := single.Stats.Skipped(); s != 0 {
+		t.Errorf("single-patch scan served %d rows from the layout store", s)
+	}
+}

@@ -25,13 +25,15 @@ const (
 	TraceDeform   = "deform"
 	TraceReweight = "reweight"
 	TraceRecover  = "recover"
+	TraceSurgery  = "surgery"
 	TraceEnd      = "end"
 )
 
 // traceTypes is the closed set a valid line's type must belong to.
 var traceTypes = map[string]bool{
 	TraceEpoch: true, TraceDetect: true, TraceMitigate: true,
-	TraceDeform: true, TraceReweight: true, TraceRecover: true, TraceEnd: true,
+	TraceDeform: true, TraceReweight: true, TraceRecover: true,
+	TraceSurgery: true, TraceEnd: true,
 }
 
 // TraceEvent is one JSONL line of a trajectory trace. V, Type, Cycle, Arm
@@ -46,6 +48,9 @@ type TraceEvent struct {
 	Cycle int64  `json:"cycle"`
 	Arm   string `json:"arm"`
 	Traj  int    `json:"traj"`
+	// Patch localizes per-patch events (detect/deform/recover/reweight) in a
+	// layout-level trajectory; single-patch trajectories omit it (patch 0).
+	Patch int `json:"patch,omitempty"`
 
 	// epoch: one scored or cut chunk.
 	Cycles   int64 `json:"cycles,omitempty"`    // chunk length actually credited
@@ -70,6 +75,10 @@ type TraceEvent struct {
 	Overlay  int     `json:"overlay,omitempty"`   // overlaid sites (0 = reset to nominal)
 	MaxMult  float64 `json:"max_mult,omitempty"`  // largest quantized rate multiplier
 	DEMBuild bool    `json:"dem_build,omitempty"` // this overlay cost a fresh decode-DEM build
+
+	// surgery: one lattice-surgery routing attempt of a layout trajectory.
+	Pending int `json:"pending,omitempty"` // eligible operations this attempt
+	Routed  int `json:"routed,omitempty"`  // operations executed this attempt
 
 	// end: trajectory summary (mirrors traj.Result counters).
 	Epochs        int  `json:"epochs,omitempty"`
@@ -164,6 +173,7 @@ func ValidateTraceLine(line []byte) error {
 		{"flags", int64(ev.Flags)}, {"region", int64(ev.Region)},
 		{"defects", int64(ev.Defects)}, {"sites", int64(ev.Sites)}, {"distance", int64(ev.Distance)},
 		{"overlay", int64(ev.Overlay)},
+		{"patch", int64(ev.Patch)}, {"pending", int64(ev.Pending)}, {"routed", int64(ev.Routed)},
 		{"epochs", int64(ev.Epochs)}, {"failures", int64(ev.Failures)},
 		{"deformations", int64(ev.Deformations)}, {"recoveries", int64(ev.Recoveries)},
 		{"reweights", int64(ev.Reweights)}, {"overlay_dem_builds", int64(ev.OverlayBuilds)},

@@ -2,25 +2,60 @@
 // grid: ancilla paths for long-range CNOTs are routed edge-disjointly
 // through the channels between patches, and enlarged or defective patches
 // block their surrounding channels. This is the machinery behind the
-// throughput study of fig. 11c and the OverRuntime verdicts of Table II.
+// throughput study of fig. 11c, the OverRuntime verdicts of Table II, and
+// the router-in-the-loop layout trajectories of internal/traj.
+//
+// Routing is deterministic by construction: no RNG enters any decision.
+// Tie-breaks between equally routable operations rotate with the time-step
+// (round-robin fairness), so a task set's execution is a pure function of
+// (grid state, operation list, step index) — the property the trajectory
+// engine's store identity relies on.
 package route
-
-import (
-	"math/rand"
-)
 
 // Grid is the channel network of an N-patch layout: nodes are patch cells,
 // edges are the channel segments between orthogonally adjacent cells.
+//
+// A Grid carries preallocated routing scratch (epoch-stamped visit and
+// edge-occupancy arrays, a BFS ring buffer) reused across calls, so it is
+// NOT safe for concurrent use; give each goroutine its own Grid.
 type Grid struct {
 	Rows, Cols int
 	// blocked[c] marks a cell whose surrounding channels are unusable
 	// (a Q3DE-enlarged patch spills into its channels).
 	blocked []bool
+
+	// Routing scratch, epoch-stamped per the internal/decoder hot-path
+	// discipline: an entry is live only when its stamp equals the current
+	// epoch, so resetting between calls is one integer increment instead of
+	// an O(cells) clear or a fresh map.
+	prev      []int32  // BFS predecessor per cell
+	prevEpoch []uint32 // stamp: prev[c] valid iff prevEpoch[c] == bfsEpoch
+	bfsEpoch  uint32
+	edgeUsed  []uint32 // stamp: edge occupied iff edgeUsed[e] == stepEpoch
+	stepEpoch uint32
+	queue     []int32 // BFS ring buffer
+	path      []int32 // reversed path of the last bfsPath call
+	busy      []uint32
+	busyEpoch uint32
+	pending   []CNOT
+	pendIdx   []int
 }
 
 // NewGrid creates an unblocked grid.
 func NewGrid(rows, cols int) *Grid {
-	return &Grid{Rows: rows, Cols: cols, blocked: make([]bool, rows*cols)}
+	n := rows * cols
+	return &Grid{
+		Rows: rows, Cols: cols,
+		blocked:   make([]bool, n),
+		prev:      make([]int32, n),
+		prevEpoch: make([]uint32, n),
+		edgeUsed:  make([]uint32, 2*n),
+		queue:     make([]int32, n),
+		busy:      make([]uint32, n),
+		// stepEpoch starts at 1 so the zeroed edgeUsed stamps never read as
+		// occupied before the first RoutePaths call advances the epoch.
+		stepEpoch: 1,
+	}
 }
 
 // Cell flattens (r, c).
@@ -39,15 +74,28 @@ func (g *Grid) ResetBlocked() {
 	}
 }
 
-// edgeKey canonically identifies the channel segment between two adjacent
-// cells.
-type edgeKey struct{ a, b int }
+// NumBlocked counts the currently blocked cells.
+func (g *Grid) NumBlocked() int {
+	n := 0
+	for _, b := range g.blocked {
+		if b {
+			n++
+		}
+	}
+	return n
+}
 
-func mkEdge(a, b int) edgeKey {
+// edgeIndex canonically identifies the channel segment between two adjacent
+// cells as an index into edgeUsed: each cell owns its rightward (2c) and
+// downward (2c+1) segment.
+func (g *Grid) edgeIndex(a, b int) int {
 	if a > b {
 		a, b = b, a
 	}
-	return edgeKey{a, b}
+	if b == a+1 {
+		return 2 * a // horizontal: a owns its right edge
+	}
+	return 2*a + 1 // vertical: a owns its down edge
 }
 
 // CNOT is one two-qubit logical operation between patch cells.
@@ -57,66 +105,90 @@ type CNOT struct {
 
 // RoutePaths routes as many of the pending CNOTs as possible in one
 // time-step using edge-disjoint BFS paths that avoid blocked cells. It
-// returns the indices of the routed operations.
+// returns the indices of the routed operations, appended to dst (pass nil
+// to allocate).
 //
 // A CNOT touching a blocked patch cannot execute at all this step. Paths
 // may pass through cells occupied by other logical qubits' channels (the
 // channels run between patches), but not through blocked cells, and no two
-// paths may share a channel segment.
-func (g *Grid) RoutePaths(pending []CNOT, rng *rand.Rand) []int {
-	usedEdge := map[edgeKey]bool{}
-	var routed []int
-	order := rng.Perm(len(pending))
-	for _, oi := range order {
+// paths may share a channel segment. Operations are attempted in a
+// rotation of the pending order keyed on step, so no fixed list position
+// is persistently favoured when paths contend — the deterministic
+// replacement for the RNG shuffle this function once took.
+func (g *Grid) RoutePaths(pending []CNOT, step int, dst []int) []int {
+	g.stepEpoch++
+	if g.stepEpoch == 0 { // epoch wrapped: stale stamps would alias
+		clearStamps(g.edgeUsed)
+		g.stepEpoch = 1
+	}
+	n := len(pending)
+	if n == 0 {
+		return dst
+	}
+	start := step % n
+	if start < 0 {
+		start += n
+	}
+	for k := 0; k < n; k++ {
+		oi := start + k
+		if oi >= n {
+			oi -= n
+		}
 		op := pending[oi]
 		if g.blocked[op.Control] || g.blocked[op.Target] {
 			continue
 		}
-		path := g.bfsPath(op.Control, op.Target, usedEdge)
+		path := g.bfsPath(op.Control, op.Target)
 		if path == nil {
 			continue
 		}
 		for i := 0; i+1 < len(path); i++ {
-			usedEdge[mkEdge(path[i], path[i+1])] = true
+			g.edgeUsed[g.edgeIndex(int(path[i]), int(path[i+1]))] = g.stepEpoch
 		}
-		routed = append(routed, oi)
+		dst = append(dst, oi)
 	}
-	return routed
+	return dst
 }
 
 // bfsPath finds a shortest path between cells avoiding blocked interior
-// cells and used edges. Endpoints may be the control/target themselves.
-func (g *Grid) bfsPath(src, dst int, usedEdge map[edgeKey]bool) []int {
+// cells and edges used earlier in the current step epoch. Endpoints may be
+// the control/target themselves. The returned slice is the Grid's scratch,
+// valid only until the next call.
+func (g *Grid) bfsPath(src, dst int) []int32 {
+	g.path = g.path[:0]
 	if src == dst {
-		return []int{src}
+		g.path = append(g.path, int32(src))
+		return g.path
 	}
-	prev := make([]int, g.Rows*g.Cols)
-	for i := range prev {
-		prev[i] = -2
+	g.bfsEpoch++
+	if g.bfsEpoch == 0 {
+		clearStamps(g.prevEpoch)
+		g.bfsEpoch = 1
 	}
-	prev[src] = -1
-	queue := []int{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	g.prev[src] = -1
+	g.prevEpoch[src] = g.bfsEpoch
+	g.queue[0] = int32(src)
+	head, tail := 0, 1
+	for head < tail {
+		cur := int(g.queue[head])
+		head++
 		if cur == dst {
-			var path []int
-			for v := dst; v != -1; v = prev[v] {
-				path = append(path, v)
+			for v := dst; v != -1; v = int(g.prev[v]) {
+				g.path = append(g.path, int32(v))
 			}
-			return path
+			return g.path
 		}
 		r, c := cur/g.Cols, cur%g.Cols
-		for _, nb := range [][2]int{{r - 1, c}, {r + 1, c}, {r, c - 1}, {r, c + 1}} {
+		for _, nb := range [4][2]int{{r - 1, c}, {r + 1, c}, {r, c - 1}, {r, c + 1}} {
 			nr, nc := nb[0], nb[1]
 			if nr < 0 || nr >= g.Rows || nc < 0 || nc >= g.Cols {
 				continue
 			}
 			next := g.Cell(nr, nc)
-			if prev[next] != -2 {
+			if g.prevEpoch[next] == g.bfsEpoch {
 				continue
 			}
-			if usedEdge[mkEdge(cur, next)] {
+			if g.edgeUsed[g.edgeIndex(cur, next)] == g.stepEpoch {
 				continue
 			}
 			// Interior hops may not pass through blocked cells; the
@@ -124,8 +196,10 @@ func (g *Grid) bfsPath(src, dst int, usedEdge map[edgeKey]bool) []int {
 			if g.blocked[next] && next != dst {
 				continue
 			}
-			prev[next] = cur
-			queue = append(queue, next)
+			g.prev[next] = int32(cur)
+			g.prevEpoch[next] = g.bfsEpoch
+			g.queue[tail] = int32(next)
+			tail++
 		}
 	}
 	return nil
@@ -146,31 +220,17 @@ type TaskResult struct {
 // routing greedily each time-step. Operations are issued in order but may
 // complete out of order; an operation becomes eligible when its operands
 // are not used by an earlier pending operation (program order per qubit).
-func (g *Grid) RunTasks(ops []CNOT, maxSteps int, rng *rand.Rand) TaskResult {
+// Execution is deterministic: identical (grid, ops, maxSteps) always yield
+// the identical TaskResult.
+func (g *Grid) RunTasks(ops []CNOT, maxSteps int) TaskResult {
 	done := make([]bool, len(ops))
 	completed := 0
 	steps := 0
+	var routed []int
 	for completed < len(ops) && steps < maxSteps {
 		steps++
-		// Eligible ops: operands free among not-done earlier ops.
-		busy := map[int]bool{}
-		var pending []CNOT
-		var pendingIdx []int
-		for i, op := range ops {
-			if done[i] {
-				continue
-			}
-			if busy[op.Control] || busy[op.Target] {
-				busy[op.Control] = true
-				busy[op.Target] = true
-				continue
-			}
-			busy[op.Control] = true
-			busy[op.Target] = true
-			pending = append(pending, op)
-			pendingIdx = append(pendingIdx, i)
-		}
-		routed := g.RoutePaths(pending, rng)
+		pending, pendingIdx := g.eligible(ops, done)
+		routed = g.RoutePaths(pending, steps-1, routed[:0])
 		if len(routed) == 0 {
 			// Nothing routable this step; if nothing is eligible either,
 			// the task set is stalled for good.
@@ -198,4 +258,39 @@ func (g *Grid) RunTasks(ops []CNOT, maxSteps int, rng *rand.Rand) TaskResult {
 	}
 	res.Stalled = completed < len(ops)
 	return res
+}
+
+// clearStamps zeroes an epoch-stamp array after its counter wrapped.
+func clearStamps(s []uint32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// eligible collects the not-done operations whose operands are free among
+// earlier not-done operations (program order per qubit). The returned
+// slices are the Grid's scratch, valid until the next call.
+func (g *Grid) eligible(ops []CNOT, done []bool) ([]CNOT, []int) {
+	g.busyEpoch++
+	if g.busyEpoch == 0 {
+		clearStamps(g.busy)
+		g.busyEpoch = 1
+	}
+	g.pending = g.pending[:0]
+	g.pendIdx = g.pendIdx[:0]
+	for i, op := range ops {
+		if done[i] {
+			continue
+		}
+		if g.busy[op.Control] == g.busyEpoch || g.busy[op.Target] == g.busyEpoch {
+			g.busy[op.Control] = g.busyEpoch
+			g.busy[op.Target] = g.busyEpoch
+			continue
+		}
+		g.busy[op.Control] = g.busyEpoch
+		g.busy[op.Target] = g.busyEpoch
+		g.pending = append(g.pending, op)
+		g.pendIdx = append(g.pendIdx, i)
+	}
+	return g.pending, g.pendIdx
 }

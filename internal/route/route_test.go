@@ -2,12 +2,13 @@ package route
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
 func TestBFSPathBasic(t *testing.T) {
 	g := NewGrid(3, 3)
-	path := g.bfsPath(g.Cell(0, 0), g.Cell(2, 2), map[edgeKey]bool{})
+	path := g.bfsPath(g.Cell(0, 0), g.Cell(2, 2))
 	if path == nil {
 		t.Fatal("no path on empty grid")
 	}
@@ -20,17 +21,17 @@ func TestBlockedCellsAvoided(t *testing.T) {
 	g := NewGrid(1, 3)
 	g.SetBlocked(g.Cell(0, 1), true)
 	// Linear grid with middle blocked: no route on a 1×3 strip.
-	if path := g.bfsPath(g.Cell(0, 0), g.Cell(0, 2), map[edgeKey]bool{}); path != nil {
+	if path := g.bfsPath(g.Cell(0, 0), g.Cell(0, 2)); path != nil {
 		t.Error("path should be blocked")
 	}
 	g2 := NewGrid(2, 3)
 	g2.SetBlocked(g2.Cell(0, 1), true)
-	path := g2.bfsPath(g2.Cell(0, 0), g2.Cell(0, 2), map[edgeKey]bool{})
+	path := g2.bfsPath(g2.Cell(0, 0), g2.Cell(0, 2))
 	if path == nil {
 		t.Fatal("detour route should exist")
 	}
 	for _, cell := range path[1 : len(path)-1] {
-		if g2.Blocked(cell) {
+		if g2.Blocked(int(cell)) {
 			t.Error("path passes through blocked cell")
 		}
 	}
@@ -38,15 +39,91 @@ func TestBlockedCellsAvoided(t *testing.T) {
 
 func TestRoutePathsEdgeDisjoint(t *testing.T) {
 	g := NewGrid(4, 4)
-	rng := rand.New(rand.NewSource(1))
 	ops := []CNOT{
 		{g.Cell(0, 0), g.Cell(0, 3)},
 		{g.Cell(3, 0), g.Cell(3, 3)},
 		{g.Cell(0, 0), g.Cell(3, 0)}, // shares an endpoint with op 0
 	}
-	routed := g.RoutePaths(ops, rng)
+	routed := g.RoutePaths(ops, 0, nil)
 	if len(routed) < 2 {
 		t.Errorf("routed %d ops, want at least the two disjoint ones", len(routed))
+	}
+}
+
+// TestRoutePathsDeterministic pins the router's store-identity contract:
+// identical (grid, pending, step) always route the identical operation set,
+// with no RNG anywhere in the decision — across fresh grids and across
+// reuse of one grid's scratch.
+func TestRoutePathsDeterministic(t *testing.T) {
+	mkOps := func(g *Grid) []CNOT {
+		return []CNOT{
+			{g.Cell(0, 0), g.Cell(0, 3)},
+			{g.Cell(0, 1), g.Cell(2, 3)},
+			{g.Cell(1, 0), g.Cell(1, 3)},
+			{g.Cell(2, 0), g.Cell(0, 2)},
+			{g.Cell(3, 0), g.Cell(3, 3)},
+		}
+	}
+	g := NewGrid(4, 4)
+	g.SetBlocked(g.Cell(2, 2), true)
+	ops := mkOps(g)
+	var first [][]int
+	for step := 0; step < 5; step++ {
+		first = append(first, append([]int(nil), g.RoutePaths(ops, step, nil)...))
+	}
+	// A fresh grid (cold scratch) must reproduce the warm grid's decisions.
+	g2 := NewGrid(4, 4)
+	g2.SetBlocked(g2.Cell(2, 2), true)
+	for step := 0; step < 5; step++ {
+		got := g2.RoutePaths(ops, step, nil)
+		if !reflect.DeepEqual(got, first[step]) {
+			t.Errorf("step %d: fresh grid routed %v, warm grid routed %v", step, got, first[step])
+		}
+	}
+}
+
+// TestRoutePathsRotationFairness checks the step-keyed rotation: when two
+// operations contend for the same channel, which one wins must change with
+// the step index, so no list position is starved forever.
+func TestRoutePathsRotationFairness(t *testing.T) {
+	g := NewGrid(1, 4)
+	// Both ops need the only row; edge-disjointness lets exactly one route.
+	ops := []CNOT{
+		{g.Cell(0, 0), g.Cell(0, 3)},
+		{g.Cell(0, 1), g.Cell(0, 2)},
+	}
+	winners := map[int]bool{}
+	for step := 0; step < 2; step++ {
+		routed := g.RoutePaths(ops, step, nil)
+		if len(routed) == 0 {
+			t.Fatalf("step %d routed nothing", step)
+		}
+		winners[routed[0]] = true
+	}
+	if len(winners) < 2 {
+		t.Errorf("rotation never changed the contention winner: %v", winners)
+	}
+}
+
+// TestRoutePathsBoundedAllocs pins the epoch-stamped scratch conversion:
+// routing a pending set on a warm grid must not allocate per path (the old
+// bfsPath minted a map per call). The only allowance is the caller-visible
+// routed slice, which this test preallocates away.
+func TestRoutePathsBoundedAllocs(t *testing.T) {
+	g := NewGrid(8, 8)
+	var ops []CNOT
+	for i := 0; i < 16; i++ {
+		ops = append(ops, CNOT{Control: i, Target: 63 - i})
+	}
+	dst := make([]int, 0, len(ops))
+	g.RoutePaths(ops, 0, dst) // warm the scratch
+	step := 1
+	allocs := testing.AllocsPerRun(50, func() {
+		g.RoutePaths(ops, step, dst[:0])
+		step++
+	})
+	if allocs > 0 {
+		t.Errorf("RoutePaths allocates %.1f objects/call on a warm grid, want 0", allocs)
 	}
 }
 
@@ -61,7 +138,7 @@ func TestRunTasksCompletesOnOpenGrid(t *testing.T) {
 		}
 		ops = append(ops, CNOT{a, b})
 	}
-	res := g.RunTasks(ops, 500, rng)
+	res := g.RunTasks(ops, 500)
 	if res.Stalled {
 		t.Fatal("open grid should not stall")
 	}
@@ -71,13 +148,17 @@ func TestRunTasksCompletesOnOpenGrid(t *testing.T) {
 	if res.Throughput <= 0 {
 		t.Error("throughput must be positive")
 	}
+	// Determinism: a fresh identical grid reproduces the result exactly.
+	again := NewGrid(5, 5).RunTasks(ops, 500)
+	if !reflect.DeepEqual(res, again) {
+		t.Errorf("RunTasks not deterministic: %+v vs %+v", res, again)
+	}
 }
 
 func TestRunTasksStallsWhenTargetBlocked(t *testing.T) {
 	g := NewGrid(3, 3)
 	g.SetBlocked(g.Cell(1, 1), true)
-	rng := rand.New(rand.NewSource(3))
-	res := g.RunTasks([]CNOT{{g.Cell(0, 0), g.Cell(1, 1)}}, 100, rng)
+	res := g.RunTasks([]CNOT{{g.Cell(0, 0), g.Cell(1, 1)}}, 100)
 	if !res.Stalled {
 		t.Error("operation on a blocked patch must stall")
 	}
@@ -85,7 +166,6 @@ func TestRunTasksStallsWhenTargetBlocked(t *testing.T) {
 
 func TestBlockingReducesThroughput(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	var ops []CNOT
 	mk := func() []CNOT {
 		var out []CNOT
 		for i := 0; i < 30; i++ {
@@ -95,10 +175,10 @@ func TestBlockingReducesThroughput(t *testing.T) {
 		}
 		return out
 	}
-	ops = mk()
+	ops := mk()
 
 	open := NewGrid(6, 6)
-	r1 := open.RunTasks(ops, 1000, rand.New(rand.NewSource(5)))
+	r1 := open.RunTasks(ops, 1000)
 
 	congested := NewGrid(6, 6)
 	// Block a diagonal band of patches not used as endpoints.
@@ -114,8 +194,24 @@ func TestBlockingReducesThroughput(t *testing.T) {
 			blockedCount++
 		}
 	}
-	r2 := congested.RunTasks(ops, 1000, rand.New(rand.NewSource(5)))
+	r2 := congested.RunTasks(ops, 1000)
 	if r2.Throughput > r1.Throughput {
 		t.Errorf("blocking should not raise throughput: %.3f vs %.3f", r2.Throughput, r1.Throughput)
+	}
+}
+
+func TestNumBlocked(t *testing.T) {
+	g := NewGrid(3, 3)
+	if n := g.NumBlocked(); n != 0 {
+		t.Fatalf("fresh grid reports %d blocked cells", n)
+	}
+	g.SetBlocked(2, true)
+	g.SetBlocked(5, true)
+	if n := g.NumBlocked(); n != 2 {
+		t.Errorf("NumBlocked = %d, want 2", n)
+	}
+	g.ResetBlocked()
+	if n := g.NumBlocked(); n != 0 {
+		t.Errorf("NumBlocked after reset = %d, want 0", n)
 	}
 }

@@ -182,3 +182,135 @@ func TestGrowTowards(t *testing.T) {
 		t.Error("growing backwards must fail")
 	}
 }
+
+// TestMergeCarriesBothSides merges two patches that each carry live
+// deformations and checks the merged code is valid with both removal
+// records intact — the situation a layout trajectory is in when a surgery
+// op lands on patches mid-mitigation.
+func TestMergeCarriesBothSides(t *testing.T) {
+	a := deform.NewSquareSpec(co(0, 0), 5)
+	if err := a.DataQRM(co(3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	b := deform.NewSquareSpec(co(0, 20), 5)
+	if err := b.DataQRM(co(7, 25)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.RemovedData[co(3, 5)] || !m.RemovedData[co(7, 25)] {
+		t.Fatal("merge dropped a removal record")
+	}
+	c, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("merged doubly-deformed code invalid: %v", err)
+	}
+	if len(c.Gauges()) == 0 {
+		t.Error("removals on both sides should leave gauge structure")
+	}
+	if c.DistanceX() > 5 || c.DistanceZ() > 15 {
+		t.Errorf("merged distances %d/%d exceed the defect-free %d/%d",
+			c.DistanceX(), c.DistanceZ(), 5, 15)
+	}
+}
+
+// TestSplitWithActiveDeformations splits a merged patch while both halves
+// carry deformations: each half must build into a valid code with its own
+// removals, and the defective halves keep their degraded distance.
+func TestSplitWithActiveDeformations(t *testing.T) {
+	a := deform.NewSquareSpec(co(0, 0), 5)
+	b := deform.NewSquareSpec(co(0, 20), 5)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left half takes a two-site cluster, right half a single site.
+	for _, q := range []lattice.Coord{co(3, 5), co(5, 5), co(5, 25)} {
+		if err := m.DataQRM(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	left, right, err := Split(m, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := left.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := right.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []interface{ Validate() error }{cl, cr} {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("split deformed code invalid: %v", err)
+		}
+	}
+	if cl.Distance() >= 5 {
+		t.Errorf("left split distance %d not degraded by its two-site cluster", cl.Distance())
+	}
+	if len(cr.Gauges()) == 0 {
+		t.Error("right split lost its deformation's gauge structure")
+	}
+}
+
+// TestMergeBlockedGrowRetry walks the defect-adaptive surgery sequence of
+// the layout engine: a channel cluster blocks the merge at the
+// full-distance demand, the left patch grows across the clean part of the
+// channel (shortening the strip for the replan), and the retry at the
+// degraded distance tolerance succeeds — the merged code carries the
+// cluster as deformations and keeps the relaxed distance.
+func TestMergeBlockedGrowRetry(t *testing.T) {
+	a := deform.NewSquareSpec(co(0, 0), 5)
+	b := deform.NewSquareSpec(co(0, 20), 5)
+	cluster := []lattice.Coord{co(1, 15), co(5, 15)}
+	blocked, err := MergeBlocked(a, b, cluster, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !blocked {
+		t.Fatal("channel cluster should block a full-distance merge")
+	}
+	if err := GrowTowards(a, 14); err != nil {
+		t.Fatal(err)
+	}
+	if a.DX != 7 {
+		t.Fatalf("grown DX = %d, want 7", a.DX)
+	}
+	blocked, err = MergeBlocked(a, b, cluster, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked {
+		t.Error("retry after growth must succeed at the degraded distance tolerance")
+	}
+	// Execute the replanned merge and check the resulting code.
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := deform.ApplyDefects(m, cluster, deform.PolicySurfDeformer); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range cluster {
+		if !m.RemovedData[q] {
+			t.Errorf("merge dropped the cluster removal at %v", q)
+		}
+	}
+	c, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("replanned merged code invalid: %v", err)
+	}
+	if c.Distance() < 4 {
+		t.Errorf("merged distance %d below the relaxed tolerance 4", c.Distance())
+	}
+}

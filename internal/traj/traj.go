@@ -124,6 +124,13 @@ type Config struct {
 	Leakage *defect.LeakageModel
 	Drift   *defect.DriftModel
 
+	// Layout, when non-nil, selects the layout-level engine: N patches on a
+	// routing grid, defect arrivals landing on any patch or channel, and an
+	// optional lattice-surgery schedule routed through the channels. Nil
+	// runs the single-patch engine; a 1-patch layout without a program is
+	// semantically the single-patch trajectory (test-pinned).
+	Layout *LayoutConfig
+
 	// Cache overrides the process-shared DEM cache (tests).
 	Cache *sim.DEMCache
 
@@ -270,6 +277,47 @@ type Result struct {
 	// deterministic for fixed (Config, Mode, seed): the hot cache starts
 	// empty per trajectory and its limit is a package constant.
 	OverlayDEMBuilds int `json:"overlay_dem_builds,omitempty"`
+
+	// Layout-level fields, populated only by the layout engine
+	// (Config.Layout non-nil). Patches carries the per-patch slices of the
+	// aggregate counters above; the remaining fields are the router and
+	// lattice-surgery aggregates. In layout mode the cycle-weighted
+	// aggregates (ScoredCycles, BlockedCycles, DistanceCycles) are summed
+	// over patches, i.e. measured in patch-cycles.
+	Patches []PatchResult `json:"patches,omitempty"`
+	// ChannelEvents counts defect events with sites in the routing channels
+	// (outside every patch tile); ChannelBlockedCycles the cycles during
+	// which at least one channel cell was blocked by such an event.
+	ChannelEvents        int   `json:"channel_events,omitempty"`
+	ChannelBlockedCycles int64 `json:"channel_blocked_cycles,omitempty"`
+	// OpsTotal/OpsCompleted count the lattice-surgery schedule;
+	// ProgramDone reports completion within the horizon, at
+	// ProgramDoneCycle. StallCycles accrues d cycles per routing attempt
+	// with eligible but unroutable operations; Replans counts operations
+	// that executed after at least one failed attempt; MergeBlockedOps
+	// counts routed merges rejected by the surgery.MergeBlocked check.
+	OpsTotal         int   `json:"ops_total,omitempty"`
+	OpsCompleted     int   `json:"ops_completed,omitempty"`
+	ProgramDone      bool  `json:"program_done,omitempty"`
+	ProgramDoneCycle int64 `json:"program_done_cycle,omitempty"`
+	StallCycles      int64 `json:"stall_cycles,omitempty"`
+	Replans          int   `json:"replans,omitempty"`
+	MergeBlockedOps  int   `json:"merge_blocked_ops,omitempty"`
+}
+
+// PatchResult is one patch's slice of a layout-level Result; the aggregate
+// fields of Result sum these (plus the channel/router fields, which have no
+// per-patch decomposition).
+type PatchResult struct {
+	Events        int   `json:"events"`
+	RemoveEvents  int   `json:"remove_events,omitempty"`
+	Detected      int   `json:"detected,omitempty"`
+	Failures      int   `json:"failures,omitempty"`
+	Deformations  int   `json:"deformations,omitempty"`
+	Recoveries    int   `json:"recoveries,omitempty"`
+	BlockedCycles int64 `json:"blocked_cycles,omitempty"`
+	MinDistance   int   `json:"min_distance"`
+	Severed       bool  `json:"severed,omitempty"`
 }
 
 // Stream salts for the per-trajectory seed derivation (negative so they can
@@ -330,6 +378,12 @@ func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
 		r.Counter(prefix + "recoveries").Add(int64(res.Recoveries))
 		r.Counter(prefix + "reweights").Add(int64(res.Reweights))
 		r.Counter(prefix + "overlay_dem_builds").Add(int64(res.OverlayDEMBuilds))
+		if res.OpsTotal > 0 {
+			r.Counter(prefix + "ops_completed").Add(int64(res.OpsCompleted))
+			r.Counter(prefix + "stall_cycles").Add(res.StallCycles)
+			r.Counter(prefix + "replans").Add(int64(res.Replans))
+			r.Counter(prefix + "merge_blocked").Add(int64(res.MergeBlockedOps))
+		}
 		cfg.Trace.Emit(obs.TraceEvent{
 			Type: obs.TraceEnd, Cycle: res.ElapsedCycles, Arm: res.Mode, Traj: cfg.TraceTraj,
 			Epochs: res.Epochs, Failures: res.Failures,
@@ -345,6 +399,9 @@ func Run(cfg Config, mode Mode, seed int64) (*Result, error) {
 func run(cfg Config, mode Mode, seed int64) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Layout != nil {
+		return runLayout(cfg, mode, seed)
 	}
 	tr, tj, arm := cfg.Trace, cfg.TraceTraj, mode.String()
 	cache := cfg.Cache
@@ -706,6 +763,21 @@ func (cfg Config) validate() error {
 		return fmt.Errorf("traj: physical rate %g", cfg.PhysicalRate)
 	case cfg.ReweightFactor != 0 && cfg.ReweightFactor <= 1:
 		return fmt.Errorf("traj: reweight factor %g must exceed 1 (0 selects the default)", cfg.ReweightFactor)
+	}
+	if lc := cfg.Layout; lc != nil {
+		switch {
+		case lc.Patches < 1:
+			return fmt.Errorf("traj: layout needs at least 1 patch, got %d", lc.Patches)
+		case lc.Patches > 256:
+			return fmt.Errorf("traj: layout of %d patches exceeds the 256-patch bound", lc.Patches)
+		case (lc.Program != "" || lc.Ops > 0) && lc.Patches < 2:
+			return fmt.Errorf("traj: a surgery schedule needs at least 2 patches")
+		case lc.Ops < 0:
+			return fmt.Errorf("traj: negative surgery op count %d", lc.Ops)
+		}
+		if _, err := lc.program(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
