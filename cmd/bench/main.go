@@ -31,6 +31,7 @@ import (
 	"surfdeformer/internal/cliutil"
 	"surfdeformer/internal/code"
 	"surfdeformer/internal/decoder"
+	"surfdeformer/internal/defect"
 	"surfdeformer/internal/lattice"
 	"surfdeformer/internal/noise"
 	"surfdeformer/internal/obs"
@@ -89,6 +90,11 @@ type Run struct {
 	// trajectories on a sustained drift-only timeline (rate estimation,
 	// overlay construction, and reweighted decode-DEM builds included).
 	Reweight []TrajPoint `json:"reweight,omitempty"`
+	// Super times the bandage (super-stabilizer) tier: super-only
+	// trajectories booted on a fabrication-defective device, so the number
+	// includes the boot bandage constructions, gauge-merged DEM builds, and
+	// dynamic bandage/release handling on top of a plain trajectory.
+	Super []TrajPoint `json:"super,omitempty"`
 	// LayoutTraj times the layout-level engine: an N-patch floorplan with
 	// routing channels and a lattice-surgery schedule, so the number
 	// includes per-patch sampling/decoding, channel bookkeeping, and the
@@ -127,6 +133,7 @@ func realMain() (err error) {
 	engine := flag.Bool("engine", true, "also measure the mc engine batch path")
 	trajN := flag.Int("traj", 8, "closed-loop trajectories to time (0 disables)")
 	reweightN := flag.Int("reweight", 8, "reweight-only drift trajectories to time (0 disables)")
+	superN := flag.Int("super", 8, "super-only device-defect trajectories to time (0 disables)")
 	layoutTrajN := flag.Int("layout-traj", 4, "2-patch layout trajectories to time (0 disables)")
 	gate := flag.Float64("gate", 0, "compare-only regression gate: fail if measured trajectory cycles/sec falls below this fraction of the committed -out file's current slot (no file write)")
 	prof := cliutil.AddProfileFlags()
@@ -199,6 +206,15 @@ func realMain() (err error) {
 		run.Reweight = append(run.Reweight, rp)
 		fmt.Printf("rewt d=%-3d horizon=%-5d      %12.0f cycles/sec %9.0f ns/cycle  %d dem builds, %d patches\n",
 			rp.D, rp.Horizon, rp.CyclesSec, rp.NsCycle, rp.DEMBuilds, rp.DEMPatches)
+	}
+	if *superN > 0 {
+		sp, err := measureSuper(*superN)
+		if err != nil {
+			return err
+		}
+		run.Super = append(run.Super, sp)
+		fmt.Printf("supr d=%-3d horizon=%-5d      %12.0f cycles/sec %9.0f ns/cycle  %d dem builds, %d patches\n",
+			sp.D, sp.Horizon, sp.CyclesSec, sp.NsCycle, sp.DEMBuilds, sp.DEMPatches)
 	}
 	if *layoutTrajN > 0 {
 		lp, err := measureLayoutTraj(*layoutTrajN)
@@ -368,6 +384,17 @@ func measureReweight(n int) (TrajPoint, error) {
 	cfg := traj.DriftOnlyConfig()
 	cfg.Horizon = 400 // quick-scale trajectories, like measureTraj
 	return measureTrajLoop(cfg, traj.ModeReweightOnly, n)
+}
+
+// measureSuper times the bandage (super-stabilizer) tier end to end: n
+// super-only trajectories booted on a fabrication-defective device, so the
+// number includes the boot bandage constructions, the gauge-merged nominal
+// DEM builds, and dynamic bandage/release handling the tier adds over a
+// plain trajectory.
+func measureSuper(n int) (TrajPoint, error) {
+	cfg := traj.QuickConfig()
+	cfg.Device = defect.NewDeviceModel(0.08)
+	return measureTrajLoop(cfg, traj.ModeSuperOnly, n)
 }
 
 // measureLayoutTraj times the layout-level engine: n quick-scale 2-patch

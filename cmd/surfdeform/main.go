@@ -31,6 +31,7 @@ import (
 
 	"surfdeformer/internal/cliutil"
 	"surfdeformer/internal/decoder"
+	"surfdeformer/internal/defect"
 	"surfdeformer/internal/estimator"
 	"surfdeformer/internal/experiments"
 	"surfdeformer/internal/obs"
@@ -67,6 +68,10 @@ func realMain() (err error) {
 	storeGC := flag.Bool("store-gc", false, "compact -store (merge segments, drop corrupt lines) and exit")
 	targetRSE := flag.Float64("target-rse", 0, "adaptive early stopping for sweep/calibrate points (0 = fixed budget)")
 	reweightFactor := flag.Float64("reweight-factor", 0, "traj: rate-multiplier gate of the decoder-prior reweight tier (0 = default)")
+	var tier trajTierFlags
+	flag.Float64Var(&tier.deviceRate, "device-defect-rate", 0, "traj: fabrication defect probability per data qubit and coupler (0 = pristine device; one device sampled per trajectory seed, identical across arms)")
+	flag.Float64Var(&tier.superThreshold, "super-threshold", 0, "traj: severity boundary between the reweight and bandage (super-stabilizer) tiers (0 = default)")
+	flag.Float64Var(&tier.halflife, "halflife", 0, "traj: exponential half-life, in cycles, of the detector's rate estimator (0 = unweighted window)")
 	flag.IntVar(&lay.patches, "patches", 1, "traj: logical patches in the layout (1 = single-patch closed loop; >1 adds routing channels and a lattice-surgery schedule)")
 	flag.StringVar(&lay.program, "program", "", "traj: benchmark whose CNOTs the layout schedules as lattice surgery (simon, rca, qft, grover; needs -patches >= 2)")
 	flag.IntVar(&lay.ops, "ops", 0, "traj: explicit surgery-schedule length (0 = a layout-sized excerpt of -program)")
@@ -179,7 +184,7 @@ func realMain() (err error) {
 
 	opt.Stats = &experiments.RunStats{}
 	start := time.Now()
-	runErr := run(name, opt, format, *targetRSE, *reweightFactor, lay, tracer)
+	runErr := run(name, opt, format, *targetRSE, *reweightFactor, lay, tier, tracer)
 	if runErr != nil && cliutil.ExitCode(runErr) != cliutil.ExitPartial {
 		return runErr
 	}
@@ -219,7 +224,16 @@ type trajLayoutFlags struct {
 	ops     int
 }
 
-func run(name string, opt experiments.Options, format report.Format, targetRSE, reweightFactor float64, lay trajLayoutFlags, tracer *obs.Tracer) error {
+// trajTierFlags carries the three-tier-ladder axis of the traj experiment:
+// a fabrication-defect device model sampled per trajectory, the severity
+// boundary of the bandage tier, and the detector estimator's half-life.
+type trajTierFlags struct {
+	deviceRate     float64
+	superThreshold float64
+	halflife       float64
+}
+
+func run(name string, opt experiments.Options, format report.Format, targetRSE, reweightFactor float64, lay trajLayoutFlags, tier trajTierFlags, tracer *obs.Tracer) error {
 	w := os.Stdout
 	structured := func(t *report.Table) error { return t.Write(w, format) }
 	textOnly := format == report.Text
@@ -344,6 +358,11 @@ func run(name string, opt experiments.Options, format report.Format, targetRSE, 
 	case "traj":
 		cfg := experiments.DefaultTrajConfig(opt)
 		cfg.ReweightFactor = reweightFactor
+		cfg.SuperThreshold = tier.superThreshold
+		cfg.Halflife = tier.halflife
+		if tier.deviceRate > 0 {
+			cfg.Device = defect.NewDeviceModel(tier.deviceRate)
+		}
 		cfg.Trace = tracer
 		if lay.patches > 1 || lay.program != "" || lay.ops > 0 {
 			cfg.Layout = &traj.LayoutConfig{Patches: lay.patches, Program: lay.program, Ops: lay.ops}
@@ -397,7 +416,7 @@ func run(name string, opt experiments.Options, format report.Format, targetRSE, 
 		for _, n := range []string{"table1", "table2", "fig11a", "fig11b", "fig11c",
 			"fig12", "fig13a", "fig13b", "fig14a", "fig14b"} {
 			fmt.Fprintf(w, "\n=== %s ===\n", n)
-			if err := run(n, opt, format, targetRSE, reweightFactor, lay, tracer); err != nil {
+			if err := run(n, opt, format, targetRSE, reweightFactor, lay, tier, tracer); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
 		}
@@ -423,14 +442,19 @@ experiments:
   fig14a    robustness to correlated two-qubit errors
   fig14b    robustness to imprecise defect detection
   sweep     (d, #defects, policy) post-removal error-rate grid
-  traj      closed-loop trajectories: detect → deform/reweight → recover
-            over thousands of cycles with stochastic defect arrivals; four
-            arms (surf-deformer, asc-s, reweight-only, untreated) face
-            identical timelines (-trials per arm; -reweight-factor tunes
-            the decoder-prior tier; supports -store/-resume/-stats).
-            -patches N lifts the loop to an N-patch layout with routing
-            channels and a lattice-surgery schedule (-program, -ops) that
-            replans or stalls around channel-blocking defects
+  traj      closed-loop trajectories: detect → bandage/deform/reweight →
+            recover over thousands of cycles with stochastic defect
+            arrivals; five arms (surf-deformer, asc-s, super-only,
+            reweight-only, untreated) face identical timelines (-trials
+            per arm; -reweight-factor tunes the decoder-prior tier,
+            -super-threshold the bandage tier's severity boundary,
+            -halflife the rate estimator's temporal weighting; supports
+            -store/-resume/-stats). -device-defect-rate p boots every
+            trajectory on a fabrication-defective device sampled per seed
+            and adapted through each arm's mitigation ladder. -patches N
+            lifts the loop to an N-patch layout with routing channels and
+            a lattice-surgery schedule (-program, -ops) that replans or
+            stalls around channel-blocking defects
   pipeline  integrated detection→deformation loop (extension study)
   calibrate refit the Λ extrapolation model from simulations
   all       everything above`)

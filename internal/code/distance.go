@@ -77,7 +77,12 @@ func (c *Code) chainGraph(logicalType lattice.CheckType) (edges []chainEdge, nGe
 	if logicalType == lattice.XCheck {
 		crossing = c.logicalZ
 	}
-	for q := range c.data {
+	// Deterministic edge order (and hence BFS tie-breaking): which
+	// minimum-weight walk wins decides the installed logical representative,
+	// and downstream consumers (the bandage construction's gauge demotion)
+	// are representative-*class* invariant only — two representatives that
+	// differ by a check later demoted to a gauge stop being equivalent.
+	for _, q := range c.DataQubits() {
 		var op pauli.Op
 		if logicalType == lattice.ZCheck {
 			op = pauli.Z(q)

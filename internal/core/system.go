@@ -87,6 +87,47 @@ func (s *System) Recover(i int, sites []lattice.Coord) (*deform.StepResult, erro
 	return res, nil
 }
 
+// Super forwards a bandage super-stabilizer report to patch i's unit: the
+// listed sites are isolated in place by gauge-merged super-stabilizers
+// (the ladder's middle tier) instead of removal. Bandaging never grows the
+// footprint, but the bookkeeping is refreshed for symmetry with Step.
+func (s *System) Super(i int, sites []lattice.Coord) (*deform.StepResult, error) {
+	if i < 0 || i >= len(s.units) {
+		return nil, fmt.Errorf("core: patch index %d out of range", i)
+	}
+	res, err := s.units[i].Bandage(sites)
+	if err != nil {
+		return nil, err
+	}
+	s.updateBlocked(i)
+	return res, nil
+}
+
+// Unbandage forwards the super-stabilizer undo path to patch i's unit: the
+// listed sites are healthy again and their bandages are lifted.
+func (s *System) Unbandage(i int, sites []lattice.Coord) (*deform.StepResult, error) {
+	if i < 0 || i >= len(s.units) {
+		return nil, fmt.Errorf("core: patch index %d out of range", i)
+	}
+	res, err := s.units[i].Unbandage(sites)
+	if err != nil {
+		return nil, err
+	}
+	s.updateBlocked(i)
+	return res, nil
+}
+
+// Bandaged reports patch i's effective super-stabilizer membership: the
+// sites whose bandages took effect at the last rebuild. Detection and
+// decoding key the merged checks off the codes built by the unit; this
+// report is the runtime's view of which sites those merges cover.
+func (s *System) Bandaged(i int) []lattice.Coord {
+	if i < 0 || i >= len(s.units) {
+		return nil
+	}
+	return s.units[i].Bandaged()
+}
+
 // updateBlocked recomputes patch i's channel blockage from its current
 // footprint versus the layout reserve.
 func (s *System) updateBlocked(i int) {

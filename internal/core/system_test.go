@@ -147,19 +147,26 @@ func TestSystemMitigationLadder(t *testing.T) {
 	plan := &Plan{D: 5, DeltaD: 2, Layout: lay}
 	s := plan.NewSystem()
 	m := s.Mitigation()
-	if !m.Handles(defect.SeverityReweight) || !m.Handles(defect.SeverityRemove) {
-		t.Fatalf("default ladder %+v must enable both tiers", m)
+	if !m.Handles(defect.SeverityReweight) || !m.Handles(defect.SeveritySuper) || !m.Handles(defect.SeverityRemove) {
+		t.Fatalf("default ladder %+v must enable all three tiers", m)
 	}
-	if m.Route(0.5) != defect.SeverityRemove || m.Route(0.01) != defect.SeverityReweight {
+	if m.Route(0.5) != defect.SeverityRemove || m.Route(0.09) != defect.SeveritySuper || m.Route(0.01) != defect.SeverityReweight {
 		t.Error("default ladder misroutes severities")
 	}
-	s.SetMitigation(deform.Mitigation{DeformTier: true, RemoveThreshold: 0.3})
+	s.SetMitigation(deform.Mitigation{DeformTier: true, SuperThreshold: 0.25, RemoveThreshold: 0.3})
 	m = s.Mitigation()
-	if m.Handles(defect.SeverityReweight) {
-		t.Error("override did not disable the reweight tier")
+	if m.Handles(defect.SeverityReweight) || m.Handles(defect.SeveritySuper) {
+		t.Error("override did not disable the lower tiers")
 	}
-	// A custom boundary reroutes rates between the tiers.
-	if m.Route(0.2) != defect.SeverityReweight || m.Route(0.3) != defect.SeverityRemove {
-		t.Error("custom severity boundary not honored")
+	// Custom boundaries reroute rates between the tiers.
+	if m.Route(0.2) != defect.SeverityReweight || m.Route(0.25) != defect.SeveritySuper || m.Route(0.3) != defect.SeverityRemove {
+		t.Error("custom severity boundaries not honored")
+	}
+	// Disabled-tier fallbacks resolve to the strongest enabled tier below.
+	if eff, ok := m.Effective(defect.SeverityRemove); !ok || eff != defect.SeverityRemove {
+		t.Error("remove severity must resolve to the deform tier")
+	}
+	if _, ok := m.Effective(defect.SeveritySuper); ok {
+		t.Error("super severity must not resolve when super and reweight tiers are off")
 	}
 }

@@ -1,0 +1,77 @@
+package defect
+
+import (
+	"math/rand"
+
+	"surfdeformer/internal/lattice"
+)
+
+// Permanent fabrication defects (Siegel et al., arXiv 2211.08468): unlike
+// the dynamic taxonomy in variants.go, fabrication defects are properties
+// of the *device*, present from boot and never subsiding. A DeviceModel
+// describes the defect statistics of a fabrication process; Sample draws a
+// concrete Device from it, BandAuto-style — each qubit (and each coupler,
+// represented by its syndrome site) flips a defect coin independently. The
+// runtime adapts the code to the sampled device at boot (bandage
+// super-stabilizers or removal, per the mitigation ladder) and then runs
+// dynamic defects on top of the already-degraded device.
+
+// DeviceModel describes the fabrication-defect statistics of a device
+// family. The zero value is a perfect fab (no defects).
+type DeviceModel struct {
+	// QubitDefectRate is the probability that any given data qubit is
+	// fabricated defective.
+	QubitDefectRate float64
+	// CouplerDefectRate is the probability that any given syndrome site's
+	// couplers are fabricated defective (modelled at the syndrome site, as
+	// a broken measure qubit subsumes its four couplers).
+	CouplerDefectRate float64
+	// ErrorRate is the effective local error rate of a defective site —
+	// what the mitigation ladder classifies at boot. Inoperable hardware
+	// errs at coin-flip rate, so the default is 0.5.
+	ErrorRate float64
+}
+
+// NewDeviceModel is the common symmetric case: data qubits and couplers
+// defective at the same rate, defective sites fully inoperable.
+func NewDeviceModel(rate float64) *DeviceModel {
+	return &DeviceModel{QubitDefectRate: rate, CouplerDefectRate: rate, ErrorRate: 0.5}
+}
+
+// Device is one concrete sampled device: which sites came out of
+// fabrication defective, and how badly they err.
+type Device struct {
+	// DataDefects are the defective data-qubit sites, sorted.
+	DataDefects []lattice.Coord
+	// SyndromeDefects are the defective syndrome sites, sorted.
+	SyndromeDefects []lattice.Coord
+	// ErrorRate is the local error rate of every defective site.
+	ErrorRate float64
+}
+
+// Sample draws a device over the lattice bounding box [min, max] from a
+// seed. Sampling is deterministic: sites are visited in the fixed
+// row-major order of Sites, one uniform draw per site, so the same
+// (bounds, seed) always yields the same device regardless of caller
+// context — the property the trajectory engine's paired-arm and resume
+// contracts rely on.
+func (m *DeviceModel) Sample(min, max lattice.Coord, seed int64) *Device {
+	d := &Device{ErrorRate: m.ErrorRate}
+	if m.ErrorRate <= 0 {
+		d.ErrorRate = 0.5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, q := range Sites(min, max) {
+		switch {
+		case q.IsData():
+			if rng.Float64() < m.QubitDefectRate {
+				d.DataDefects = append(d.DataDefects, q)
+			}
+		default:
+			if rng.Float64() < m.CouplerDefectRate {
+				d.SyndromeDefects = append(d.SyndromeDefects, q)
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,74 @@
+package defect
+
+import (
+	"reflect"
+	"testing"
+
+	"surfdeformer/internal/lattice"
+)
+
+// TestDeviceSampleDeterministic pins the device-sampling contract: the
+// same (model, bounds, seed) always yields the same device, different
+// seeds differ, and the sampled sites are sorted and correctly typed.
+func TestDeviceSampleDeterministic(t *testing.T) {
+	m := NewDeviceModel(0.1)
+	min, max := lattice.Coord{Row: 0, Col: 0}, lattice.Coord{Row: 12, Col: 12}
+	a := m.Sample(min, max, 42)
+	b := m.Sample(min, max, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed sampled different devices")
+	}
+	c := m.Sample(min, max, 43)
+	if reflect.DeepEqual(a.DataDefects, c.DataDefects) && reflect.DeepEqual(a.SyndromeDefects, c.SyndromeDefects) {
+		t.Error("different seeds sampled identical devices (suspicious at 10% rates)")
+	}
+	for _, q := range a.DataDefects {
+		if !q.IsData() {
+			t.Errorf("data defect %v is not a data site", q)
+		}
+	}
+	for _, q := range a.SyndromeDefects {
+		if q.IsData() {
+			t.Errorf("syndrome defect %v is a data site", q)
+		}
+	}
+	if !sortedCoords(a.DataDefects) || !sortedCoords(a.SyndromeDefects) {
+		t.Error("sampled defects not in deterministic row-major order")
+	}
+	if a.ErrorRate != 0.5 {
+		t.Errorf("NewDeviceModel error rate %g, want 0.5", a.ErrorRate)
+	}
+}
+
+func sortedCoords(qs []lattice.Coord) bool {
+	for i := 1; i < len(qs); i++ {
+		if qs[i].Row < qs[i-1].Row || (qs[i].Row == qs[i-1].Row && qs[i].Col <= qs[i-1].Col) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeviceSampleRates sanity-checks the coin flips: a perfect fab has no
+// defects, a broken one defects everything, and asymmetric rates apply to
+// the right site class.
+func TestDeviceSampleRates(t *testing.T) {
+	min, max := lattice.Coord{Row: 0, Col: 0}, lattice.Coord{Row: 20, Col: 20}
+	if d := (&DeviceModel{}).Sample(min, max, 1); len(d.DataDefects)+len(d.SyndromeDefects) != 0 {
+		t.Error("perfect fab sampled defects")
+	}
+	full := (&DeviceModel{QubitDefectRate: 1, CouplerDefectRate: 1, ErrorRate: 0.4}).Sample(min, max, 1)
+	if len(full.DataDefects) == 0 || len(full.SyndromeDefects) == 0 {
+		t.Error("rate-1 fab sampled no defects")
+	}
+	if full.ErrorRate != 0.4 {
+		t.Errorf("explicit error rate not kept: %g", full.ErrorRate)
+	}
+	onlyData := (&DeviceModel{QubitDefectRate: 1}).Sample(min, max, 1)
+	if len(onlyData.SyndromeDefects) != 0 {
+		t.Error("coupler defects sampled at rate 0")
+	}
+	if len(onlyData.DataDefects) == 0 {
+		t.Error("qubit defects not sampled at rate 1")
+	}
+}

@@ -1,6 +1,7 @@
 package defect
 
 import (
+	"fmt"
 	"math/rand"
 
 	"surfdeformer/internal/lattice"
@@ -119,41 +120,87 @@ func (m *DriftModel) SampleDrift(sites []lattice.Coord, cycles int64, cycleSecon
 	return events
 }
 
-// Severity classifies whether an event needs deformation (removal) or can
-// be left to decoder reweighting: the paper's §VIII argues reweighting
-// suffices only for mild rate elevation, while ≈50% regions and inoperable
-// qubits must be removed.
+// Severity classifies how aggressively an event must be mitigated: left to
+// decoder reweighting, patched with a bandage super-stabilizer
+// (gauge-merge, arXiv 2404.18644), or removed outright by deformation. The
+// paper's §VIII argues reweighting suffices only for mild rate elevation;
+// the super-stabilizer tier handles a single inoperable-or-nearly-so qubit
+// without sacrificing the surrounding patch; ≈50% multi-qubit regions must
+// be removed.
 type Severity int
 
 const (
 	// SeverityReweight marks events a decoder-prior update can absorb.
 	SeverityReweight Severity = iota
+	// SeveritySuper marks events a bandage super-stabilizer (merging the
+	// checks around the defective qubit into one weight-heavier check)
+	// can absorb without deforming the patch boundary.
+	SeveritySuper
 	// SeverityRemove marks events requiring code deformation.
 	SeverityRemove
 )
 
 // RemoveThreshold is the default local error rate at or above which an
-// event needs code deformation rather than decoder-prior reweighting: a
+// event needs code deformation rather than any in-place mitigation: a
 // region erring one shot in ten overwhelms any prior update (the decoding
 // graph cannot even represent rates at ½, see decoder.MaxEdgeProb), while
 // milder drift leaves the code intact and only misweights the decoder.
 const RemoveThreshold = 0.1
 
+// SuperThreshold is the default local error rate at or above which an
+// event outgrows decoder-prior reweighting and warrants a bandage
+// super-stabilizer: below it the decoder absorbs the elevation, between it
+// and RemoveThreshold a gauge-merge isolates the noisy qubit in place, at
+// or above RemoveThreshold the region is cut out entirely. It sits just
+// under RemoveThreshold so the default three-tier ladder classifies every
+// pre-existing dynamic-defect scenario exactly as the two-tier ladder did.
+const SuperThreshold = 0.08
+
 // Classify returns the mitigation tier for a local error rate at the
-// default severity boundary.
+// default severity boundaries.
 func Classify(localRate float64) Severity {
-	return ClassifyAt(localRate, RemoveThreshold)
+	return ClassifyAt(localRate, SuperThreshold, RemoveThreshold)
 }
 
-// ClassifyAt returns the mitigation tier for a local error rate at an
-// explicit severity boundary (non-positive selects RemoveThreshold) —
-// the knob runtime mitigation policies (deform.Mitigation) expose.
-func ClassifyAt(localRate, threshold float64) Severity {
-	if threshold <= 0 {
-		threshold = RemoveThreshold
+// ClassifyAt returns the mitigation tier for a local error rate at
+// explicit severity boundaries — the knobs runtime mitigation policies
+// (deform.Mitigation) expose. Non-positive superThreshold selects
+// SuperThreshold; non-positive removeThreshold selects RemoveThreshold.
+// Rates in [superThreshold, removeThreshold) classify SeveritySuper;
+// rates at or above removeThreshold classify SeverityRemove. Callers that
+// accept thresholds from configuration should reject misordered pairs via
+// ValidateThresholds first; ClassifyAt itself assumes a sane ladder.
+func ClassifyAt(localRate, superThreshold, removeThreshold float64) Severity {
+	if superThreshold <= 0 {
+		superThreshold = SuperThreshold
 	}
-	if localRate >= threshold {
+	if removeThreshold <= 0 {
+		removeThreshold = RemoveThreshold
+	}
+	if localRate >= removeThreshold {
 		return SeverityRemove
 	}
+	if localRate >= superThreshold {
+		return SeveritySuper
+	}
 	return SeverityReweight
+}
+
+// ValidateThresholds checks that a (superThreshold, removeThreshold) pair
+// describes a well-ordered three-tier ladder after default resolution
+// (non-positive values select the package defaults, mirroring ClassifyAt).
+// A resolved superThreshold at or above the resolved removeThreshold would
+// silently erase the super tier — reject it loudly instead.
+func ValidateThresholds(superThreshold, removeThreshold float64) error {
+	s, r := superThreshold, removeThreshold
+	if s <= 0 {
+		s = SuperThreshold
+	}
+	if r <= 0 {
+		r = RemoveThreshold
+	}
+	if s >= r {
+		return fmt.Errorf("defect: super threshold %g must be below remove threshold %g", s, r)
+	}
+	return nil
 }

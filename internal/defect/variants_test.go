@@ -104,4 +104,61 @@ func TestClassify(t *testing.T) {
 	if Classify(DefaultLeakage().NeighbourRate) != SeverityRemove {
 		t.Error("leakage neighbourhoods need removal")
 	}
+	if Classify(0.09) != SeveritySuper {
+		t.Error("rates between the thresholds take the super-stabilizer tier")
+	}
+}
+
+// TestClassifyAtBoundaryTable is the three-tier boundary table: inclusive
+// thresholds, custom boundaries, and default resolution of non-positive
+// arguments.
+func TestClassifyAtBoundaryTable(t *testing.T) {
+	cases := []struct {
+		rate, super, remove float64
+		want                Severity
+	}{
+		// Default boundaries (non-positive selects the package constants).
+		{0.0, 0, 0, SeverityReweight},
+		{SuperThreshold - 1e-9, 0, 0, SeverityReweight},
+		{SuperThreshold, 0, 0, SeveritySuper}, // inclusive
+		{RemoveThreshold - 1e-9, 0, 0, SeveritySuper},
+		{RemoveThreshold, 0, 0, SeverityRemove}, // inclusive
+		{0.5, 0, 0, SeverityRemove},
+		// Custom boundaries.
+		{0.15, 0.1, 0.2, SeveritySuper},
+		{0.2, 0.1, 0.2, SeverityRemove},
+		{0.05, 0.1, 0.2, SeverityReweight},
+		// Partial defaults.
+		{0.09, 0, 0.2, SeveritySuper},
+		{0.07, 0.05, 0, SeveritySuper},
+	}
+	for _, tc := range cases {
+		if got := ClassifyAt(tc.rate, tc.super, tc.remove); got != tc.want {
+			t.Errorf("ClassifyAt(%g, %g, %g) = %v, want %v", tc.rate, tc.super, tc.remove, got, tc.want)
+		}
+	}
+}
+
+// TestValidateThresholds pins the misordered-ladder rejection: resolved
+// super >= resolved remove is an error, never a silent tier inversion.
+func TestValidateThresholds(t *testing.T) {
+	if err := ValidateThresholds(0, 0); err != nil {
+		t.Errorf("defaults must validate: %v", err)
+	}
+	if err := ValidateThresholds(0.05, 0.2); err != nil {
+		t.Errorf("ordered custom thresholds must validate: %v", err)
+	}
+	if err := ValidateThresholds(0.2, 0.1); err == nil {
+		t.Error("super above remove must be rejected")
+	}
+	if err := ValidateThresholds(0.1, 0.1); err == nil {
+		t.Error("equal thresholds must be rejected")
+	}
+	// Default resolution applies before the ordering check.
+	if err := ValidateThresholds(0, SuperThreshold/2); err == nil {
+		t.Error("custom remove below the default super threshold must be rejected")
+	}
+	if err := ValidateThresholds(RemoveThreshold*2, 0); err == nil {
+		t.Error("custom super above the default remove threshold must be rejected")
+	}
 }

@@ -2,40 +2,54 @@ package deform
 
 import "surfdeformer/internal/defect"
 
-// Mitigation is the runtime mitigation ladder of the paper's §VIII: which
-// of the two tiers a policy enables — decoder-prior reweighting for mild
-// rate elevation, code deformation for severe defects — and where the
-// severity boundary between them sits. The runtime (core.System, the
+// Mitigation is the runtime mitigation ladder of the paper's §VIII,
+// extended with the bandage super-stabilizer tier of arXiv 2404.18644:
+// which of the three tiers a policy enables — decoder-prior reweighting
+// for mild rate elevation, gauge-merged super-stabilizers for a severely
+// noisy qubit, code deformation for severe regions — and where the
+// severity boundaries between them sit. The runtime (core.System, the
 // trajectory engine's arms) consults this ladder to route a detected
 // elevation: Route classifies it, Handles says whether the selected tier
 // is actually enabled under the policy (an ablation arm may run one tier
-// only).
+// only), and Effective resolves the strongest enabled tier at or below the
+// classified severity.
 type Mitigation struct {
 	// ReweightTier enables decoder-prior reweighting: detected mild
 	// elevations are folded into the decode model's priors
 	// (noise.Model.OverlaySiteRates) without touching the code.
 	ReweightTier bool
+	// SuperTier enables bandage super-stabilizers: a severely noisy qubit
+	// is isolated in place by demoting its adjacent checks to gauges and
+	// promoting their merged products (BandageQubit), leaving the patch
+	// boundary — and the logical operators — untouched.
+	SuperTier bool
 	// DeformTier enables code deformation: detected severe defects are
 	// removed (and the code adaptively enlarged) by the deformation unit.
 	DeformTier bool
+	// SuperThreshold is the estimated local error rate at or above which
+	// an elevation outgrows reweighting and warrants a super-stabilizer
+	// (non-positive selects defect.SuperThreshold). Must resolve below
+	// RemoveThreshold; Validate rejects misordered ladders.
+	SuperThreshold float64
 	// RemoveThreshold is the estimated local error rate at or above which
-	// an elevation needs deformation rather than reweighting
+	// an elevation needs deformation rather than any in-place mitigation
 	// (non-positive selects defect.RemoveThreshold).
 	RemoveThreshold float64
 }
 
-// FullLadder is the paper's complete mitigation ladder: both tiers enabled
-// at the default severity boundary.
+// FullLadder is the complete mitigation ladder: all three tiers enabled at
+// the default severity boundaries.
 func FullLadder() Mitigation {
-	return Mitigation{ReweightTier: true, DeformTier: true}
+	return Mitigation{ReweightTier: true, SuperTier: true, DeformTier: true}
 }
 
 // Route classifies an estimated local error rate into the tier that should
-// handle it under this ladder's severity boundary. Routing is independent
-// of which tiers are enabled — callers combine it with Handles, so a
-// reweight-only ablation can still see that an elevation *wanted* removal.
+// handle it under this ladder's severity boundaries. Routing is
+// independent of which tiers are enabled — callers combine it with
+// Handles/Effective, so a reweight-only ablation can still see that an
+// elevation *wanted* removal.
 func (m Mitigation) Route(estRate float64) defect.Severity {
-	return defect.ClassifyAt(estRate, m.RemoveThreshold)
+	return defect.ClassifyAt(estRate, m.SuperThreshold, m.RemoveThreshold)
 }
 
 // Handles reports whether the tier selected for a severity is enabled
@@ -44,8 +58,31 @@ func (m Mitigation) Handles(s defect.Severity) bool {
 	switch s {
 	case defect.SeverityReweight:
 		return m.ReweightTier
+	case defect.SeveritySuper:
+		return m.SuperTier
 	case defect.SeverityRemove:
 		return m.DeformTier
 	}
 	return false
+}
+
+// Effective resolves the strongest enabled tier at or below a classified
+// severity — the tier that will actually act. An elevation classified for
+// removal falls back to a super-stabilizer under a super-only ablation;
+// one classified for a super-stabilizer never escalates to removal. The
+// second return is false when no enabled tier can act at all.
+func (m Mitigation) Effective(s defect.Severity) (defect.Severity, bool) {
+	for t := s; t >= defect.SeverityReweight; t-- {
+		if m.Handles(t) {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// Validate rejects ladders whose resolved severity boundaries are
+// misordered (super at or above remove), which would silently erase the
+// super tier rather than surfacing the misconfiguration.
+func (m Mitigation) Validate() error {
+	return defect.ValidateThresholds(m.SuperThreshold, m.RemoveThreshold)
 }

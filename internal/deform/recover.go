@@ -105,7 +105,10 @@ func (u *Unit) Recover(recovered []lattice.Coord) (*StepResult, error) {
 	}
 	u.spec.Reincorporate(recovered)
 	shed := u.spec.Shrink(u.origDX, u.origDZ, u.origOrigin)
-	c, err := u.spec.Build()
+	// Bandages are not recovery targets: boot-time fabrication bandages
+	// are permanent, and dynamic ones are lifted explicitly via
+	// Unbandage. Code re-applies the persistent set on the rebuilt spec.
+	c, err := u.Code()
 	if err != nil {
 		return nil, fmt.Errorf("deform: recovery rebuild failed: %w", err)
 	}

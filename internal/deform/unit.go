@@ -26,6 +26,16 @@ type Unit struct {
 	// thousands of cycles, so the spec keeps them excluded until the
 	// detector reports recovery (Recover).
 	defectSet map[lattice.Coord]bool
+
+	// bandageSet holds the sites mitigated by bandage super-stabilizers
+	// (BandageQubit) rather than removal. Bandages are re-applied on top
+	// of every spec rebuild, so they survive enlargement, removal and
+	// shrink operations; they persist until Unbandage.
+	bandageSet map[lattice.Coord]bool
+	// bandaged records which bandageSet sites actually took effect at the
+	// last rebuild (a site may be outside the current footprint, or its
+	// neighbourhood may reject the construction).
+	bandaged []lattice.Coord
 }
 
 // NewUnit creates a deformation unit for a fresh dx×dz patch at origin.
@@ -42,6 +52,7 @@ func NewUnit(origin lattice.Coord, dx, dz int, policy Policy, budget Budget) *Un
 		origDZ:     dz,
 		origOrigin: origin,
 		defectSet:  map[lattice.Coord]bool{},
+		bandageSet: map[lattice.Coord]bool{},
 	}
 }
 
@@ -83,10 +94,17 @@ func (u *Unit) Step(defects []lattice.Coord) (*StepResult, error) {
 			enlarged = true
 		}
 	}
+	u.applyBandages(res.Code)
+	dx, dz := res.ReachedX, res.ReachedZ
+	if len(u.bandaged) > 0 {
+		// Bandages reshape the check structure, so the enlargement
+		// engine's distance estimate no longer applies verbatim.
+		dx, dz = res.Code.DistanceX(), res.Code.DistanceZ()
+	}
 	return &StepResult{
 		Code:       res.Code,
-		DistanceX:  res.ReachedX,
-		DistanceZ:  res.ReachedZ,
+		DistanceX:  dx,
+		DistanceZ:  dz,
 		NumRemoved: u.spec.NumRemoved(),
 		Layers:     res.LayersAdded,
 		Defects:    fresh,
@@ -97,6 +115,105 @@ func (u *Unit) Step(defects []lattice.Coord) (*StepResult, error) {
 
 // Spec exposes the unit's current spec (callers must not mutate it).
 func (u *Unit) Spec() *Spec { return u.spec }
+
+// Code builds the unit's current code: the spec's deformed patch with the
+// bandage set applied on top. Callers that previously rebuilt via
+// Spec().Build() must use Code so bandages survive the rebuild.
+func (u *Unit) Code() (*code.Code, error) {
+	c, err := u.spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	u.applyBandages(c)
+	return c, nil
+}
+
+// applyBandages applies the bandage set to a freshly built code in sorted
+// site order. Sites outside the current footprint, or whose neighbourhood
+// rejects the construction (BandageQubit's checked preconditions, e.g. an
+// overlapping bandage), are skipped — the result is a deterministic
+// function of (spec, bandageSet). The sites that took effect are recorded
+// in u.bandaged.
+func (u *Unit) applyBandages(c *code.Code) {
+	u.bandaged = u.bandaged[:0]
+	if len(u.bandageSet) == 0 {
+		return
+	}
+	sites := make([]lattice.Coord, 0, len(u.bandageSet))
+	for q := range u.bandageSet {
+		sites = append(sites, q)
+	}
+	lattice.SortCoords(sites)
+	for _, q := range sites {
+		if !c.HasData(q) {
+			continue
+		}
+		if _, err := BandageQubit(c, q); err == nil {
+			u.bandaged = append(u.bandaged, q)
+		}
+	}
+}
+
+// Bandage executes the Bandage_STB instruction: the listed sites join the
+// persistent bandage set and the code is rebuilt with super-stabilizers
+// over them. It is idempotent for repeated sites; Defects in the result
+// lists the fresh ones.
+func (u *Unit) Bandage(sites []lattice.Coord) (*StepResult, error) {
+	var fresh []lattice.Coord
+	for _, q := range sites {
+		if !u.bandageSet[q] {
+			u.bandageSet[q] = true
+			fresh = append(fresh, q)
+		}
+	}
+	c, err := u.Code()
+	if err != nil {
+		return nil, fmt.Errorf("deform: bandage rebuild failed: %w", err)
+	}
+	return &StepResult{
+		Code:       c,
+		DistanceX:  c.DistanceX(),
+		DistanceZ:  c.DistanceZ(),
+		NumRemoved: u.spec.NumRemoved(),
+		Defects:    fresh,
+		Spec:       u.spec,
+	}, nil
+}
+
+// Unbandage reverses Bandage for the listed sites (the undo path of the
+// super-stabilizer tier): they leave the bandage set and the code is
+// rebuilt, re-incorporating the healthy qubits. Sites never bandaged are
+// ignored.
+func (u *Unit) Unbandage(sites []lattice.Coord) (*StepResult, error) {
+	var fresh []lattice.Coord
+	for _, q := range sites {
+		if u.bandageSet[q] {
+			delete(u.bandageSet, q)
+			fresh = append(fresh, q)
+		}
+	}
+	c, err := u.Code()
+	if err != nil {
+		return nil, fmt.Errorf("deform: unbandage rebuild failed: %w", err)
+	}
+	return &StepResult{
+		Code:       c,
+		DistanceX:  c.DistanceX(),
+		DistanceZ:  c.DistanceZ(),
+		NumRemoved: u.spec.NumRemoved(),
+		Defects:    fresh,
+		Spec:       u.spec,
+	}, nil
+}
+
+// Bandaged returns the sites whose bandages took effect at the last
+// rebuild, sorted — the super-stabilizer membership report the runtime
+// (core.System) exposes to detection and decoding.
+func (u *Unit) Bandaged() []lattice.Coord {
+	out := append([]lattice.Coord(nil), u.bandaged...)
+	lattice.SortCoords(out)
+	return out
+}
 
 // Defects returns the accumulated defect coordinates.
 func (u *Unit) Defects() []lattice.Coord {
@@ -119,6 +236,12 @@ const (
 	InstrSyndromeQRM Instruction = "SyndromeQ_RM"
 	InstrPatchQRM    Instruction = "PatchQ_RM"
 	InstrPatchQADD   Instruction = "PatchQ_ADD"
+	// InstrBandageSTB is the bandage super-stabilizer instruction of
+	// arXiv 2404.18644 (Unit.Bandage/Unbandage): isolate a defective
+	// qubit in place by gauge-merging its adjacent checks, without
+	// deforming the patch boundary. It extends Table I beyond the source
+	// paper's set, so InstructionSets (the paper's table) omits it.
+	InstrBandageSTB Instruction = "Bandage_STB"
 )
 
 // InstructionSet lists the extended instructions a framework supports and

@@ -42,6 +42,7 @@ func Oracle(truth, healthy []lattice.Coord, fp, fn float64, rng *rand.Rand) []la
 type Window struct {
 	rounds    int     // window length in rounds
 	threshold float64 // firing-rate threshold in (0, 1)
+	halflife  float64 // EstimateRates temporal half-life in rounds (0 = uniform)
 
 	history map[int32][]int // per observable: recent firing rounds
 	current int
@@ -56,6 +57,21 @@ type Window struct {
 // two populations after a ~20-round window.
 func NewWindow(rounds int, threshold float64) *Window {
 	return &Window{rounds: rounds, threshold: threshold, history: map[int32][]int{}}
+}
+
+// SetHalflife enables exponential temporal weighting in EstimateRates: a
+// firing h rounds old contributes 0.5^(h/halflife) of a fresh one, so the
+// estimate tracks rapid event churn instead of lagging by up to a full
+// window (the staleness mode of DESIGN.md §9). Zero (the default) keeps
+// the uniform window — bit-identical to the unweighted estimator.
+// Flagging is unaffected: detection wants the full window's evidence.
+// Negative half-lives are rejected by the callers' config validation; the
+// detector itself treats them as zero.
+func (w *Window) SetHalflife(halflife float64) {
+	if halflife < 0 {
+		halflife = 0
+	}
+	w.halflife = halflife
 }
 
 // Feed records the observables that fired (produced a detection event) in
@@ -176,6 +192,15 @@ func (w *Window) EstimateRates(p float64, baseline func(int32) float64, minMulti
 		minFirings = 1
 	}
 	lo := w.current - w.rounds + 1
+	// Under exponential weighting the denominator is the total weight of
+	// the rounds inside the effective window; it depends only on (eff,
+	// halflife), so hoist it out of the per-observable loop.
+	var weightedEff float64
+	if w.halflife > 0 {
+		for a := 0; a < eff; a++ {
+			weightedEff += math.Pow(0.5, float64(a)/w.halflife)
+		}
+	}
 	var out []RateEstimate
 	for o, rounds := range w.history {
 		n := 0
@@ -195,6 +220,21 @@ func (w *Window) EstimateRates(p float64, baseline func(int32) float64, minMulti
 			f0 = maxFireRate
 		}
 		raw := float64(n) / float64(eff)
+		if w.halflife > 0 {
+			// Weighted firing mass over weighted window mass: recent
+			// firings dominate, so a subsided burst decays out of the
+			// estimate with the half-life instead of persisting until it
+			// slides past the window edge. The minFirings gate above
+			// stays on the raw count — "sustained" is about evidence,
+			// not recency.
+			var mass float64
+			for _, r := range rounds {
+				if r >= lo {
+					mass += math.Pow(0.5, float64(w.current-r)/w.halflife)
+				}
+			}
+			raw = mass / weightedEff
+		}
 		f := raw
 		if f > maxFireRate {
 			f = maxFireRate

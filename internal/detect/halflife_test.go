@@ -1,0 +1,157 @@
+package detect
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// feedBurst fires observable o every round in [from, to).
+func feedBurst(w *Window, o int32, from, to int) {
+	for r := from; r < to; r++ {
+		w.Feed(r, []int32{o})
+	}
+}
+
+// feedQuiet advances the stream without firings.
+func feedQuiet(w *Window, from, to int) {
+	for r := from; r < to; r++ {
+		w.Feed(r, nil)
+	}
+}
+
+// TestHalflifeDefaultOffBitIdentical pins the compatibility contract: a
+// zero half-life (the default) yields exactly the unweighted estimator,
+// bit for bit, on a mixed stream.
+func TestHalflifeDefaultOffBitIdentical(t *testing.T) {
+	base := func(int32) float64 { return 0.02 }
+	mk := func() *Window {
+		w := NewWindow(40, 0.25)
+		feedBurst(w, 7, 0, 25)
+		feedQuiet(w, 25, 35)
+		feedBurst(w, 9, 30, 40)
+		return w
+	}
+	plain := mk()
+	zeroed := mk()
+	zeroed.SetHalflife(0)
+	negative := mk()
+	negative.SetHalflife(-3) // treated as off
+	want := plain.EstimateRates(1e-3, base, 1, 3)
+	if len(want) == 0 {
+		t.Fatal("test stream produced no estimates")
+	}
+	if got := zeroed.EstimateRates(1e-3, base, 1, 3); !reflect.DeepEqual(got, want) {
+		t.Errorf("halflife 0 differs from default:\n got %+v\nwant %+v", got, want)
+	}
+	if got := negative.EstimateRates(1e-3, base, 1, 3); !reflect.DeepEqual(got, want) {
+		t.Errorf("negative halflife differs from default:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestHalflifeStalenessUnderChurn pins the staleness fix: after a burst
+// subsides mid-window, the weighted estimator's rate for the stale
+// observable decays well below the unweighted one (which keeps averaging
+// the dead burst until it slides out), while a currently-active observable
+// estimates the same or hotter.
+func TestHalflifeStalenessUnderChurn(t *testing.T) {
+	const window = 60
+	base := func(int32) float64 { return 0.02 }
+	mk := func(halflife float64) *Window {
+		w := NewWindow(window, 0.25)
+		w.SetHalflife(halflife)
+		// Rapid churn: observable 1 burns hot for the first third of the
+		// window then dies; observable 2 ignites for the final third.
+		for r := 0; r < window; r++ {
+			var fired []int32
+			if r < window/3 {
+				fired = append(fired, 1)
+			}
+			if r >= 2*window/3 {
+				fired = append(fired, 2)
+			}
+			w.Feed(r, fired)
+		}
+		return w
+	}
+	find := func(ests []RateEstimate, o int32) (RateEstimate, bool) {
+		for _, e := range ests {
+			if e.Observable == o {
+				return e, true
+			}
+		}
+		return RateEstimate{}, false
+	}
+
+	uniform := mk(0).EstimateRates(1e-3, base, 1, 3)
+	weighted := mk(10).EstimateRates(1e-3, base, 1, 3)
+
+	uStale, ok1 := find(uniform, 1)
+	wStale, ok2 := find(weighted, 1)
+	if !ok1 || !ok2 {
+		t.Fatal("stale observable missing from estimates")
+	}
+	// The stale burst ended 40 rounds ago = 4 half-lives: its weighted
+	// rate must have decayed to a small fraction of the uniform average.
+	if wStale.FireRate >= uStale.FireRate/2 {
+		t.Errorf("stale rate did not decay: weighted %.4f vs uniform %.4f",
+			wStale.FireRate, uStale.FireRate)
+	}
+	if wStale.Multiplier >= uStale.Multiplier {
+		t.Errorf("stale multiplier did not decay: weighted %.2f vs uniform %.2f",
+			wStale.Multiplier, uStale.Multiplier)
+	}
+
+	uHot, ok1 := find(uniform, 2)
+	wHot, ok2 := find(weighted, 2)
+	if !ok1 || !ok2 {
+		t.Fatal("active observable missing from estimates")
+	}
+	// The live burst fills the most recent rounds: weighting must rate it
+	// at least as hot as the uniform average (strictly hotter here, since
+	// its dead early window decays away).
+	if wHot.FireRate <= uHot.FireRate {
+		t.Errorf("active rate not boosted: weighted %.4f vs uniform %.4f",
+			wHot.FireRate, uHot.FireRate)
+	}
+}
+
+// TestHalflifeSaturatedBurstStable sanity-checks the weighting math: an
+// observable firing every round estimates the same rate (up to float
+// noise) under any half-life — weights cancel when the firing pattern is
+// uniform.
+func TestHalflifeSaturatedBurstStable(t *testing.T) {
+	base := func(int32) float64 { return 0.02 }
+	rate := func(halflife float64) float64 {
+		w := NewWindow(30, 0.25)
+		w.SetHalflife(halflife)
+		feedBurst(w, 4, 0, 30)
+		ests := w.EstimateRates(1e-3, base, 1, 3)
+		if len(ests) != 1 {
+			t.Fatalf("want 1 estimate, got %d", len(ests))
+		}
+		return ests[0].FireRate
+	}
+	r0 := rate(0)
+	for _, h := range []float64{1, 5, 30} {
+		if r := rate(h); math.Abs(r-r0) > 1e-9 {
+			t.Errorf("halflife %g shifted a uniform firing pattern: %.6f vs %.6f", h, r, r0)
+		}
+	}
+}
+
+// TestHalflifeFlaggingUnaffected pins that SetHalflife changes only the
+// estimator: Flagged keeps judging the uniform window.
+func TestHalflifeFlaggingUnaffected(t *testing.T) {
+	mk := func(h float64) *Window {
+		w := NewWindow(40, 0.25)
+		w.SetHalflife(h)
+		feedBurst(w, 3, 0, 15)
+		feedQuiet(w, 15, 40)
+		return w
+	}
+	want := mk(0).Flagged()
+	if got := mk(5).Flagged(); !reflect.DeepEqual(got, want) {
+		t.Errorf("halflife changed flagging: %v vs %v", got, want)
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"surfdeformer/internal/defect"
+	"surfdeformer/internal/store"
+	"surfdeformer/internal/traj"
+)
+
+// TestDeviceScanStoreIdentity pins the store-identity contract of the
+// rev-4 axes: device-less rows of arms without the super tier serialize
+// without any of the new keys (the axis addition cannot perturb their
+// hashes within the rev), super-tier arms resolve the default boundary so
+// explicit-default and 0-means-default spellings hash identically, and
+// tuning the boundary never invalidates arms whose ladder ignores it.
+func TestDeviceScanStoreIdentity(t *testing.T) {
+	opt := trajTestOptions()
+	cfg := DefaultTrajConfig(opt)
+
+	b, err := json.Marshal(taskConfig(cfg, traj.ModeUntreated, 0, opt.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"device_qubit_rate", "device_coupler_rate", "device_error_rate", "super_threshold", "halflife"} {
+		if strings.Contains(string(b), key) {
+			t.Errorf("device-less untreated row carries %q: %s", key, b)
+		}
+	}
+	if !strings.Contains(string(b), `"rev":4`) {
+		t.Errorf("row identity missing the rev-4 engine revision: %s", b)
+	}
+
+	explicit := cfg
+	explicit.SuperThreshold = defect.SuperThreshold
+	if !reflect.DeepEqual(taskConfig(cfg, traj.ModeSuperOnly, 0, opt.Seed),
+		taskConfig(explicit, traj.ModeSuperOnly, 0, opt.Seed)) {
+		t.Error("explicit-default and 0-means-default super thresholds hash differently")
+	}
+	moved := cfg
+	moved.SuperThreshold = 0.09
+	if !reflect.DeepEqual(taskConfig(cfg, traj.ModeUntreated, 0, opt.Seed),
+		taskConfig(moved, traj.ModeUntreated, 0, opt.Seed)) {
+		t.Error("tuning the super boundary invalidated untreated rows")
+	}
+
+	dcfg := cfg
+	dcfg.Device = defect.NewDeviceModel(0.1)
+	db, err := json.Marshal(taskConfig(dcfg, traj.ModeUntreated, 0, opt.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"device_qubit_rate", "device_coupler_rate", "device_error_rate"} {
+		if !strings.Contains(string(db), key) {
+			t.Errorf("device-sampled row missing %q: %s", key, db)
+		}
+	}
+}
+
+// TestDeviceTrajectoryScan lifts the determinism/resume acceptance gate to
+// the fabrication-device axis: a device-sampled scan is bit-identical for
+// any worker count, resumes byte-identically from a partially-written
+// store, and aggregates the bandage/device columns coherently (every arm
+// sees the identical sampled devices; only bandaging arms bandage).
+func TestDeviceTrajectoryScan(t *testing.T) {
+	opt := trajTestOptions()
+	cfg := DefaultTrajConfig(opt)
+	cfg.Device = defect.NewDeviceModel(0.12)
+	modes := DefaultTrajModes()
+
+	serial, err := TrajectoryScan(opt, cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.PointWorkers = 4
+	parallel, err := TrajectoryScan(opt, cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("worker count changed the device scan:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+	var sawBandages bool
+	for _, r := range serial {
+		if r.MeanDeviceDefects != serial[0].MeanDeviceDefects {
+			t.Errorf("%s: saw %.2f device defects, other arms %.2f — paired devices broken",
+				r.Mode, r.MeanDeviceDefects, serial[0].MeanDeviceDefects)
+		}
+		if r.MeanBandages > 0 {
+			sawBandages = true
+		}
+		if r.Mode == traj.ModeUntreated.String() && r.MeanBandages != 0 {
+			t.Errorf("untreated arm bandaged the code: %+v", r)
+		}
+	}
+	if serial[0].MeanDeviceDefects <= 0 {
+		t.Error("12% defect rates sampled no defective sites across the scan")
+	}
+	if !sawBandages {
+		t.Error("no arm of the device scan ever bandaged")
+	}
+
+	// Interrupted at 2 of 3 trajectories per arm, then resumed: only the
+	// missing trajectory computes, and rows render byte-identically.
+	st, err := store.Open(filepath.Join(t.TempDir(), "device-traj.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	partial := opt
+	partial.Trials = 2
+	partial.Store = st
+	partial.Stats = &RunStats{}
+	if _, err := TrajectoryScan(partial, cfg, modes); err != nil {
+		t.Fatal(err)
+	}
+	resumed := opt
+	resumed.Store = st
+	resumed.Resume = true
+	resumed.Stats = &RunStats{}
+	rows, err := TrajectoryScan(resumed, cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, s := resumed.Stats.Computed(), resumed.Stats.Skipped(); c != len(modes) || s != 2*len(modes) {
+		t.Fatalf("device resume computed %d / skipped %d, want %d / %d", c, s, len(modes), 2*len(modes))
+	}
+	if !reflect.DeepEqual(serial, rows) {
+		t.Fatalf("resumed device scan differs from fresh scan:\nfresh   %+v\nresumed %+v", serial, rows)
+	}
+	var fresh, again bytes.Buffer
+	RenderTraj(&fresh, cfg.Horizon, serial)
+	RenderTraj(&again, cfg.Horizon, rows)
+	if !bytes.Equal(fresh.Bytes(), again.Bytes()) {
+		t.Error("rendered device tables differ between fresh and resumed scans")
+	}
+
+	// The device axis is part of the store identity: a pristine-device scan
+	// must not be served rows from the device store.
+	pristine := opt
+	pristine.Store = st
+	pristine.Resume = true
+	pristine.Stats = &RunStats{}
+	if _, err := TrajectoryScan(pristine, DefaultTrajConfig(opt), modes); err != nil {
+		t.Fatal(err)
+	}
+	if s := pristine.Stats.Skipped(); s != 0 {
+		t.Errorf("pristine-device scan served %d rows from the device store", s)
+	}
+}

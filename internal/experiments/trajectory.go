@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"surfdeformer/internal/defect"
 	"surfdeformer/internal/mc"
 	"surfdeformer/internal/report"
 	"surfdeformer/internal/traj"
@@ -29,13 +30,17 @@ import (
 // gained OverlayDEMBuilds, so replayed payload bytes from older stores
 // would not match recomputed ones; rev 3: the layout axis — Result gained
 // the per-patch and router fields, so rev-2 payload bytes would not match
-// recomputed ones even for single-patch configs).
-const trajEngineRev = 3
+// recomputed ones even for single-patch configs; rev 4: the three-tier
+// mitigation ladder and fabrication-device axis — Result gained
+// DeviceDefects/Bandages and the full ladder gained the super tier, so
+// surf-deformer semantics changed for unchanged configs).
+const trajEngineRev = 4
 
 // DefaultTrajModes lists the arms every scan compares, in mitigation-ladder
-// order: the full ladder, removal only, reweighting only, nothing.
+// order: the full ladder, removal only, bandaging only, reweighting only,
+// nothing.
 func DefaultTrajModes() []traj.Mode {
-	return []traj.Mode{traj.ModeSurfDeformer, traj.ModeASC, traj.ModeReweightOnly, traj.ModeUntreated}
+	return []traj.Mode{traj.ModeSurfDeformer, traj.ModeASC, traj.ModeSuperOnly, traj.ModeReweightOnly, traj.ModeUntreated}
 }
 
 // DefaultTrajConfig returns the scan scenario at Options scale.
@@ -78,6 +83,15 @@ type trajTaskConfig struct {
 
 	ReweightFactor float64 `json:"reweight_factor,omitempty"`
 
+	// Fabrication-device axis (rev 4). All omitted for pristine-device,
+	// default-threshold scans, so every single-device row keeps its
+	// identity across the axis addition.
+	DeviceQubitRate   float64 `json:"device_qubit_rate,omitempty"`
+	DeviceCouplerRate float64 `json:"device_coupler_rate,omitempty"`
+	DeviceErrorRate   float64 `json:"device_error_rate,omitempty"`
+	SuperThreshold    float64 `json:"super_threshold,omitempty"`
+	Halflife          float64 `json:"halflife,omitempty"`
+
 	// Layout axis (rev 3). All omitted for single-patch scans, so every
 	// pre-layout row keeps its identity; a 1-patch layout scan hashes
 	// differently from a single-patch scan because Patches is non-zero
@@ -99,11 +113,23 @@ func taskConfig(cfg traj.Config, mode traj.Mode, j int, seed int64) trajTaskConf
 	// changes, default-spelled configs correctly stop matching their old
 	// rows; and tuning the gate must not invalidate the untreated/asc-s
 	// rows, whose Results are factor-independent.
+	mit := mode.Mitigation()
 	rf := 0.0
-	if mode.Mitigation().ReweightTier {
+	if mit.ReweightTier {
 		rf = cfg.ReweightFactor
 		if rf == 0 {
 			rf = traj.DefaultReweightFactor
+		}
+	}
+	// Same resolution rule for the super boundary: carried only for arms
+	// whose ladder has the super tier (the only ones whose Results can
+	// depend on it), resolved so explicit-default and 0-means-default
+	// spellings hash identically.
+	st := 0.0
+	if mit.SuperTier {
+		st = cfg.SuperThreshold
+		if st == 0 {
+			st = defect.SuperThreshold
 		}
 	}
 	tc := trajTaskConfig{
@@ -112,7 +138,15 @@ func taskConfig(cfg traj.Config, mode traj.Mode, j int, seed int64) trajTaskConf
 		ChunkRounds: cfg.ChunkRounds, Window: cfg.Window, Threshold: cfg.Threshold,
 		PhysicalRate: cfg.PhysicalRate, Basis: int(cfg.Basis),
 		ReweightFactor: rf,
-		Mode:           mode.String(), Traj: j, Seed: seed,
+		SuperThreshold: st, Halflife: cfg.Halflife,
+		Mode: mode.String(), Traj: j, Seed: seed,
+	}
+	if m := cfg.Device; m != nil {
+		tc.DeviceQubitRate, tc.DeviceCouplerRate = m.QubitDefectRate, m.CouplerDefectRate
+		tc.DeviceErrorRate = m.ErrorRate
+		if tc.DeviceErrorRate <= 0 {
+			tc.DeviceErrorRate = 0.5 // Sample's inoperable-hardware default
+		}
 	}
 	if m := cfg.Cosmic; m != nil {
 		tc.CosmicRate, tc.CosmicDuration = m.RatePerQubit, m.DurationCycles
@@ -147,6 +181,12 @@ type TrajRow struct {
 	MeanDeformations float64
 	MeanRecoveries   float64
 	Severed          int
+	// MeanBandages counts super-stabilizer bandage sites per trajectory
+	// (boot adaptation plus dynamic merges); MeanDeviceDefects the sampled
+	// fabrication defects per trajectory (identical across paired arms).
+	// Both zero on pristine-device scans with the super tier idle.
+	MeanBandages      float64
+	MeanDeviceDefects float64
 	// BlockedFrac is the fraction of patch-cycles with blocked channels;
 	// MeanDistance the time-weighted mean of min(dX, dZ);
 	// FailuresPer1k the failure rate per 1000 scored cycles.
@@ -280,6 +320,7 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 		row := TrajRow{Mode: mode.String(), Trajectories: len(armRes)}
 		var latency, detected, removable int64
 		var deforms, recovers, failures, reweights, overlayBuilds int
+		var bandages, deviceDefects int
 		var blocked, distance, elapsed, scored int64
 		var reweighted, mismatch int64
 		var rateErr float64
@@ -299,6 +340,8 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 			latency += r.LatencyCycles
 			deforms += r.Deformations
 			recovers += r.Recoveries
+			bandages += r.Bandages
+			deviceDefects += r.DeviceDefects
 			failures += r.Failures
 			blocked += r.BlockedCycles
 			distance += r.DistanceCycles
@@ -335,6 +378,8 @@ func TrajectoryScan(opt Options, cfg traj.Config, modes []traj.Mode) ([]TrajRow,
 		}
 		row.MeanDeformations = float64(deforms) / trials
 		row.MeanRecoveries = float64(recovers) / trials
+		row.MeanBandages = float64(bandages) / trials
+		row.MeanDeviceDefects = float64(deviceDefects) / trials
 		if elapsed > 0 {
 			row.BlockedFrac = float64(blocked) / float64(elapsed)
 			row.MeanDistance = float64(distance) / float64(elapsed)
@@ -477,8 +522,8 @@ func armFailureCI(rs []traj.Result) (lo, hi float64) {
 // headline columns, then the decoder-prior columns of the reweight tier.
 func RenderTraj(w io.Writer, horizon int64, rows []TrajRow) {
 	fmt.Fprintf(w, "closed-loop trajectories over %d cycles (survival at quarter horizons)\n", horizon)
-	fmt.Fprintf(w, "%-14s %-6s %-26s %-9s %-9s %-8s %-8s %-7s %-9s %-8s %-9s %-8s %-7s %-9s %-9s %-6s\n",
-		"arm", "trajs", "survival T/4 T/2 3T/4 T", "detect%", "latency", "deforms", "recovers", "severed", "blocked%", "mean-d", "fail/1k",
+	fmt.Fprintf(w, "%-14s %-6s %-26s %-9s %-9s %-8s %-8s %-8s %-7s %-9s %-8s %-9s %-8s %-7s %-9s %-9s %-6s\n",
+		"arm", "trajs", "survival T/4 T/2 3T/4 T", "detect%", "latency", "deforms", "bandages", "recovers", "severed", "blocked%", "mean-d", "fail/1k",
 		"rewts", "rw%", "mismatch%", "rate-err", "odem")
 	for _, r := range rows {
 		lat := "-"
@@ -489,10 +534,10 @@ func RenderTraj(w io.Writer, horizon int64, rows []TrajRow) {
 		if r.MeanRateErr >= 0 {
 			rerr = fmt.Sprintf("%.4f", r.MeanRateErr)
 		}
-		fmt.Fprintf(w, "%-14s %-6d %.2f %.2f %.2f %.2f        %-9.0f %-9s %-8.2f %-8.2f %-7d %-9.1f %-8.2f %-9.3f %-8.1f %-7.1f %-9.1f %-9s %-6.1f\n",
+		fmt.Fprintf(w, "%-14s %-6d %.2f %.2f %.2f %.2f        %-9.0f %-9s %-8.2f %-8.2f %-8.2f %-7d %-9.1f %-8.2f %-9.3f %-8.1f %-7.1f %-9.1f %-9s %-6.1f\n",
 			r.Mode, r.Trajectories,
 			r.Survival[0], r.Survival[1], r.Survival[2], r.Survival[3],
-			100*r.DetectedFrac, lat, r.MeanDeformations, r.MeanRecoveries,
+			100*r.DetectedFrac, lat, r.MeanDeformations, r.MeanBandages, r.MeanRecoveries,
 			r.Severed, 100*r.BlockedFrac, r.MeanDistance, r.FailuresPer1k,
 			r.MeanReweights, 100*r.ReweightedFrac, 100*r.MismatchFrac, rerr, r.MeanOverlayBuilds)
 	}
@@ -521,6 +566,7 @@ func TrajTable(rows []TrajRow) *report.Table {
 	t := report.New("traj", "mode", "trajectories",
 		"survival_q1", "survival_q2", "survival_q3", "survival_q4",
 		"detected_frac", "mean_latency", "mean_deformations", "mean_recoveries",
+		"mean_bandages", "mean_device_defects",
 		"severed", "blocked_frac", "mean_distance", "failures_per_1k",
 		"mean_reweights", "reweighted_frac", "mismatch_frac", "mean_rate_err",
 		"mean_overlay_dem_builds",
@@ -531,6 +577,7 @@ func TrajTable(rows []TrajRow) *report.Table {
 		t.Add(r.Mode, r.Trajectories,
 			r.Survival[0], r.Survival[1], r.Survival[2], r.Survival[3],
 			r.DetectedFrac, r.MeanLatency, r.MeanDeformations, r.MeanRecoveries,
+			r.MeanBandages, r.MeanDeviceDefects,
 			r.Severed, r.BlockedFrac, r.MeanDistance, r.FailuresPer1k,
 			r.MeanReweights, r.ReweightedFrac, r.MismatchFrac, r.MeanRateErr,
 			r.MeanOverlayBuilds,

@@ -96,6 +96,20 @@ func (m *Model) OverlaySiteRates(rates map[lattice.Coord]float64) *Model {
 	return &c
 }
 
+// DeviceDefectRates builds the per-site rate map of a device's permanent
+// fabrication defects (defect.Device): every listed site at the device's
+// defective-site error rate. The result feeds WithSiteRates /
+// OverlaySiteRates like any dynamic-defect map — fabrication defects are
+// just site-rate elevations that never subside, so the trajectory engine
+// merges them (max-wins) under whatever dynamic events strike on top.
+func DeviceDefectRates(sites []lattice.Coord, rate float64) map[lattice.Coord]float64 {
+	out := make(map[lattice.Coord]float64, len(sites))
+	for _, q := range sites {
+		out[q] = rate
+	}
+	return out
+}
+
 // IsDefective reports whether q lies in a defect region.
 func (m *Model) IsDefective(q lattice.Coord) bool {
 	if _, ok := m.SiteRates[q]; ok {

@@ -98,7 +98,11 @@ func (dc *DEMCache) BuildDEMPatched(pt *Patcher, base *DEM, c *code.Code, model 
 	dc.mu.Unlock()
 	var dem *DEM
 	var ok bool
-	if pt != nil {
+	// Patch only when base was enumerated for this exact code structure: a
+	// bandage (super-stabilizer merge) or removal changes the mechanism set
+	// itself, and a patch would silently re-rate the stale set. Fingerprint
+	// mismatch → full build.
+	if pt != nil && base != nil && base.plan != nil && base.plan.codeFP == codeStructFingerprint(c) {
 		dem, ok = pt.Patch(base, model)
 	}
 	if !ok {
@@ -181,6 +185,15 @@ func demCacheKey(c *code.Code, model *noise.Model, rounds int, basis lattice.Che
 	writeCodeFingerprint(&sb, c)
 	sb.WriteByte('|')
 	writeModelFingerprint(&sb, model)
+	return sb.String()
+}
+
+// codeStructFingerprint is the code portion of demCacheKey on its own: the
+// full structural serialization (qubits, stabilizers with super-stabilizer
+// membership, gauges, logicals) that identifies a code for patch-base reuse.
+func codeStructFingerprint(c *code.Code) string {
+	var sb strings.Builder
+	writeCodeFingerprint(&sb, c)
 	return sb.String()
 }
 

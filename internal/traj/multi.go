@@ -239,14 +239,20 @@ func runLayout(cfg Config, mode Mode, seed int64) (*Result, error) {
 	switch mode {
 	case ModeUntreated, ModeReweightOnly:
 		// static codes, no deformation unit
-	case ModeASC:
+	case ModeASC, ModeSuperOnly:
+		// Both arms keep a zero growth budget: ASC-S only shrinks, the
+		// bandage arm only merges in place (its policy is inert — Step is
+		// never routed to it).
 		plan := &core.Plan{D: cfg.D, DeltaD: cfg.DeltaD, Layout: lay}
 		sys = plan.NewSystemWith(deform.PolicyASC, deform.UniformBudget(0))
 	default:
 		plan := &core.Plan{D: cfg.D, DeltaD: cfg.DeltaD, Layout: lay}
 		sys = plan.NewSystemWith(deform.PolicySurfDeformer, deform.UniformBudget(cfg.DeltaD))
 	}
-	mit := mode.Mitigation()
+	mit, err := armMitigation(cfg, mode)
+	if err != nil {
+		return nil, err
+	}
 	if sys != nil {
 		sys.SetMitigation(mit)
 	}
@@ -280,6 +286,10 @@ func runLayout(cfg Config, mode Mode, seed int64) (*Result, error) {
 	events := sampleEvents(cfg, umin, umax, eventRNG)
 	bounds := eventBoundaries(cfg, events)
 	perPatch, chans := splitEvents(lay, specs, events)
+	// One device covers the whole layout bounding box (channels included);
+	// each patch boots against its own tile's slice of it.
+	device := sampleDevice(cfg, umin, umax, seed)
+	deviceRates := deviceRateMap(device)
 
 	res := &Result{
 		Mode:           mode.String(),
@@ -287,6 +297,7 @@ func runLayout(cfg Config, mode Mode, seed int64) (*Result, error) {
 		FirstFailCycle: -1,
 		Patches:        make([]PatchResult, n),
 		ChannelEvents:  len(chans),
+		DeviceDefects:  deviceDefectCount(device),
 	}
 	res.Events = len(events)
 	for _, e := range events {
@@ -317,7 +328,7 @@ func runLayout(cfg Config, mode Mode, seed int64) (*Result, error) {
 		ps := &patchState{spec: specs[i]}
 		var err error
 		if sys != nil {
-			ps.curCode, err = sys.Unit(i).Spec().Build()
+			ps.curCode, err = sys.Unit(i).Code()
 		} else {
 			ps.curCode, err = specs[i].Build()
 		}
@@ -325,8 +336,20 @@ func runLayout(cfg Config, mode Mode, seed int64) (*Result, error) {
 			return nil, err
 		}
 		ps.pristine = ps.curCode
+		// Boot adaptation against the patch's slice of the device (after
+		// `pristine` — the adapted code is seed-specific and must build
+		// through the private cache).
+		if bc, nb, err := bootAdapt(sys, i, mit, device, specs[i].Contains); err != nil {
+			res.Patches[i].MinDistance = minDist(ps.curCode)
+			return terminateLayout(res, i, 0, err)
+		} else if bc != nil {
+			ps.curCode = bc
+			ps.blocked = sys.Blocked(i)
+			res.Bandages += nb
+		}
 		ps.events = perPatch[i]
 		ps.window = detect.NewWindow(cfg.Window, cfg.Threshold)
+		ps.window.SetHalflife(cfg.Halflife)
 		ps.attributed = map[int32]*attribution{}
 		if i == 0 {
 			ps.shotRNG = rand.New(rand.NewSource(mc.DeriveSeed(seed, saltShots)))
@@ -380,14 +403,24 @@ func runLayout(cfg Config, mode Mode, seed int64) (*Result, error) {
 					expireAttributions(ps.events, ps.attributed, cycle)
 					continue
 				}
-				recovered, err := recoverSubsidedPatch(sys, i, ps.events, ps.attributed, cycle)
+				// Tier-gated recovery, as in the single-patch engine.
+				var recovered int
+				var err error
+				switch {
+				case mit.Handles(defect.SeverityRemove):
+					recovered, err = recoverSubsided(sys, i, ps.events, ps.attributed, cycle)
+				case mit.Handles(defect.SeveritySuper):
+					recovered, err = unbandageSubsided(sys, i, ps.events, ps.attributed, cycle)
+				default:
+					expireAttributions(ps.events, ps.attributed, cycle)
+				}
 				if err != nil {
 					return terminateLayout(res, i, cycle, err)
 				}
 				if recovered > 0 {
 					res.Recoveries++
 					res.Patches[i].Recoveries++
-					st, err := sys.Unit(i).Spec().Build()
+					st, err := sys.Unit(i).Code()
 					if err != nil {
 						return terminateLayout(res, i, cycle, err)
 					}
@@ -446,7 +479,7 @@ func runLayout(cfg Config, mode Mode, seed int64) (*Result, error) {
 		// Sample phase: every patch's chunk shot through its own cached
 		// DEM/sampler/decoder path.
 		for i, ps := range patches {
-			if err := samplePatchChunk(cfg, mit, ps, res, i, cycle, chunk, nominal,
+			if err := samplePatchChunk(cfg, mit, ps, res, i, cycle, chunk, nominal, deviceRates,
 				cache, hotCache, memo, patcher, reweightFactor, tr, arm, tj); err != nil {
 				return nil, err
 			}
@@ -525,17 +558,22 @@ func runLayout(cfg Config, mode Mode, seed int64) (*Result, error) {
 			estimate := attribute(ps.dem, ps.fresh, ps.attributed, ps.events, cycle, res)
 			res.Patches[i].Detected += res.Detected - before
 			routeRemove := sys != nil && mit.Handles(defect.SeverityRemove)
+			routeSuper := sys != nil && !routeRemove && mit.Handles(defect.SeveritySuper)
 			if tr != nil {
 				tr.Emit(obs.TraceEvent{Type: obs.TraceDetect, Cycle: cycle, Arm: arm, Traj: tj,
 					Patch: i, Flags: len(ps.fresh), Region: len(estimate)})
 				sev := "observe"
-				if routeRemove {
+				switch {
+				case routeRemove:
 					sev = "remove"
+				case routeSuper:
+					sev = "super"
 				}
 				tr.Emit(obs.TraceEvent{Type: obs.TraceMitigate, Cycle: cycle, Arm: arm, Traj: tj,
 					Patch: i, Severity: sev})
 			}
-			if routeRemove {
+			switch {
+			case routeRemove:
 				st, err := sys.Step(i, estimate)
 				if err != nil {
 					return terminateLayout(res, i, cycle, err)
@@ -557,6 +595,24 @@ func runLayout(cfg Config, mode Mode, seed int64) (*Result, error) {
 					tr.Emit(obs.TraceEvent{Type: obs.TraceDeform, Cycle: cycle, Arm: arm, Traj: tj,
 						Patch: i, Defects: len(st.Defects), Enlarged: st.Enlarged, Distance: minDist(ps.curCode)})
 				}
+			case routeSuper:
+				st, err := sys.Super(i, dataSites(estimate))
+				if err != nil {
+					return terminateLayout(res, i, cycle, err)
+				}
+				if n := len(st.Defects); n > 0 {
+					res.Bandages += n
+					tr.Emit(obs.TraceEvent{Type: obs.TraceDeform, Cycle: cycle, Arm: arm, Traj: tj,
+						Patch: i, Defects: n, Distance: minDist(st.Code)})
+				}
+				ps.curCode = st.Code
+				ps.blocked = sys.Blocked(i)
+				if d := minDist(ps.curCode); d < res.Patches[i].MinDistance {
+					res.Patches[i].MinDistance = d
+				}
+				if res.Patches[i].MinDistance < res.MinDistance {
+					res.MinDistance = res.Patches[i].MinDistance
+				}
 			}
 		}
 	}
@@ -568,13 +624,14 @@ func runLayout(cfg Config, mode Mode, seed int64) (*Result, error) {
 // stages the results on the patch state — the sample half of the
 // single-patch loop body, per patch.
 func samplePatchChunk(cfg Config, mit deform.Mitigation, ps *patchState, res *Result, i int,
-	cycle, chunk int64, nominal *noise.Model, cache, hotCache *sim.DEMCache, memo *demMemo,
+	cycle, chunk int64, nominal *noise.Model, deviceRates map[lattice.Coord]float64,
+	cache, hotCache *sim.DEMCache, memo *demMemo,
 	patcher *sim.Patcher, reweightFactor float64, tr *obs.Tracer, arm string, tj int) error {
 	if ps.sitesOf != ps.curCode {
 		ps.codeSites = siteSet(ps.curCode)
 		ps.sitesOf = ps.curCode
 	}
-	ps.rates = activeRates(ps.events, cycle)
+	ps.rates = mergedRates(activeRates(ps.events, cycle), deviceRates)
 	codeCache := cache
 	if ps.curCode != ps.pristine {
 		codeCache = hotCache
@@ -778,36 +835,6 @@ func mergeBlockedOp(sys *core.System, patches []*patchState, chans []*chanEvent,
 	}
 	blocked, _ := surgery.MergeBlocked(left, right, strip, minDistance)
 	return blocked
-}
-
-// recoverSubsidedPatch is recoverSubsided for patch i of a system.
-func recoverSubsidedPatch(sys *core.System, i int, events []*event, attributed map[int32]*attribution, cycle int64) (int, error) {
-	active := activeRemoveSites(events, cycle)
-	drop := subsidedIDs(attributed, active)
-	if len(drop) == 0 {
-		return 0, nil
-	}
-	siteSet := map[lattice.Coord]bool{}
-	for _, id := range drop {
-		for _, q := range attributed[id].est {
-			if !active[q] {
-				siteSet[q] = true
-			}
-		}
-		delete(attributed, id)
-	}
-	sites := make([]lattice.Coord, 0, len(siteSet))
-	for q := range siteSet {
-		sites = append(sites, q)
-	}
-	lattice.SortCoords(sites)
-	if len(sites) == 0 {
-		return 0, nil
-	}
-	if _, err := sys.Recover(i, sites); err != nil {
-		return 0, err
-	}
-	return len(sites), nil
 }
 
 // terminateLayout ends a layout trajectory whose patch i severed — the

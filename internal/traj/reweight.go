@@ -44,6 +44,8 @@ func (m Mode) Mitigation() deform.Mitigation {
 		return deform.Mitigation{DeformTier: true}
 	case ModeReweightOnly:
 		return deform.Mitigation{ReweightTier: true}
+	case ModeSuperOnly:
+		return deform.Mitigation{SuperTier: true}
 	}
 	return deform.Mitigation{} // untreated: nominal priors, untouched code
 }

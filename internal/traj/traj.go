@@ -73,6 +73,12 @@ const (
 	// the arm measures honest estimated-prior decoding — the cheap first
 	// response the paper prescribes for mild drift.
 	ModeReweightOnly
+	// ModeSuperOnly is the bandage-tier ablation (arXiv 2404.18644): the
+	// patch is never shrunk — every severe region the ladder would remove
+	// is instead merged into super-stabilizer bandages in place
+	// (deform.Unit.Bandage), released when the event subsides. Fabrication
+	// defects found at boot are bandaged permanently.
+	ModeSuperOnly
 )
 
 // String implements fmt.Stringer.
@@ -86,6 +92,8 @@ func (m Mode) String() string {
 		return "untreated"
 	case ModeReweightOnly:
 		return "reweight-only"
+	case ModeSuperOnly:
+		return "super-only"
 	}
 	return "invalid"
 }
@@ -123,6 +131,23 @@ type Config struct {
 	Cosmic  *defect.Model
 	Leakage *defect.LeakageModel
 	Drift   *defect.DriftModel
+
+	// Device, when non-nil, is the fabrication-defect model (Siegel et
+	// al., arXiv 2211.08468): each trajectory samples a permanent defect
+	// map from it on a dedicated seed stream (paired across arms) and runs
+	// the dynamic defect processes on the degraded device. Defective data
+	// qubits are adapted around at boot by the arm's mitigation ladder
+	// (bandaged or removed); defective syndrome sites elevate rates only.
+	Device *defect.DeviceModel
+	// SuperThreshold overrides the ladder's super-stabilizer severity
+	// boundary (0 keeps defect.SuperThreshold; the resolved value must stay
+	// below the removal threshold — misordered ladders are rejected).
+	SuperThreshold float64
+	// Halflife enables exponential temporal weighting in the detector's
+	// rate estimator, in rounds (0 = uniform window, bit-identical to the
+	// unweighted estimator; negative is rejected). Flagging is unaffected.
+	// See detect.Window.SetHalflife.
+	Halflife float64
 
 	// Layout, when non-nil, selects the layout-level engine: N patches on a
 	// routing grid, defect arrivals landing on any patch or channel, and an
@@ -246,6 +271,15 @@ type Result struct {
 	Recoveries   int  `json:"recoveries"`
 	Severed      bool `json:"severed,omitempty"`
 
+	// DeviceDefects counts the fabrication-defective sites of the sampled
+	// device (data plus syndrome; identical across paired arms). Bandages
+	// counts the data qubits currently merged into super-stabilizer
+	// bandages at boot, plus each later bandage operation's fresh sites.
+	// Both are zero (and omitted) when Config.Device is nil and the super
+	// tier never acts — old single-device rows keep their identity.
+	DeviceDefects int `json:"device_defects,omitempty"`
+	Bandages      int `json:"bandages,omitempty"`
+
 	// BlockedCycles counts cycles during which the patch spilled past its
 	// Δd reserve and blocked its communication channels; DistanceCycles is
 	// the time-weighted sum of min(dX, dZ); MinDistance the lowest distance
@@ -325,6 +359,7 @@ type PatchResult struct {
 const (
 	saltEvents = int64(-0x7E01)
 	saltShots  = int64(-0x7E02)
+	saltDevice = int64(-0x7E03)
 )
 
 // hotCacheLimit sizes each trajectory's private hot-model DEM cache
@@ -429,24 +464,35 @@ func run(cfg Config, mode Mode, seed int64) (*Result, error) {
 		lay := layout.New(layout.ASCS, 1, cfg.D, 0)
 		plan := &core.Plan{D: cfg.D, DeltaD: 0, Layout: lay}
 		sys = plan.NewSystemWith(deform.PolicyASC, deform.UniformBudget(0))
+	case ModeSuperOnly:
+		// Bandages never grow or shrink the patch footprint, so the arm
+		// needs no growth reserve; the policy is inert (Step is never
+		// routed here) but the unit must exist for Bandage/Unbandage.
+		lay := layout.New(layout.ASCS, 1, cfg.D, 0)
+		plan := &core.Plan{D: cfg.D, DeltaD: 0, Layout: lay}
+		sys = plan.NewSystemWith(deform.PolicyASC, deform.UniformBudget(0))
 	default:
 		lay := layout.New(layout.SurfDeformer, 1, cfg.D, cfg.DeltaD)
 		plan := &core.Plan{D: cfg.D, DeltaD: cfg.DeltaD, Layout: lay}
 		sys = plan.NewSystemWith(deform.PolicySurfDeformer, deform.UniformBudget(cfg.DeltaD))
 	}
 	if sys != nil {
-		c, err := sys.Unit(0).Spec().Build()
+		c, err := sys.Unit(0).Code()
 		if err != nil {
 			return nil, err
 		}
 		curCode = c
 	}
 	// The arm's §VIII mitigation ladder routes detected elevations: mild
-	// ones to the decoder-prior reweight tier, severe ones to deformation
-	// (the Step call below is gated on Handles(SeverityRemove)). Deforming
-	// arms also install the ladder on their runtime system so consumers
-	// inspecting the System see the ladder its patches actually run under.
-	mit := mode.Mitigation()
+	// ones to the decoder-prior reweight tier, severely noisy qubits to a
+	// super-stabilizer bandage, severe regions to deformation (the Step and
+	// Super calls below are gated on Handles). Deforming arms also install
+	// the ladder on their runtime system so consumers inspecting the System
+	// see the ladder its patches actually run under.
+	mit, err := armMitigation(cfg, mode)
+	if err != nil {
+		return nil, err
+	}
 	if sys != nil {
 		sys.SetMitigation(mit)
 	}
@@ -459,12 +505,15 @@ func run(cfg Config, mode Mode, seed int64) (*Result, error) {
 	shotRNG := rand.New(rand.NewSource(mc.DeriveSeed(seed, saltShots)))
 	events := sampleEvents(cfg, bmin, bmax, eventRNG)
 	bounds := eventBoundaries(cfg, events)
+	device := sampleDevice(cfg, bmin, bmax, seed)
+	deviceRates := deviceRateMap(device)
 
 	res := &Result{
 		Mode:           mode.String(),
 		Horizon:        cfg.Horizon,
 		FirstFailCycle: -1,
 		MinDistance:    minDist(curCode),
+		DeviceDefects:  deviceDefectCount(device),
 	}
 	for _, e := range events {
 		res.Events++
@@ -474,6 +523,7 @@ func run(cfg Config, mode Mode, seed int64) (*Result, error) {
 	}
 
 	window := detect.NewWindow(cfg.Window, cfg.Threshold)
+	window.SetHalflife(cfg.Halflife)
 	attributed := map[int32]*attribution{}
 	// Hot-model DEMs carry this trajectory's seed-specific defect regions
 	// and estimated-prior overlays and never recur across trajectories; a
@@ -503,6 +553,22 @@ func run(cfg Config, mode Mode, seed int64) (*Result, error) {
 	cycle := int64(0)
 	quietUntil := int64(0) // post-deformation dwell: no detector consults
 
+	// Boot adaptation: the arm's strongest enabled structural tier handles
+	// the device's defective data qubits before the first cycle (after
+	// `pristine` is captured — device-adapted codes are seed-specific and
+	// must build through the private cache). A device so broken the patch
+	// cannot boot terminates the trajectory as failed from cycle 0.
+	if bc, n, err := bootAdapt(sys, 0, mit, device, nil); err != nil {
+		return terminate(res, 0, err)
+	} else if bc != nil {
+		curCode = bc
+		blocked = sys.Blocked(0)
+		res.Bandages += n
+		if d := minDist(curCode); d < res.MinDistance {
+			res.MinDistance = d
+		}
+	}
+
 	for cycle < cfg.Horizon {
 		// Process due boundaries: model changes need no action (the chunk's
 		// model is rebuilt from the active set below); recovery confirmations
@@ -520,7 +586,19 @@ func run(cfg Config, mode Mode, seed int64) (*Result, error) {
 				expireAttributions(events, attributed, cycle)
 				continue
 			}
-			recovered, err := recoverSubsided(sys, events, attributed, cycle)
+			// The recovery path mirrors the arm's structural tier: removal
+			// arms reincorporate sites, the bandage arm releases its
+			// super-stabilizers, anything else just expires the bookkeeping.
+			var recovered int
+			var err error
+			switch {
+			case mit.Handles(defect.SeverityRemove):
+				recovered, err = recoverSubsided(sys, 0, events, attributed, cycle)
+			case mit.Handles(defect.SeveritySuper):
+				recovered, err = unbandageSubsided(sys, 0, events, attributed, cycle)
+			default:
+				expireAttributions(events, attributed, cycle)
+			}
 			if err != nil {
 				return terminate(res, cycle, err)
 			}
@@ -568,7 +646,7 @@ func run(cfg Config, mode Mode, seed int64) (*Result, error) {
 			codeSites = siteSet(curCode)
 			sitesOf = curCode
 		}
-		rates := activeRates(events, cycle)
+		rates := mergedRates(activeRates(events, cycle), deviceRates)
 		codeCache := cache
 		if curCode != pristine {
 			codeCache = hotCache // deformed code: seed-specific, build privately
@@ -716,16 +794,21 @@ func run(cfg Config, mode Mode, seed int64) (*Result, error) {
 		quietUntil = cycle + int64(cfg.Window)
 		estimate := attribute(sampleDEM, fresh, attributed, events, cycle, res)
 		routeRemove := sys != nil && mit.Handles(defect.SeverityRemove)
+		routeSuper := sys != nil && !routeRemove && mit.Handles(defect.SeveritySuper)
 		if tr != nil {
 			tr.Emit(obs.TraceEvent{Type: obs.TraceDetect, Cycle: cycle, Arm: arm, Traj: tj,
 				Flags: len(fresh), Region: len(estimate)})
 			sev := "observe"
-			if routeRemove {
+			switch {
+			case routeRemove:
 				sev = "remove"
+			case routeSuper:
+				sev = "super"
 			}
 			tr.Emit(obs.TraceEvent{Type: obs.TraceMitigate, Cycle: cycle, Arm: arm, Traj: tj, Severity: sev})
 		}
-		if routeRemove {
+		switch {
+		case routeRemove:
 			st, err := sys.Step(0, estimate)
 			if err != nil {
 				return terminate(res, cycle, err)
@@ -742,6 +825,27 @@ func run(cfg Config, mode Mode, seed int64) (*Result, error) {
 			if deformed {
 				tr.Emit(obs.TraceEvent{Type: obs.TraceDeform, Cycle: cycle, Arm: arm, Traj: tj,
 					Defects: len(st.Defects), Enlarged: st.Enlarged, Distance: minDist(curCode)})
+			}
+		case routeSuper:
+			// Bandage tier: merge the estimated region's data qubits into
+			// super-stabilizers in place (check-site estimates have no
+			// bandage analogue — a broken measure qubit is a rate problem,
+			// not a data-qubit merge). Sites the bandage construction cannot
+			// merge (boundary geometry) are skipped, not escalated — this
+			// arm never removes.
+			st, err := sys.Super(0, dataSites(estimate))
+			if err != nil {
+				return terminate(res, cycle, err)
+			}
+			if n := len(st.Defects); n > 0 {
+				res.Bandages += n
+				tr.Emit(obs.TraceEvent{Type: obs.TraceDeform, Cycle: cycle, Arm: arm, Traj: tj,
+					Defects: n, Distance: minDist(st.Code)})
+			}
+			curCode = st.Code
+			blocked = sys.Blocked(0)
+			if d := minDist(curCode); d < res.MinDistance {
+				res.MinDistance = d
 			}
 		}
 	}
@@ -763,6 +867,18 @@ func (cfg Config) validate() error {
 		return fmt.Errorf("traj: physical rate %g", cfg.PhysicalRate)
 	case cfg.ReweightFactor != 0 && cfg.ReweightFactor <= 1:
 		return fmt.Errorf("traj: reweight factor %g must exceed 1 (0 selects the default)", cfg.ReweightFactor)
+	case cfg.Halflife < 0:
+		return fmt.Errorf("traj: negative estimator half-life %g", cfg.Halflife)
+	}
+	if dv := cfg.Device; dv != nil {
+		switch {
+		case dv.QubitDefectRate < 0 || dv.QubitDefectRate > 1:
+			return fmt.Errorf("traj: device qubit defect rate %g outside [0, 1]", dv.QubitDefectRate)
+		case dv.CouplerDefectRate < 0 || dv.CouplerDefectRate > 1:
+			return fmt.Errorf("traj: device coupler defect rate %g outside [0, 1]", dv.CouplerDefectRate)
+		case dv.ErrorRate < 0 || dv.ErrorRate > 0.5:
+			return fmt.Errorf("traj: device error rate %g outside [0, 0.5]", dv.ErrorRate)
+		}
 	}
 	if lc := cfg.Layout; lc != nil {
 		switch {
@@ -816,9 +932,11 @@ func minDist(c *code.Code) int {
 	return dz
 }
 
-// refresh rebuilds the system's patch-0 code after a recovery.
+// refresh rebuilds the system's patch-0 code after a recovery. Rebuilding
+// goes through Unit.Code, not Spec().Build(), so permanent bandages (boot
+// adaptation) survive the rebuild.
 func refresh(sys *core.System) (*code.Code, error) {
-	return sys.Unit(0).Spec().Build()
+	return sys.Unit(0).Code()
 }
 
 // sampleEvents draws the merged, time-sorted defect timeline of all enabled
@@ -1108,15 +1226,15 @@ func activeRemoveSites(events []*event, cycle int64) map[lattice.Coord]bool {
 	return active
 }
 
-// recoverSubsided drops attributions whose estimated region no longer
-// intersects any active removable event and reincorporates their sites
-// (minus sites still claimed by an active event). Returns how many sites
-// were reincorporated (0 when no recovery happened).
-func recoverSubsided(sys *core.System, events []*event, attributed map[int32]*attribution, cycle int64) (int, error) {
+// subsidedSites drops the attributions whose estimated region no longer
+// intersects any active removable event and returns their sites (minus
+// sites still claimed by an active event), sorted. Nil when nothing
+// subsided — the shared front half of the structural recovery paths.
+func subsidedSites(events []*event, attributed map[int32]*attribution, cycle int64) []lattice.Coord {
 	active := activeRemoveSites(events, cycle)
 	drop := subsidedIDs(attributed, active)
 	if len(drop) == 0 {
-		return 0, nil
+		return nil
 	}
 	siteSet := map[lattice.Coord]bool{}
 	for _, id := range drop {
@@ -1132,13 +1250,38 @@ func recoverSubsided(sys *core.System, events []*event, attributed map[int32]*at
 		sites = append(sites, q)
 	}
 	lattice.SortCoords(sites)
+	return sites
+}
+
+// recoverSubsided reincorporates the subsided attributions' sites into
+// patch i. Returns how many sites were reincorporated (0 when no recovery
+// happened).
+func recoverSubsided(sys *core.System, i int, events []*event, attributed map[int32]*attribution, cycle int64) (int, error) {
+	sites := subsidedSites(events, attributed, cycle)
 	if len(sites) == 0 {
 		return 0, nil
 	}
-	if _, err := sys.Recover(0, sites); err != nil {
+	if _, err := sys.Recover(i, sites); err != nil {
 		return 0, err
 	}
 	return len(sites), nil
+}
+
+// unbandageSubsided is the bandage arm's recovery path: the subsided
+// attributions' sites are released from their super-stabilizers (undoing
+// the gauge merge). Boot-adaptation bandages are never in the attribution
+// bookkeeping, so they stay permanent. Returns how many sites were
+// released.
+func unbandageSubsided(sys *core.System, i int, events []*event, attributed map[int32]*attribution, cycle int64) (int, error) {
+	sites := subsidedSites(events, attributed, cycle)
+	if len(sites) == 0 {
+		return 0, nil
+	}
+	st, err := sys.Unbandage(i, sites)
+	if err != nil {
+		return 0, err
+	}
+	return len(st.Defects), nil
 }
 
 // expireAttributions is the untreated arm's counterpart of recoverSubsided:
